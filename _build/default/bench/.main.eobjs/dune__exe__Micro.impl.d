@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bytes Float Hashtbl Instance Int64 List Measure Printf Staged String Tango_bgp Tango_dataplane Tango_net Tango_sim Tango_telemetry Test Time Toolkit

@@ -1,0 +1,68 @@
+(* Experiment harness entry point.
+
+   Usage:
+     dune exec bench/main.exe                 # every experiment + microbenches
+     dune exec bench/main.exe -- --experiment fig3
+     dune exec bench/main.exe -- --horizon 120 --csv out/
+   Experiments regenerate the paper's figures/tables (see DESIGN.md and
+   EXPERIMENTS.md for the per-experiment index). *)
+
+let experiments =
+  [
+    ("fig3", Experiments.fig3);
+    ("fig4-left", Experiments.fig4_left);
+    ("fig4-middle", Experiments.fig4_middle);
+    ("fig4-right", Experiments.fig4_right);
+    ("jitter", Experiments.jitter);
+    ("policy-ablation", Experiments.policy_ablation);
+    ("measurement-ablation", Experiments.measurement_ablation);
+    ("tango-of-n", Experiments.tango_of_n);
+    ("failover", Experiments.failover);
+    ("mrai", Experiments.mrai_sweep);
+    ("throughput", Experiments.throughput);
+    ("discovery-cost", Experiments.discovery_cost);
+  ]
+
+let () =
+  let selected = ref [] in
+  let run_micro = ref true in
+  let spec =
+    [
+      ( "--experiment",
+        Arg.String (fun s -> selected := s :: !selected),
+        "ID  run one experiment (repeatable); one of: "
+        ^ String.concat ", " (List.map fst experiments)
+        ^ ", micro" );
+      ( "--horizon",
+        Arg.Float (fun h -> Experiments.horizon := h),
+        "SECONDS  measurement-study horizon (default 600)" );
+      ( "--probe-interval",
+        Arg.Float (fun i -> Experiments.probe_interval := i),
+        "SECONDS  probe spacing (default 0.01, as in the paper)" );
+      ( "--csv",
+        Arg.String (fun d -> Experiments.csv_dir := Some d),
+        "DIR  also write figure series as CSV into DIR" );
+      ("--no-micro", Arg.Clear run_micro, " skip the bechamel microbenchmarks");
+    ]
+  in
+  Arg.parse spec
+    (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
+    "tango benchmark harness";
+  let to_run =
+    match List.rev !selected with
+    | [] -> List.map fst experiments @ (if !run_micro then [ "micro" ] else [])
+    | l -> l
+  in
+  Printf.printf "Tango reproduction harness — HotNets '22\n";
+  List.iter
+    (fun id ->
+      if id = "micro" then Micro.run ()
+      else
+        match List.assoc_opt id experiments with
+        | Some f -> f ()
+        | None ->
+            Printf.eprintf "unknown experiment %S; known: %s, micro\n" id
+              (String.concat ", " (List.map fst experiments));
+            exit 2)
+    to_run;
+  Printf.printf "\nDone.\n"

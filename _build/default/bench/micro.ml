@@ -1,0 +1,142 @@
+(* Bechamel microbenchmarks for the per-packet hot paths: what a real
+   Tango switch/eBPF program executes on every packet. *)
+
+open Bechamel
+open Toolkit
+
+let ipv6 = Tango_net.Ipv6.of_string_exn "2001:db8:4000::1"
+
+let ipv6_b = Tango_net.Ipv6.of_string_exn "2001:db8:4010::1"
+
+let flow =
+  Tango_net.Flow.v
+    ~src:(Tango_net.Addr.V6 ipv6)
+    ~dst:(Tango_net.Addr.V6 ipv6_b)
+    ~proto:17 ~src_port:40000 ~dst_port:4789
+
+let tango_header =
+  { Tango_net.Packet.timestamp_ns = 123456789L; seq = 42L; path_id = 2; flags = 0 }
+
+let payload = Bytes.make 512 'x'
+
+let frame =
+  Tango_net.Wire.encode_tunnel ~outer_src:ipv6 ~outer_dst:ipv6_b ~udp_src:40000
+    ~udp_dst:4789 ~tango:tango_header payload
+
+let test_encode =
+  Test.make ~name:"wire.encode_tunnel (512B)"
+    (Staged.stage (fun () ->
+         ignore
+           (Tango_net.Wire.encode_tunnel ~outer_src:ipv6 ~outer_dst:ipv6_b
+              ~udp_src:40000 ~udp_dst:4789 ~tango:tango_header payload)))
+
+let test_decode =
+  Test.make ~name:"wire.decode_tunnel (512B)"
+    (Staged.stage (fun () -> ignore (Tango_net.Wire.decode_tunnel frame)))
+
+let test_hash =
+  Test.make ~name:"flow.hash_5tuple"
+    (Staged.stage (fun () -> ignore (Tango_net.Flow.hash_5tuple flow)))
+
+let test_rolling =
+  let rolling = Tango_telemetry.Rolling.create ~window_s:1.0 in
+  let clock = ref 0.0 in
+  Test.make ~name:"rolling.add (1s window @100Hz)"
+    (Staged.stage (fun () ->
+         clock := !clock +. 0.01;
+         Tango_telemetry.Rolling.add rolling ~time:!clock 28.0))
+
+let test_jitter =
+  let jitter = Tango_telemetry.Jitter.create () in
+  let clock = ref 0.0 in
+  Test.make ~name:"jitter.add"
+    (Staged.stage (fun () ->
+         clock := !clock +. 0.01;
+         Tango_telemetry.Jitter.add jitter ~time:!clock 28.0))
+
+let test_tracker =
+  let tracker = Tango_dataplane.Seq_tracker.create () in
+  let seq = ref 0L in
+  Test.make ~name:"seq_tracker.observe"
+    (Staged.stage (fun () ->
+         Tango_dataplane.Seq_tracker.observe tracker !seq;
+         seq := Int64.add !seq 1L))
+
+let test_heap =
+  let heap = Tango_sim.Heap.create ~cmp:Float.compare in
+  let rng = Tango_sim.Rng.create ~seed:1 in
+  Test.make ~name:"heap push+pop"
+    (Staged.stage (fun () ->
+         Tango_sim.Heap.push heap (Tango_sim.Rng.float rng 1.0);
+         ignore (Tango_sim.Heap.pop heap)))
+
+let test_rng =
+  let rng = Tango_sim.Rng.create ~seed:2 in
+  Test.make ~name:"rng.gaussian"
+    (Staged.stage (fun () -> ignore (Tango_sim.Rng.gaussian rng ~mean:0.0 ~std:1.0)))
+
+let siphash_key = Tango_net.Siphash.key 0x0706050403020100L 0x0f0e0d0c0b0a0908L
+
+let siphash_message = Bytes.make 56 '\x42'
+
+let test_siphash =
+  Test.make ~name:"siphash-2-4 (56B shim message)"
+    (Staged.stage (fun () -> ignore (Tango_net.Siphash.mac siphash_key siphash_message)))
+
+let auth_frame =
+  Tango_net.Wire.encode_tunnel ~auth_key:siphash_key ~outer_src:ipv6
+    ~outer_dst:ipv6_b ~udp_src:40000 ~udp_dst:4789 ~tango:tango_header payload
+
+let test_auth_decode =
+  Test.make ~name:"wire.decode_tunnel authenticated (512B)"
+    (Staged.stage (fun () ->
+         ignore (Tango_net.Wire.decode_tunnel ~auth_key:siphash_key auth_frame)))
+
+let test_decision =
+  let route i =
+    Tango_bgp.Route.make
+      ~prefix:(Tango_net.Prefix.of_string_exn "2001:db8::/48")
+      ~path:(Tango_bgp.As_path.of_list [ 2914 + i; 20473 ])
+      ~next_hop:i ~learned_from:i ()
+  in
+  let candidates = List.init 8 route in
+  Test.make ~name:"bgp decision (8 candidates)"
+    (Staged.stage (fun () -> ignore (Tango_bgp.Decision.best candidates)))
+
+let all_tests =
+  Test.make_grouped ~name:"tango"
+    [
+      test_encode;
+      test_decode;
+      test_siphash;
+      test_auth_decode;
+      test_hash;
+      test_rolling;
+      test_jitter;
+      test_tracker;
+      test_heap;
+      test_rng;
+      test_decision;
+    ]
+
+let run () =
+  Printf.printf "\n=== Microbenchmarks (ns per operation, OLS fit) ===\n%!";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-36s %10.1f ns/op\n" name est
+      | Some ests ->
+          Printf.printf "  %-36s %s\n" name
+            (String.concat " " (List.map (Printf.sprintf "%.1f") ests))
+      | None -> Printf.printf "  %-36s (no estimate)\n" name)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)

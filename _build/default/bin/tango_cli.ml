@@ -1,0 +1,313 @@
+(* tango — command-line front-end for the Tango reproduction.
+
+   Subcommands:
+     tango discover  — run the Fig. 3 path-discovery procedure
+     tango measure   — run the measurement plane and print per-path OWD
+     tango simulate  — full scenario with application traffic and a policy
+     tango overlay   — plan a Tango-of-N overlay on the triangle topology *)
+
+open Cmdliner
+open Tango
+module Series = Tango_telemetry.Series
+module Stats = Tango_sim.Stats
+module Vultr = Tango_topo.Vultr
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let seed_arg =
+  let doc = "Deterministic simulation seed." in
+  Arg.(value & opt int 11 & info [ "seed" ] ~docv:"N" ~doc)
+
+let duration_arg default =
+  let doc = "Virtual seconds of measurement." in
+  Arg.(value & opt float default & info [ "duration" ] ~docv:"SECONDS" ~doc)
+
+let probe_arg =
+  let doc = "Probe spacing in seconds (the paper used 0.01)." in
+  Arg.(value & opt float 0.01 & info [ "probe-interval" ] ~docv:"SECONDS" ~doc)
+
+let scenario_arg =
+  let doc = "Enable the Fig. 4 dynamics (route change + instability)." in
+  Arg.(value & flag & info [ "scenario" ] ~doc)
+
+let policy_arg =
+  let policies =
+    [
+      ("bgp-default", Policy.Bgp_default);
+      ("static-gtt", Policy.Static 2);
+      ("lowest-owd", Policy.Lowest_owd { hysteresis_ms = 1.0; min_dwell_s = 2.0 });
+      ( "jitter-aware",
+        Policy.Jitter_aware { beta = 5.0; hysteresis_ms = 1.0; min_dwell_s = 2.0 } );
+    ]
+  in
+  let doc =
+    Printf.sprintf "Path-selection policy: %s."
+      (String.concat ", " (List.map fst policies))
+  in
+  Arg.(
+    value
+    & opt (enum policies)
+        (Policy.Lowest_owd { hysteresis_ms = 1.0; min_dwell_s = 2.0 })
+    & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* discover                                                            *)
+
+let discover seed reverse max_paths =
+  let topo = Vultr.build () in
+  let engine = Tango_sim.Engine.create ~seed () in
+  let configure (node : Tango_topo.Topology.node) =
+    if node.Tango_topo.Topology.id = Vultr.vultr_la
+       || node.Tango_topo.Topology.id = Vultr.vultr_ny
+    then
+      { Tango_bgp.Network.no_overrides with
+        neighbor_weight = Some Vultr.vultr_neighbor_weight }
+    else Tango_bgp.Network.no_overrides
+  in
+  let net = Tango_bgp.Network.create ~configure topo engine in
+  let origin, observer, name =
+    if reverse then (Vultr.server_la, Vultr.server_ny, "NY -> LA")
+    else (Vultr.server_ny, Vultr.server_la, "LA -> NY")
+  in
+  let result =
+    Discovery.run ~net ~origin ~observer
+      ~probe_prefix:(Tango_net.Prefix.of_string_exn "2001:db8:4c63::/48")
+      ~max_paths ()
+  in
+  Printf.printf "direction %s: %d paths (%d BGP updates, %.1fs virtual)\n" name
+    (List.length result.Discovery.paths)
+    result.Discovery.messages result.Discovery.convergence_time_s;
+  List.iter
+    (fun (p : Discovery.path) ->
+      Printf.printf "  %d %-7s floor %.1f ms  as-path [%s]  {%s}\n"
+        p.Discovery.index p.Discovery.label p.Discovery.floor_owd_ms
+        (Tango_bgp.As_path.to_string p.Discovery.as_path)
+        (String.concat ","
+           (List.map Tango_bgp.Community.to_string
+              (Tango_bgp.Community.Set.elements p.Discovery.communities))))
+    result.Discovery.paths
+
+let discover_cmd =
+  let reverse =
+    Arg.(value & flag & info [ "reverse" ] ~doc:"Discover NY -> LA instead.")
+  in
+  let max_paths =
+    Arg.(value & opt int 16 & info [ "max-paths" ] ~docv:"N" ~doc:"Stop after N paths.")
+  in
+  Cmd.v
+    (Cmd.info "discover" ~doc:"Run the Fig. 3 iterative path discovery")
+    Term.(const discover $ seed_arg $ reverse $ max_paths)
+
+(* ------------------------------------------------------------------ *)
+(* measure                                                             *)
+
+let measure seed duration probe_interval scenario csv config =
+  let scenario =
+    if scenario then Some (Tango_workload.Fig4.create ~horizon_s:duration ())
+    else None
+  in
+  let pair, probe_interval, report_interval =
+    match config with
+    | None ->
+        ( Pair.setup_vultr ~seed ?scenario ~clock_offset_la_ns:0L
+            ~clock_offset_ny_ns:0L (),
+          probe_interval, 0.1 )
+    | Some path -> (
+        match Config.parse_file path with
+        | Error e ->
+            Printf.eprintf "config error: %s\n" e;
+            exit 2
+        | Ok cfg -> (
+            match Config.apply_vultr cfg with
+            | Error e ->
+                Printf.eprintf "config error: %s\n" e;
+                exit 2
+            | Ok pair ->
+                let probe, report = Config.measurement_args cfg in
+                (pair, probe, report)))
+  in
+  Pair.start_measurement pair ~probe_interval_s:probe_interval
+    ~report_interval_s:report_interval ~for_s:duration ();
+  Pair.run_for pair (duration +. 1.0);
+  let print_direction name pop labels =
+    Printf.printf "%s:\n  %-8s %8s %8s %8s %8s %10s\n" name "path" "mean" "min"
+      "p99" "jitter" "samples";
+    List.iteri
+      (fun path label ->
+        let s = Series.stats (Pop.inbound_owd_series pop ~path) in
+        Printf.printf "  %-8s %8.2f %8.2f %8.2f %8.4f %10d\n" label
+          s.Stats.mean s.Stats.min s.Stats.p99
+          (Pop.inbound_jitter_ms pop ~path)
+          s.Stats.n)
+      labels
+  in
+  print_direction "NY -> LA (measured at LA)" (Pair.pop_la pair)
+    (List.map (fun p -> p.Discovery.label) (Pair.paths_to_la pair));
+  print_direction "LA -> NY (measured at NY)" (Pair.pop_ny pair)
+    (List.map (fun p -> p.Discovery.label) (Pair.paths_to_ny pair));
+  match csv with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let labels = List.map (fun p -> p.Discovery.label) (Pair.paths_to_la pair) in
+      let series =
+        List.mapi
+          (fun path _ ->
+            Series.downsample (Pop.inbound_owd_series (Pair.pop_la pair) ~path)
+              ~bucket_s:1.0)
+          labels
+      in
+      let path = Filename.concat dir "owd_ny_to_la.csv" in
+      Tango_telemetry.Export.aligned_to_file path ~labels series;
+      Printf.printf "wrote %s\n" path
+
+let measure_cmd =
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Write downsampled series as CSV into DIR.")
+  in
+  let config =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "config" ] ~docv:"FILE"
+          ~doc:"Load a tango.conf deployment configuration (policies, clock \
+                offsets, measurement cadence).")
+  in
+  Cmd.v
+    (Cmd.info "measure" ~doc:"Run the one-way measurement plane")
+    Term.(
+      const measure $ seed_arg $ duration_arg 60.0 $ probe_arg $ scenario_arg
+      $ csv $ config)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+
+let simulate seed duration policy rate_hz =
+  let scenario = Tango_workload.Fig4.create ~horizon_s:duration () in
+  let pair =
+    Pair.setup_vultr ~seed ~scenario ~policy_ny:policy ~clock_offset_la_ns:0L
+      ~clock_offset_ny_ns:0L ()
+  in
+  let engine = Pair.engine pair in
+  let ny = Pair.pop_ny pair and la = Pair.pop_la pair in
+  let t0 = Tango_sim.Engine.now engine in
+  Pair.start_measurement pair ~probe_interval_s:0.02 ~for_s:duration ();
+  Tango_workload.Traffic.periodic engine ~interval_s:(1.0 /. rate_hz)
+    ~until_s:(t0 +. duration) (fun _ -> ignore (Pop.send_app ny ()));
+  Pair.run_for pair (duration +. 1.0);
+  let app = Series.stats (Pop.app_latency_series la) in
+  Printf.printf
+    "policy %-12s  app packets %d  mean %.2f ms  p99 %.2f ms  max %.2f ms  switches %d\n"
+    (Policy.spec_to_string
+       (match policy with p -> p))
+    (Pop.app_received la)
+    (app.Stats.mean *. 1000.0)
+    (app.Stats.p99 *. 1000.0)
+    (app.Stats.max *. 1000.0)
+    (Pop.policy_switches ny)
+
+let simulate_cmd =
+  let rate =
+    Arg.(
+      value & opt float 50.0
+      & info [ "rate" ] ~docv:"HZ" ~doc:"Application packet rate.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run the Fig. 4 scenario with application traffic and a policy")
+    Term.(const simulate $ seed_arg $ duration_arg 120.0 $ policy_arg $ rate)
+
+(* ------------------------------------------------------------------ *)
+(* overlay                                                             *)
+
+let overlay seed =
+  let topo = Overlay.Triangle.build () in
+  let engine = Tango_sim.Engine.create ~seed () in
+  let configure (node : Tango_topo.Topology.node) =
+    if node.Tango_topo.Topology.id = Vultr.vultr_la
+       || node.Tango_topo.Topology.id = Vultr.vultr_ny
+    then
+      { Tango_bgp.Network.no_overrides with
+        neighbor_weight = Some Vultr.vultr_neighbor_weight }
+    else Tango_bgp.Network.no_overrides
+  in
+  let net = Tango_bgp.Network.create ~configure topo engine in
+  Overlay.Triangle.announce_hosts net;
+  let servers = [| Vultr.server_la; Vultr.server_ny; Overlay.Triangle.server_chi |] in
+  let names = [| "LA"; "NY"; "CHI" |] in
+  let owd ~src ~dst =
+    if src = dst then 0.0
+    else
+      Overlay.Triangle.static_owd_ms net ~src:servers.(src) ~dst:servers.(dst)
+  in
+  List.iter
+    (fun (p : Overlay.plan) ->
+      let route =
+        match p.Overlay.route with
+        | Overlay.Direct -> "direct"
+        | Overlay.Relay hops ->
+            "via " ^ String.concat "," (List.map (fun i -> names.(i)) hops)
+      in
+      Printf.printf "%-3s -> %-3s %-10s %6.1f ms (direct %.1f ms)\n"
+        names.(p.Overlay.src) names.(p.Overlay.dst) route p.Overlay.owd_ms
+        p.Overlay.direct_ms)
+    (Overlay.plan_routes ~owd_ms:owd ~sites:3 ())
+
+let overlay_cmd =
+  Cmd.v
+    (Cmd.info "overlay" ~doc:"Plan a Tango-of-N overlay (triangle topology)")
+    Term.(const overlay $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* mesh                                                                *)
+
+let mesh seed duration =
+  let m = Mesh.setup_triangle ~seed () in
+  Printf.printf "three-site mesh up; measuring for %.0fs...\n%!" duration;
+  Mesh.start_measurement m ~for_s:duration ();
+  Mesh.run_for m (duration /. 2.0);
+  Mesh.plan_routes m;
+  for _ = 1 to 200 do
+    Mesh.send_app m ~src:2 ~dst:0 ()
+  done;
+  Mesh.run_for m ((duration /. 2.0) +. 1.0);
+  for src = 0 to 2 do
+    for dst = 0 to 2 do
+      if src <> dst then begin
+        let route =
+          match Mesh.route m ~src ~dst with
+          | Overlay.Direct -> "direct"
+          | Overlay.Relay hops ->
+              "via " ^ String.concat "," (List.map (Mesh.site_name m) hops)
+        in
+        Printf.printf "%-3s -> %-3s %-10s measured %.1f ms\n"
+          (Mesh.site_name m src) (Mesh.site_name m dst) route
+          (Mesh.measured_owd_ms m ~src ~dst)
+      end
+    done
+  done;
+  let lat = Mesh.app_latency_at m ~site:0 in
+  Printf.printf
+    "CHI->LA app traffic: %d delivered (relayed via NY: %d), p50 %.1f ms\n"
+    (Mesh.app_received_at m ~site:0)
+    (Mesh.transited_at m ~site:1)
+    (lat.Tango_sim.Stats.p50 *. 1000.0)
+
+let mesh_cmd =
+  Cmd.v
+    (Cmd.info "mesh" ~doc:"Run the live three-site Tango-of-N overlay")
+    Term.(const mesh $ seed_arg $ duration_arg 20.0)
+
+let () =
+  let info =
+    Cmd.info "tango" ~version:"1.0.0"
+      ~doc:"Cooperative edge-to-edge routing (HotNets '22 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ discover_cmd; measure_cmd; simulate_cmd; overlay_cmd; mesh_cmd ]))

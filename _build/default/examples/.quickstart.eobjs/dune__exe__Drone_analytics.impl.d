@@ -1,0 +1,1 @@
+examples/drone_analytics.ml: Pair Policy Pop Printf Tango Tango_sim Tango_telemetry Tango_workload

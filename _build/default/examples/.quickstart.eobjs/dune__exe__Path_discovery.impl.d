@@ -1,0 +1,1 @@
+examples/path_discovery.ml: List Printf String Tango_bgp Tango_net Tango_sim Tango_topo

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Discovery List Option Pair Pop Printf Tango Tango_sim Tango_telemetry Tango_workload

@@ -1,0 +1,1 @@
+examples/secure_telemetry.ml: Bytes Int64 Printf Tango_net

@@ -1,0 +1,1 @@
+examples/tango_of_n.ml: Array Discovery Float List Mesh Overlay Printf String Tango Tango_bgp Tango_net Tango_sim Tango_topo

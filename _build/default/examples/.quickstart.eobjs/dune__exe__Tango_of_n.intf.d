@@ -1,0 +1,1 @@
+examples/tango_of_n.mli:

@@ -1,0 +1,96 @@
+(* §6 "wide-area, efficient & trustworthy telemetry": an on-path attacker
+   who can rewrite packets would love to fake path performance — e.g.
+   rewrite Tango timestamps so a path it controls looks fast. The
+   reproduction's wire format supports a SipHash-2-4 authenticated shim
+   under a key shared by the two cooperating edges; this example shows
+   the attack succeeding against the plain shim and failing against the
+   authenticated one.
+
+   Run with: dune exec examples/secure_telemetry.exe *)
+
+module Wire = Tango_net.Wire
+module Siphash = Tango_net.Siphash
+module Ipv6 = Tango_net.Ipv6
+module Packet = Tango_net.Packet
+
+let src = Ipv6.of_string_exn "2001:db8:4000::1"
+
+let dst = Ipv6.of_string_exn "2001:db8:4010::1"
+
+let key = Siphash.key_of_string "tango shared key" (* 16 bytes *)
+
+(* The attacker rewrites the embedded timestamp (claiming the packet was
+   sent later, i.e. the path is faster than it is) and repairs the UDP
+   checksum, which needs no key. *)
+let attack frame =
+  let tampered = Bytes.copy frame in
+  (* Timestamp lives at offset 48 (40 IPv6 + 8 UDP). Add ~16 ms. *)
+  let read_u64 off =
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor (Int64.shift_left !v 8)
+             (Int64.of_int (Bytes.get_uint8 tampered (off + i)))
+    done;
+    !v
+  in
+  let write_u64 off v =
+    for i = 0 to 7 do
+      Bytes.set_uint8 tampered (off + i)
+        (Int64.to_int (Int64.shift_right_logical v ((7 - i) * 8)) land 0xFF)
+    done
+  in
+  write_u64 48 (Int64.add (read_u64 48) 16_000_000L);
+  (* Repair the checksum like any on-path middlebox could. *)
+  let udp_len = Bytes.length tampered - 40 in
+  let udp = Bytes.sub tampered 40 udp_len in
+  Bytes.set_uint8 udp 6 0;
+  Bytes.set_uint8 udp 7 0;
+  let s = Ipv6.make (read_u64 8) (read_u64 16)
+  and d = Ipv6.make (read_u64 24) (read_u64 32) in
+  let sum = Wire.udp_checksum ~src:s ~dst:d ~udp in
+  Bytes.set_uint8 tampered 46 (sum lsr 8);
+  Bytes.set_uint8 tampered 47 (sum land 0xFF);
+  tampered
+
+let tango = { Packet.timestamp_ns = 1_000_000_000L; seq = 7L; path_id = 2; flags = 0 }
+
+let payload = Bytes.of_string "drone control update"
+
+let () =
+  print_endline "Trustworthy telemetry (§6 future work)";
+  print_endline "======================================";
+
+  print_endline "\n1. Plain Tango shim:";
+  let plain =
+    Wire.encode_tunnel ~outer_src:src ~outer_dst:dst ~udp_src:40002
+      ~udp_dst:4789 ~tango payload
+  in
+  (match Wire.decode_tunnel (attack plain) with
+  | Ok (_, _, t, _) ->
+      Printf.printf
+        "   attacker shifted the timestamp by %+.1f ms and the receiver accepted it\n"
+        (Int64.to_float (Int64.sub t.Packet.timestamp_ns tango.Packet.timestamp_ns)
+        /. 1e6);
+      print_endline "   -> the path now measures ~16 ms faster than reality"
+  | Error e -> Printf.printf "   unexpectedly rejected: %s\n" e);
+
+  print_endline "\n2. Authenticated shim (SipHash-2-4 over addresses, ports and shim):";
+  let authed =
+    Wire.encode_tunnel ~auth_key:key ~outer_src:src ~outer_dst:dst
+      ~udp_src:40002 ~udp_dst:4789 ~tango payload
+  in
+  (match Wire.decode_tunnel ~auth_key:key authed with
+  | Ok _ -> print_endline "   legitimate frame verifies"
+  | Error e -> Printf.printf "   BUG: legitimate frame rejected: %s\n" e);
+  (match Wire.decode_tunnel ~auth_key:key (attack authed) with
+  | Ok _ -> print_endline "   BUG: forged frame accepted"
+  | Error e -> Printf.printf "   forged frame rejected: %s\n" e);
+
+  print_endline "\n3. Downgrade attempt (strip the auth flag):";
+  (match Wire.decode_tunnel ~auth_key:key plain with
+  | Ok _ -> print_endline "   BUG: unauthenticated frame accepted"
+  | Error e -> Printf.printf "   rejected: %s\n" e);
+
+  print_endline
+    "\nCost: one 64-bit MAC over 56 bytes per packet (see the microbenchmarks:\n\
+     ~100 ns on this substrate), 8 extra shim bytes on the wire."

@@ -1,0 +1,1 @@
+lib/baselines/ecmp_probe.ml: Float List Tango_bgp Tango_dataplane Tango_net Tango_sim Tango_telemetry

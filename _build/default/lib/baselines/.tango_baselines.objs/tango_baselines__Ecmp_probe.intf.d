@@ -1,0 +1,1 @@
+lib/baselines/ecmp_probe.mli: Tango_dataplane Tango_net Tango_telemetry

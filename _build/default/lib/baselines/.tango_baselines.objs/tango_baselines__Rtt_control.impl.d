@@ -1,0 +1,1 @@
+lib/baselines/rtt_control.ml: Array Float

@@ -1,0 +1,42 @@
+module Fabric = Tango_dataplane.Fabric
+module Engine = Tango_sim.Engine
+module Series = Tango_telemetry.Series
+module Packet = Tango_net.Packet
+module Flow = Tango_net.Flow
+
+type result = { series : Series.t; flows : int; delivered : int }
+
+let measure ~fabric ~from_node ~src ~dst ~mode ~probes ~interval_s () =
+  if probes <= 0 then invalid_arg "Ecmp_probe.measure: no probes";
+  let engine = Tango_bgp.Network.engine (Fabric.network fabric) in
+  let series = Series.create ~capacity:probes () in
+  let delivered = ref 0 in
+  let flows = match mode with `Per_flow_ports n -> max 1 n | `Pinned -> 1 in
+  (* Pending samples buffered because fabric deliveries can complete out
+     of send order, while Series requires monotone times. *)
+  let samples = ref [] in
+  for i = 0 to probes - 1 do
+    let src_port = match mode with `Pinned -> 40_000 | `Per_flow_ports n -> 40_000 + (i mod max 1 n) in
+    Engine.schedule engine ~delay:(float_of_int i *. interval_s) (fun e ->
+        let sent_at = Engine.now e in
+        let flow = Flow.v ~src ~dst ~proto:17 ~src_port ~dst_port:7 in
+        let packet =
+          Packet.create ~id:i ~flow ~payload_bytes:64 ~created_at:sent_at ()
+        in
+        Fabric.send fabric ~from_node
+          ~on_delivered:(fun ~node:_ _ ->
+            incr delivered;
+            let owd_ms = (Engine.now e -. sent_at) *. 1000.0 in
+            samples := (sent_at, owd_ms) :: !samples)
+          packet)
+  done;
+  Engine.run engine;
+  List.iter
+    (fun (t, v) -> Series.add series ~time:t v)
+    (List.sort (fun (a, _) (b, _) -> Float.compare a b) !samples);
+  { series; flows; delivered = !delivered }
+
+let conflation_ratio ~naive ~pinned =
+  let std r = (Series.stats r.series).Tango_sim.Stats.stddev in
+  let denominator = std pinned in
+  if denominator <= 0.0 then infinity else std naive /. denominator

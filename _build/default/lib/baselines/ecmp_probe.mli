@@ -1,0 +1,35 @@
+(** The non-tunneled measurement baseline (§3's motivation for tunnels,
+    ablated in E7).
+
+    Without a fixed-5-tuple tunnel, each application flow hashes onto a
+    different internal ECMP lane of the transit, so a measurement box
+    aggregating per-flow delays sees several distinct paths as one noisy
+    series. This harness sends probe flows over the fabric either with
+    per-flow varying ports (naive) or with one pinned 5-tuple
+    (Tango-style) and returns the observed delay series. *)
+
+type result = {
+  series : Tango_telemetry.Series.t;  (** Observed delays, ms. *)
+  flows : int;
+  delivered : int;
+}
+
+val measure :
+  fabric:Tango_dataplane.Fabric.t ->
+  from_node:int ->
+  src:Tango_net.Addr.t ->
+  dst:Tango_net.Addr.t ->
+  mode:[ `Per_flow_ports of int | `Pinned ] ->
+  probes:int ->
+  interval_s:float ->
+  unit ->
+  result
+(** Schedule [probes] probes at [interval_s] spacing and run the engine
+    until they drain. [`Per_flow_ports n] rotates the source port over
+    [n] distinct flows (round-robin); [`Pinned] keeps one 5-tuple. The
+    series records (send time, one-way delay in ms) per delivered
+    probe. *)
+
+val conflation_ratio : naive:result -> pinned:result -> float
+(** Stddev(naive) / stddev(pinned): how much variance the lack of
+    tunneling fabricates. *)

@@ -1,0 +1,28 @@
+type estimate = { path_id : int; rtt_half_ms : float }
+
+let estimates ~forward_ms ~reverse_ms =
+  if Array.length forward_ms <> Array.length reverse_ms then
+    invalid_arg "Rtt_control.estimates: array length mismatch";
+  Array.mapi
+    (fun i fwd -> { path_id = i; rtt_half_ms = (fwd +. reverse_ms.(i)) /. 2.0 })
+    forward_ms
+
+let best_index values =
+  let best = ref (-1) and best_v = ref infinity in
+  Array.iteri
+    (fun i v ->
+      if (not (Float.is_nan v)) && v < !best_v then begin
+        best := i;
+        best_v := v
+      end)
+    values;
+  if !best < 0 then invalid_arg "Rtt_control: no usable estimate";
+  !best
+
+let best estimates = (estimates.(best_index (Array.map (fun e -> e.rtt_half_ms) estimates))).path_id
+
+let best_one_way forward_ms = best_index forward_ms
+
+let regret_ms ~forward_ms ~chosen =
+  let optimal = best_one_way forward_ms in
+  forward_ms.(chosen) -. forward_ms.(optimal)

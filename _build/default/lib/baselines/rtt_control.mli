@@ -1,0 +1,29 @@
+(** The round-trip baseline: what route control looks like without
+    cooperation (§2.1).
+
+    A single multi-homed site can only measure round trips and halve
+    them. When the two directions of a path diverge — e.g. a westbound
+    instability while eastbound stays clean — RTT/2 blurs the congested
+    direction with the quiet one and can rank the paths wrong for the
+    direction that matters. *)
+
+type estimate = {
+  path_id : int;
+  rtt_half_ms : float;  (** (forward OWD + reverse OWD) / 2. *)
+}
+
+val estimates :
+  forward_ms:float array -> reverse_ms:float array -> estimate array
+(** Combine per-path one-way delays into the RTT/2 view. Arrays must
+    have equal length; [nan] entries propagate. *)
+
+val best : estimate array -> int
+(** Path id with the smallest RTT/2 ([nan] entries skipped); raises
+    [Invalid_argument] when no usable estimate exists. *)
+
+val best_one_way : float array -> int
+(** Ground truth for one direction: index of the smallest OWD. *)
+
+val regret_ms : forward_ms:float array -> chosen:int -> float
+(** Extra forward delay of the chosen path versus the true forward
+    optimum — the cost of deciding from round trips. *)

@@ -1,0 +1,1 @@
+lib/bgp/decision.ml: As_path Bool Int List Route

@@ -1,0 +1,1 @@
+lib/bgp/network.ml: Hashtbl List Option Printf Route Speaker Tango_net Tango_sim Tango_topo Update

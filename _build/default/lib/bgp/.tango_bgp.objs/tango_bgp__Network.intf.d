@@ -1,0 +1,1 @@
+lib/bgp/network.mli: As_path Community Route Speaker Tango_net Tango_sim Tango_topo

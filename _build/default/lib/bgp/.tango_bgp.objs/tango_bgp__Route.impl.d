@@ -1,0 +1,1 @@
+lib/bgp/route.ml: As_path Community Format List Option String Tango_net

@@ -1,0 +1,1 @@
+lib/bgp/route.mli: As_path Community Format Tango_net

@@ -1,0 +1,1 @@
+lib/bgp/speaker.ml: As_path Community Decision Hashtbl List Option Printf Route Tango_net Tango_topo Update

@@ -1,0 +1,1 @@
+lib/bgp/speaker.mli: Community Route Tango_net Tango_topo Update

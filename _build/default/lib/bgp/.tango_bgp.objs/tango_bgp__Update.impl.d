@@ -1,0 +1,1 @@
+lib/bgp/update.ml: Format Route Tango_net

@@ -1,0 +1,1 @@
+lib/bgp/update.mli: Format Route Tango_net

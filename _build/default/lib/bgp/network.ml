@@ -1,0 +1,212 @@
+module Topology = Tango_topo.Topology
+module Engine = Tango_sim.Engine
+module Prefix = Tango_net.Prefix
+
+type overrides = {
+  allowas_in : bool option;
+  interprets_actions : bool option;
+  remove_private_on_export : bool option;
+  neighbor_weight : (int -> int) option;
+  neighbor_local_pref : (int -> int option) option;
+}
+
+let no_overrides =
+  {
+    allowas_in = None;
+    interprets_actions = None;
+    remove_private_on_export = None;
+    neighbor_weight = None;
+    neighbor_local_pref = None;
+  }
+
+type t = {
+  topo : Topology.t;
+  engine : Engine.t;
+  speakers : (int, Speaker.t) Hashtbl.t;
+  processing_delay_s : float;
+  mrai_s : float;
+  (* Per-session MRAI state: when a session last sent, what is queued
+     (latest update per prefix wins), and whether a flush is armed. *)
+  last_sent : (int * int, float) Hashtbl.t;
+  pending : (int * int, (Prefix.t, Update.t) Hashtbl.t) Hashtbl.t;
+  flush_armed : (int * int, unit) Hashtbl.t;
+  mutable messages : int;
+}
+
+let asn_shared topo asn =
+  let count = ref 0 in
+  List.iter
+    (fun (n : Topology.node) -> if n.asn = asn then incr count)
+    (Topology.nodes topo);
+  !count > 1
+
+let has_private_customer topo node_id =
+  List.exists
+    (fun c -> (Topology.node topo c).Topology.private_asn)
+    (Topology.customers topo node_id)
+
+let create ?(processing_delay_s = 0.05) ?(mrai_s = 0.0)
+    ?(configure = fun _ -> no_overrides) topo engine =
+  let t =
+    {
+      topo;
+      engine;
+      speakers = Hashtbl.create 64;
+      processing_delay_s;
+      mrai_s;
+      last_sent = Hashtbl.create 64;
+      pending = Hashtbl.create 64;
+      flush_armed = Hashtbl.create 64;
+      messages = 0;
+    }
+  in
+  List.iter
+    (fun (node : Topology.node) ->
+      let ov = configure node in
+      let dfl v = function Some x -> x | None -> v in
+      let provider_side = has_private_customer topo node.id in
+      let speaker =
+        Speaker.create ~node_id:node.id ~asn:node.asn
+          ~allowas_in:(dfl (asn_shared topo node.asn) ov.allowas_in)
+          ~remove_private_on_export:(dfl provider_side ov.remove_private_on_export)
+          ~interprets_actions:(dfl provider_side ov.interprets_actions)
+          ()
+      in
+      List.iter
+        (fun (peer_id, rel, _link) ->
+          let weight =
+            match ov.neighbor_weight with Some f -> f peer_id | None -> 0
+          in
+          let import_local_pref =
+            match ov.neighbor_local_pref with
+            | Some f -> f peer_id
+            | None -> None
+          in
+          Speaker.add_neighbor speaker ~node_id:peer_id
+            ~asn:(Topology.asn topo peer_id) ~rel ~weight ?import_local_pref ())
+        (Topology.neighbors topo node.id);
+      Hashtbl.replace t.speakers node.id speaker)
+    (Topology.nodes topo);
+  t
+
+let topology t = t.topo
+
+let engine t = t.engine
+
+let speaker t node_id =
+  match Hashtbl.find_opt t.speakers node_id with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Network.speaker: unknown node %d" node_id)
+
+let session_delay t a b =
+  let link_delay =
+    match Topology.link t.topo a b with
+    | Some l -> l.Tango_topo.Link.delay_ms /. 1000.0
+    | None -> 0.0
+  in
+  link_delay +. t.processing_delay_s
+
+let prefix_of_update = function
+  | Update.Announce r -> r.Route.prefix
+  | Update.Withdraw p -> p
+
+let rec dispatch t ~from_node (emissions : Update.emission list) =
+  List.iter
+    (fun { Update.to_node; update } -> submit t from_node to_node update)
+    emissions
+
+and submit t from_node to_node update =
+  if t.mrai_s <= 0.0 then transmit t from_node to_node update
+  else begin
+    let key = (from_node, to_node) in
+    let now = Engine.now t.engine in
+    let last =
+      Option.value ~default:neg_infinity (Hashtbl.find_opt t.last_sent key)
+    in
+    if now -. last >= t.mrai_s then begin
+      Hashtbl.replace t.last_sent key now;
+      transmit t from_node to_node update
+    end
+    else begin
+      (* Coalesce: only the most recent update per prefix survives. *)
+      let queue =
+        match Hashtbl.find_opt t.pending key with
+        | Some q -> q
+        | None ->
+            let q = Hashtbl.create 4 in
+            Hashtbl.replace t.pending key q;
+            q
+      in
+      Hashtbl.replace queue (prefix_of_update update) update;
+      if not (Hashtbl.mem t.flush_armed key) then begin
+        Hashtbl.replace t.flush_armed key ();
+        Engine.schedule_at t.engine ~time:(last +. t.mrai_s) (fun _ ->
+            Hashtbl.remove t.flush_armed key;
+            Hashtbl.replace t.last_sent key (Engine.now t.engine);
+            match Hashtbl.find_opt t.pending key with
+            | Some q ->
+                Hashtbl.remove t.pending key;
+                Hashtbl.iter (fun _ u -> transmit t from_node to_node u) q
+            | None -> ())
+      end
+    end
+  end
+
+and transmit t from_node to_node update =
+  let delay = session_delay t from_node to_node in
+  Engine.schedule t.engine ~delay (fun _engine ->
+      t.messages <- t.messages + 1;
+      let receiver = speaker t to_node in
+      let next = Speaker.receive receiver ~from_node update in
+      dispatch t ~from_node:to_node next)
+
+let announce t ~node prefix ?communities ?poison () =
+  let s = speaker t node in
+  let emissions = Speaker.originate s prefix ?communities ?poison () in
+  dispatch t ~from_node:node emissions
+
+let withdraw t ~node prefix =
+  let s = speaker t node in
+  dispatch t ~from_node:node (Speaker.withdraw_origin s prefix)
+
+let converge ?(timeout_s = 3600.0) t =
+  let start = Engine.now t.engine in
+  Engine.run ~until:(start +. timeout_s) t.engine;
+  Engine.now t.engine -. start
+
+let best_route t ~node prefix = Speaker.best (speaker t node) prefix
+
+let as_path t ~node prefix =
+  Option.map (fun (r : Route.t) -> r.Route.path) (best_route t ~node prefix)
+
+let route_for_addr t ~node addr =
+  let rib = Speaker.loc_rib (speaker t node) in
+  List.fold_left
+    (fun acc (prefix, route) ->
+      if Prefix.mem prefix addr then
+        match acc with
+        | Some (best_prefix, _) when Prefix.length best_prefix >= Prefix.length prefix ->
+            acc
+        | Some _ | None -> Some (prefix, route)
+      else acc)
+    None rib
+  |> Option.map snd
+
+let forwarding_path t ~from_node addr =
+  let rec walk node acc hops =
+    if hops > 64 then None
+    else begin
+      match route_for_addr t ~node addr with
+      | None -> None
+      | Some route ->
+          if Route.local route then Some (List.rev (node :: acc))
+          else begin
+            match route.Route.learned_from with
+            | None -> Some (List.rev (node :: acc))
+            | Some next -> walk next (node :: acc) (hops + 1)
+          end
+    end
+  in
+  walk from_node [] 0
+
+let messages_delivered t = t.messages

@@ -1,0 +1,45 @@
+type origin = Igp | Egp | Incomplete
+
+let origin_rank = function Igp -> 0 | Egp -> 1 | Incomplete -> 2
+
+type t = {
+  prefix : Tango_net.Prefix.t;
+  path : As_path.t;
+  next_hop : int;
+  learned_from : int option;
+  local_pref : int;
+  neighbor_weight : int;
+  med : int;
+  origin : origin;
+  communities : Community.Set.t;
+}
+
+let make ~prefix ~path ~next_hop ?learned_from ?(local_pref = 100)
+    ?(neighbor_weight = 0) ?(med = 0) ?(origin = Igp)
+    ?(communities = Community.Set.empty) () =
+  {
+    prefix;
+    path;
+    next_hop;
+    learned_from;
+    local_pref;
+    neighbor_weight;
+    med;
+    origin;
+    communities;
+  }
+
+let local t = Option.is_none t.learned_from
+
+let has_community t c = Community.Set.mem c t.communities
+
+let pp ppf t =
+  Format.fprintf ppf "%a via node %d path [%a] lp=%d w=%d%s"
+    Tango_net.Prefix.pp t.prefix t.next_hop As_path.pp t.path t.local_pref
+    t.neighbor_weight
+    (if Community.Set.is_empty t.communities then ""
+     else
+       " comm {"
+       ^ String.concat ","
+           (List.map Community.to_string (Community.Set.elements t.communities))
+       ^ "}")

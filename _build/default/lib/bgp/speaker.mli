@@ -1,0 +1,80 @@
+(** A BGP speaker: one router's RIBs, import/export policy and decision
+    process.
+
+    Speakers are pure state machines over {!Update.t} messages: every
+    mutation returns the list of updates that should be delivered to
+    neighbors, and the surrounding {!Network} decides when they arrive.
+    Policy knobs:
+
+    - [allowas_in]: accept paths containing our own ASN (needed when two
+      sites share a provider ASN, as Vultr LA/NY do);
+    - [remove_private_on_export]: strip private ASNs from exported paths
+      (what Vultr does to its BGP customers' session ASNs);
+    - [interprets_actions]: honor {!Community.action} communities on
+      routes learned from customers — only the provider whose community
+      guide the customer follows sets this. *)
+
+type neighbor = {
+  node_id : int;
+  asn : int;
+  rel : Tango_topo.Relationship.t;  (** The neighbor's role relative to this speaker. *)
+  weight : int;
+  import_local_pref : int option;
+}
+
+type t
+
+val create :
+  node_id:int ->
+  asn:int ->
+  ?allowas_in:bool ->
+  ?remove_private_on_export:bool ->
+  ?interprets_actions:bool ->
+  unit ->
+  t
+
+val node_id : t -> int
+val asn : t -> int
+
+val add_neighbor :
+  t ->
+  node_id:int ->
+  asn:int ->
+  rel:Tango_topo.Relationship.t ->
+  ?weight:int ->
+  ?import_local_pref:int ->
+  unit ->
+  unit
+(** Raises [Invalid_argument] on duplicate neighbor ids. *)
+
+val neighbors : t -> neighbor list
+
+val originate :
+  t ->
+  Tango_net.Prefix.t ->
+  ?communities:Community.Set.t ->
+  ?poison:int list ->
+  unit ->
+  Update.emission list
+(** Originate (or re-originate with new attributes) a prefix.
+    [poison] lists ASNs inserted before the origin so those ASes drop the
+    route by loop detection. Returns the updates to deliver. *)
+
+val withdraw_origin : t -> Tango_net.Prefix.t -> Update.emission list
+
+val receive : t -> from_node:int -> Update.t -> Update.emission list
+(** Process one update from a neighbor; raises [Invalid_argument] if
+    [from_node] is not a configured neighbor. *)
+
+val best : t -> Tango_net.Prefix.t -> Route.t option
+(** Selected route, if any (locally originated prefixes included). *)
+
+val candidates : t -> Tango_net.Prefix.t -> Route.t list
+(** Every usable route for the prefix (adj-RIB-in survivors plus the
+    local route), most preferred first. *)
+
+val loc_rib : t -> (Tango_net.Prefix.t * Route.t) list
+(** The full selected table, in unspecified order. *)
+
+val updates_processed : t -> int
+(** Number of updates this speaker has received (churn metric). *)

@@ -1,0 +1,1 @@
+lib/core/addressing.ml: Int64 List Printf Tango_net

@@ -1,0 +1,1 @@
+lib/core/config.ml: Addressing Buffer Int64 List Pair Policy Printf String Tango_net

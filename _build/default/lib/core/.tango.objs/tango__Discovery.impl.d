@@ -1,0 +1,1 @@
+lib/core/discovery.ml: Format List String Tango_bgp Tango_net Tango_topo

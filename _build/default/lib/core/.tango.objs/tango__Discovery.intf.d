@@ -1,0 +1,1 @@
+lib/core/discovery.mli: Format Tango_bgp Tango_net

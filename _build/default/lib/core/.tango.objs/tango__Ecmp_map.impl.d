@@ -1,0 +1,1 @@
+lib/core/ecmp_map.ml: Float Hashtbl List Option Tango_bgp Tango_dataplane Tango_net Tango_sim

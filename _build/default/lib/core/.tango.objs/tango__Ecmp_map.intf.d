@@ -1,0 +1,1 @@
+lib/core/ecmp_map.mli: Tango_dataplane Tango_net

@@ -1,0 +1,1 @@
+lib/core/mesh.ml: Addressing Array Discovery Float Hashtbl List Overlay Policy Pop Printf Tango_bgp Tango_dataplane Tango_net Tango_sim Tango_telemetry Tango_topo

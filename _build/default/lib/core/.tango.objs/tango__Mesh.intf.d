@@ -1,0 +1,1 @@
+lib/core/mesh.mli: Discovery Overlay Policy Pop Tango_dataplane Tango_sim

@@ -1,0 +1,1 @@
+lib/core/overlay.ml: Addressing Float Format Fun List Printf String Tango_bgp Tango_net Tango_topo

@@ -1,0 +1,1 @@
+lib/core/overlay.mli: Format Tango_bgp Tango_net Tango_topo

@@ -1,0 +1,1 @@
+lib/core/pair.ml: Addressing Discovery List Option Policy Pop Tango_bgp Tango_dataplane Tango_net Tango_sim Tango_topo Tango_workload

@@ -1,0 +1,1 @@
+lib/core/pair.mli: Discovery Policy Pop Tango_bgp Tango_dataplane Tango_sim Tango_topo Tango_workload

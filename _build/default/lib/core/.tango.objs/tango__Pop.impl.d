@@ -1,0 +1,1 @@
+lib/core/pop.ml: Addressing Array Discovery Int64 List Option Policy Printf Tango_bgp Tango_dataplane Tango_net Tango_sim Tango_telemetry Tango_workload

@@ -1,0 +1,1 @@
+lib/core/pop.mli: Addressing Discovery Policy Tango_dataplane Tango_net Tango_sim Tango_telemetry

@@ -1,0 +1,1 @@
+lib/core/stream.ml: Float Hashtbl List Pop Tango_net Tango_sim Tango_workload

@@ -1,0 +1,36 @@
+module Prefix = Tango_net.Prefix
+
+type plan = {
+  site_index : int;
+  host_prefix : Prefix.t;
+  tunnel_prefixes : Prefix.t list;
+}
+
+let max_paths_per_site = 15
+
+let default_block = Prefix.of_string_exn "2001:db8:4000::/34"
+
+let carve ~block ~site_index ~path_count =
+  if path_count < 0 || path_count > max_paths_per_site then
+    invalid_arg
+      (Printf.sprintf "Addressing.carve: path_count %d outside [0,%d]"
+         path_count max_paths_per_site);
+  if site_index < 0 then invalid_arg "Addressing.carve: negative site index";
+  (* Site i owns subnet indices [16i, 16i+15]; subnets take 16 extra bits
+     so a /32 block yields /48s, as in the paper's deployment. *)
+  let base = 16 * site_index in
+  let subnet i = Prefix.subnet block 16 (base + i) in
+  {
+    site_index;
+    host_prefix = subnet 0;
+    tunnel_prefixes = List.init path_count (fun i -> subnet (i + 1));
+  }
+
+let host_address plan i = Prefix.nth_address plan.host_prefix (Int64.add 0x10L i)
+
+let tunnel_endpoint plan ~path =
+  match List.nth_opt plan.tunnel_prefixes path with
+  | Some p -> Prefix.nth_address p 1L
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Addressing.tunnel_endpoint: no tunnel prefix for path %d" path)

@@ -1,0 +1,150 @@
+module Network = Tango_bgp.Network
+module Community = Tango_bgp.Community
+module As_path = Tango_bgp.As_path
+module Topology = Tango_topo.Topology
+
+type mechanism = [ `Communities | `Poisoning ]
+
+type path = {
+  index : int;
+  communities : Community.Set.t;
+  poisons : int list;
+  as_path : As_path.t;
+  transits : int list;
+  label : string;
+  floor_owd_ms : float;
+}
+
+let pp_path ppf p =
+  Format.fprintf ppf "path %d (%s): [%a] via communities {%s}" p.index p.label
+    As_path.pp p.as_path
+    (String.concat ","
+       (List.map Community.to_string (Community.Set.elements p.communities)))
+
+type result = {
+  paths : path list;
+  iterations : int;
+  convergence_time_s : float;
+  messages : int;
+}
+
+(* The ASNs of the providers fronting a server: stripped from observed
+   paths to leave the transit sequence. *)
+let provider_asns net node =
+  let topo = Network.topology net in
+  List.map (fun p -> Topology.asn topo p) (Topology.providers topo node)
+
+let static_floor_ms net ~observer ~probe_prefix =
+  let topo = Network.topology net in
+  let addr = Tango_net.Prefix.nth_address probe_prefix 1L in
+  match Network.forwarding_path net ~from_node:observer addr with
+  | None -> infinity
+  | Some nodes ->
+      let rec sum = function
+        | a :: (b :: _ as rest) -> (
+            match Topology.link topo a b with
+            | Some l -> l.Tango_topo.Link.delay_ms +. sum rest
+            | None -> infinity)
+        | [ _ ] | [] -> 0.0
+      in
+      sum nodes
+
+let dedup_consecutive l =
+  let rec go = function
+    | a :: (b :: _ as rest) -> if a = b then go rest else a :: go rest
+    | ([ _ ] | []) as tail -> tail
+  in
+  go l
+
+let run ~net ~origin ~observer ~probe_prefix ?(mechanism = `Communities)
+    ?(max_paths = 16) ?(transit_namer = Tango_topo.Vultr.transit_name) () =
+  let strip = provider_asns net origin @ provider_asns net observer in
+  let messages_before = Network.messages_delivered net in
+  let time_spent = ref 0.0 in
+  let iterations = ref 0 in
+  let communities_of suppressed =
+    Community.Set.of_list
+      (List.map
+         (fun asn -> Community.action_to_community (Community.No_export_to asn))
+         suppressed)
+  in
+  let rec explore suppressed acc index =
+    if index >= max_paths then List.rev acc
+    else begin
+      let communities =
+        match mechanism with
+        | `Communities -> communities_of suppressed
+        | `Poisoning -> Community.Set.empty
+      in
+      let poison = match mechanism with `Communities -> [] | `Poisoning -> suppressed in
+      Network.announce net ~node:origin probe_prefix ~communities ~poison ();
+      time_spent := !time_spent +. Network.converge net;
+      incr iterations;
+      match Network.as_path net ~node:observer probe_prefix with
+      | None -> List.rev acc
+      | Some as_path when
+          List.exists (fun p -> As_path.equal p.as_path as_path) acc ->
+          (* Suppression had no effect (e.g. the provider does not honor
+             the community): the path is not new, stop. *)
+          List.rev acc
+      | Some as_path ->
+          (* Under poisoning, the poisoned ASNs ride in the announced
+             path itself; scrub them before reading the transit
+             sequence or picking the next target. *)
+          let effective_path =
+            match mechanism with
+            | `Communities -> as_path
+            | `Poisoning ->
+                As_path.of_list
+                  (List.filter
+                     (fun asn -> not (List.mem asn suppressed))
+                     (As_path.to_list as_path))
+          in
+          let transits =
+            As_path.to_list effective_path
+            |> List.filter (fun asn -> not (List.mem asn strip))
+            |> dedup_consecutive
+          in
+          let label =
+            match List.rev transits with
+            | [] -> "direct"
+            | distinguishing :: _ -> transit_namer distinguishing
+          in
+          let found =
+            {
+              index;
+              communities;
+              poisons = poison;
+              as_path;
+              transits;
+              label;
+              floor_owd_ms = static_floor_ms net ~observer ~probe_prefix;
+            }
+          in
+          (* The next knob: suppress (or poison) the transit adjacent to
+             the origin on the path just observed. When the origin's
+             private ASN was stripped and only one provider hop remains,
+             the provider itself is the knob — suppressing it is the
+             "selective announcement" a multi-homed Tango site performs
+             on its own exports. *)
+          let next_target =
+            match As_path.neighbor_of_origin effective_path with
+            | Some n -> Some n
+            | None -> As_path.origin_as effective_path
+          in
+          (match next_target with
+          | None -> List.rev (found :: acc)
+          | Some next ->
+              if List.mem next suppressed then List.rev (found :: acc)
+              else explore (suppressed @ [ next ]) (found :: acc) (index + 1))
+    end
+  in
+  let paths = explore [] [] 0 in
+  Network.withdraw net ~node:origin probe_prefix;
+  time_spent := !time_spent +. Network.converge net;
+  {
+    paths;
+    iterations = !iterations;
+    convergence_time_s = !time_spent;
+    messages = Network.messages_delivered net - messages_before;
+  }

@@ -1,0 +1,44 @@
+(** ECMP reverse engineering (§6: "worth being automated using more
+    knobs such as AS-path poisoning, ECMP reverse engineering etc.").
+
+    A transit that load-balances internally exposes one delay floor per
+    internal lane. By probing many distinct 5-tuples toward the same
+    destination and clustering each flow's minimum observed delay, a
+    Tango endpoint can estimate how many lanes the default path hides
+    and how far apart they are — useful both to pick good tunnel ports
+    and to know how much variance a non-tunneled service would suffer. *)
+
+type lane = {
+  offset_ms : float;  (** Delay floor relative to the fastest lane. *)
+  flows : int;  (** Probe flows that hashed onto this lane. *)
+}
+
+type t = {
+  lanes : lane list;  (** Sorted by offset, fastest first. *)
+  spread_ms : float;  (** Offset of the slowest lane. *)
+}
+
+val cluster : tolerance_ms:float -> float list -> (float * int) list
+(** Greedy 1-D clustering: sorted values within [tolerance_ms] of the
+    running cluster mean merge; returns (mean, size) per cluster in
+    ascending order. *)
+
+val infer : tolerance_ms:float -> (int * float) list -> t
+(** [infer ~tolerance_ms floors] from per-flow (flow id, min delay ms)
+    observations. Raises [Invalid_argument] on an empty list. *)
+
+val probe :
+  fabric:Tango_dataplane.Fabric.t ->
+  from_node:int ->
+  src:Tango_net.Addr.t ->
+  dst:Tango_net.Addr.t ->
+  ?flows:int ->
+  ?probes_per_flow:int ->
+  ?interval_s:float ->
+  ?tolerance_ms:float ->
+  unit ->
+  t
+(** Active measurement: send [flows] distinct-port probe flows (default
+    64) with [probes_per_flow] packets each (default 10), then infer the
+    lane structure from the per-flow floors. Runs the engine until the
+    probes drain. *)

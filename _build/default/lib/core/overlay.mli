@@ -1,0 +1,69 @@
+(** "From Tango of 2 to Tango of N" (§6): treat pairwise Tango
+    deployments as building blocks of a RON-like overlay, where a PoP may
+    reach another via an intermediate PoP when the relayed segments
+    outperform every direct wide-area path.
+
+    The overlay plans routes over a matrix of measured per-segment
+    one-way delays; relaying costs a configurable per-hop processing
+    overhead (decapsulate, look up, re-encapsulate). *)
+
+type route =
+  | Direct
+  | Relay of int list  (** Intermediate PoP indices, in order. *)
+
+val pp_route : Format.formatter -> route -> unit
+
+type plan = {
+  src : int;
+  dst : int;
+  route : route;
+  owd_ms : float;  (** Predicted one-way delay of the chosen route. *)
+  direct_ms : float;  (** Best direct delay, for comparison. *)
+}
+
+val plan_routes :
+  owd_ms:(src:int -> dst:int -> float) ->
+  ?relay_overhead_ms:float ->
+  ?max_relays:int ->
+  sites:int ->
+  unit ->
+  plan list
+(** Compute, for every ordered pair of the [sites] PoPs, the best route
+    using up to [max_relays] (default 1) intermediate PoPs. [owd_ms]
+    gives the measured best direct delay of each segment ([infinity]
+    when two sites have no direct connectivity). [relay_overhead_ms]
+    defaults to 0.1. Raises [Invalid_argument] when [sites < 2] or
+    [max_relays] is not 1 or 2. *)
+
+val gain_ms : plan -> float
+(** [direct_ms - owd_ms]: how much the overlay saves (0 for direct). *)
+
+(** A ready-made N=3 topology for experiments: the Vultr pair plus a
+    third site ("CHI") whose direct connectivity to LA is deliberately
+    poor (single congested transit), so relaying through NY wins. *)
+module Triangle : sig
+  val server_chi : int
+
+  val eastnet : int
+  (** The regional transit connecting CHI and NY (fast). *)
+
+  val slownet : int
+  (** The only transit serving CHI–LA directly. *)
+
+  val build : unit -> Tango_topo.Topology.t
+  (** Extends {!Tango_topo.Vultr.build} with the third site. *)
+
+  val static_owd_ms :
+    Tango_bgp.Network.t -> src:int -> dst:int -> float
+  (** Sum of link propagation delays along the converged BGP forwarding
+      path between two server nodes' host addresses — the floor OWD a
+      Tango pair would measure on the default path. [infinity] when
+      unroutable. Host prefixes must have been announced already. *)
+
+  val host_prefix : site:int -> Tango_net.Prefix.t
+  (** The host prefix {!announce_hosts} uses for a server node. *)
+
+  val announce_hosts : Tango_bgp.Network.t -> unit
+  (** Announce a host prefix from each of the three servers and
+      converge. *)
+end

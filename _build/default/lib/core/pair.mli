@@ -1,0 +1,79 @@
+(** End-to-end orchestration of a two-site Tango deployment — the
+    paper's prototype (§4): Vultr LA + NY, BGP sessions to the provider,
+    path discovery in both directions, per-path prefixes and tunnels, and
+    the measurement plane.
+
+    [setup_vultr] performs, in order: BGP bring-up and convergence;
+    iterative discovery LA→NY and NY→LA (Fig. 3); announcement of one
+    tunnel /48 per discovered path with its community set plus a host
+    prefix per site; fabric construction (optionally with the Fig. 4
+    dynamics); and PoP instantiation with deliberately skewed clocks —
+    relative OWD comparison must survive unsynchronized clocks. *)
+
+type t
+
+val setup :
+  ?seed:int ->
+  ?policy_a:Policy.spec ->
+  ?policy_b:Policy.spec ->
+  ?extra_delay_ms:(from_node:int -> to_node:int -> time_s:float -> float) ->
+  ?lanes_of:(int -> Tango_dataplane.Ecmp.lanes) ->
+  ?clock_offset_a_ns:int64 ->
+  ?clock_offset_b_ns:int64 ->
+  ?configure:(Tango_topo.Topology.node -> Tango_bgp.Network.overrides) ->
+  ?name_a:string ->
+  ?name_b:string ->
+  topo:Tango_topo.Topology.t ->
+  server_a:int ->
+  server_b:int ->
+  unit ->
+  t
+(** Generic two-site deployment over any topology: discovery in both
+    directions between the given server nodes, per-path prefix
+    announcements, tunnels and PoPs. Site A maps onto the accessors
+    named [la] below and site B onto [ny] (the Vultr deployment is
+    [setup_vultr], a thin wrapper). Clock offsets default to 0 here. *)
+
+val setup_vultr :
+  ?seed:int ->
+  ?policy_la:Policy.spec ->
+  ?policy_ny:Policy.spec ->
+  ?scenario:Tango_workload.Fig4.t ->
+  ?lanes_of:(int -> Tango_dataplane.Ecmp.lanes) ->
+  ?clock_offset_la_ns:int64 ->
+  ?clock_offset_ny_ns:int64 ->
+  unit ->
+  t
+(** Defaults: both policies [Lowest_owd] (hysteresis 1 ms, dwell 1 s); no
+    scenario dynamics; single-lane transits; clock offsets +37 ms (LA)
+    and −12 ms (NY). *)
+
+val engine : t -> Tango_sim.Engine.t
+val network : t -> Tango_bgp.Network.t
+val fabric : t -> Tango_dataplane.Fabric.t
+val scenario : t -> Tango_workload.Fig4.t option
+
+val pop_la : t -> Pop.t
+val pop_ny : t -> Pop.t
+
+val paths_to_ny : t -> Discovery.path list
+(** Paths for LA→NY traffic, in provider preference order. *)
+
+val paths_to_la : t -> Discovery.path list
+
+val discovery_to_ny : t -> Discovery.result
+val discovery_to_la : t -> Discovery.result
+
+val start_measurement :
+  t ->
+  ?probe_interval_s:float ->
+  ?report_interval_s:float ->
+  for_s:float ->
+  unit ->
+  unit
+(** Begin the probe trains and peer reports on both PoPs, running for
+    [for_s] seconds of virtual time from now (BGP bring-up and discovery
+    already consumed some of the clock). *)
+
+val run_for : t -> float -> unit
+(** Advance the simulation by the given duration. *)

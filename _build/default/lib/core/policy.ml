@@ -1,0 +1,101 @@
+type path_stats = {
+  path_id : int;
+  owd_ewma_ms : float;
+  jitter_ms : float;
+  loss_rate : float;
+  age_s : float;
+  samples : int;
+}
+
+let no_stats ~path_id =
+  { path_id; owd_ewma_ms = nan; jitter_ms = nan; loss_rate = 0.0; age_s = infinity; samples = 0 }
+
+type spec =
+  | Bgp_default
+  | Static of int
+  | Lowest_owd of { hysteresis_ms : float; min_dwell_s : float }
+  | Jitter_aware of { beta : float; hysteresis_ms : float; min_dwell_s : float }
+
+let spec_to_string = function
+  | Bgp_default -> "bgp-default"
+  | Static i -> Printf.sprintf "static-%d" i
+  | Lowest_owd _ -> "lowest-owd"
+  | Jitter_aware _ -> "jitter-aware"
+
+type t = {
+  spec : spec;
+  max_loss : float;
+  max_staleness_s : float;
+  mutable current : int;
+  mutable last_switch_s : float;
+  mutable switches : int;
+}
+
+let create ?(max_loss = 0.25) ?(max_staleness_s = 1.0) spec =
+  let current = match spec with Static i -> i | _ -> 0 in
+  { spec; max_loss; max_staleness_s; current; last_switch_s = neg_infinity; switches = 0 }
+
+let spec t = t.spec
+
+let usable t stats =
+  stats.samples > 0
+  && (not (Float.is_nan stats.owd_ewma_ms))
+  && stats.loss_rate <= t.max_loss
+  && stats.age_s <= t.max_staleness_s
+
+let score t ~beta stats =
+  if not (usable t stats) then infinity
+  else begin
+    let jitter = if Float.is_nan stats.jitter_ms then 0.0 else stats.jitter_ms in
+    stats.owd_ewma_ms +. (beta *. jitter)
+  end
+
+let adaptive t ~now_s ~beta ~hysteresis_ms ~min_dwell_s stats =
+  let current_stats =
+    Array.fold_left
+      (fun acc s -> if s.path_id = t.current then Some s else acc)
+      None stats
+  in
+  let current_usable =
+    match current_stats with Some s -> usable t s | None -> false
+  in
+  let current_score =
+    match current_stats with Some s -> score t ~beta s | None -> infinity
+  in
+  let best_id, best_score =
+    Array.fold_left
+      (fun (best_id, best_score) s ->
+        let sc = score t ~beta s in
+        if sc < best_score then (s.path_id, sc) else (best_id, best_score))
+      (t.current, current_score) stats
+  in
+  let emergency =
+    (* The path under our feet went bad: leave at once, ignoring
+       hysteresis and dwell — but only toward a usable alternative. *)
+    (not current_usable) && best_id <> t.current && best_score < infinity
+  in
+  let improvement =
+    best_id <> t.current
+    && best_score < current_score -. hysteresis_ms
+    && now_s -. t.last_switch_s >= min_dwell_s
+  in
+  if emergency || improvement then begin
+    t.current <- best_id;
+    t.last_switch_s <- now_s;
+    t.switches <- t.switches + 1
+  end;
+  t.current
+
+let choose t ~now_s stats =
+  if Array.length stats = 0 then invalid_arg "Policy.choose: no paths";
+  match t.spec with
+  | Bgp_default -> 0
+  | Static i -> i
+  | Lowest_owd { hysteresis_ms; min_dwell_s } ->
+      adaptive t ~now_s ~beta:0.0 ~hysteresis_ms ~min_dwell_s stats
+  | Jitter_aware { beta; hysteresis_ms; min_dwell_s } ->
+      adaptive t ~now_s ~beta ~hysteresis_ms ~min_dwell_s stats
+
+let current t = t.current
+
+let switches t = t.switches

@@ -1,0 +1,57 @@
+(** Per-packet path selection from live one-way measurements — the
+    "logic for how a forwarding decision should be made based on path
+    performance" of §3.
+
+    Policies are stateful (hysteresis, dwell timers). The inputs are the
+    per-path statistics the {e receiving} side measured and reported back
+    (see {!Pop}); all values may be [nan] before measurements arrive, in
+    which case policies fall back to the BGP-default path 0.
+
+    Failover: the adaptive policies treat a path as unusable when its
+    recent loss rate exceeds [max_loss] or its statistics are staler
+    than [max_staleness_s] (a silent blackhole produces no fresh
+    samples at all). An unusable current path is evacuated immediately,
+    bypassing hysteresis and dwell. *)
+
+type path_stats = {
+  path_id : int;
+  owd_ewma_ms : float;  (** Smoothed one-way delay; [nan] if unmeasured. *)
+  jitter_ms : float;  (** Live (EWMA) 1-s rolling stddev; [nan] if unmeasured. *)
+  loss_rate : float;  (** Recent loss estimate in [0,1]. *)
+  age_s : float;  (** Seconds since the newest sample behind these stats. *)
+  samples : int;
+}
+
+val no_stats : path_id:int -> path_stats
+
+type spec =
+  | Bgp_default
+      (** Always the provider's preferred path (path 0) — the status quo
+          baseline. Never fails over. *)
+  | Static of int  (** Pin one discovered path. Never fails over. *)
+  | Lowest_owd of { hysteresis_ms : float; min_dwell_s : float }
+      (** Chase the smallest smoothed OWD, switching only when the win
+          exceeds [hysteresis_ms] and the current path has been held for
+          [min_dwell_s]. *)
+  | Jitter_aware of {
+      beta : float;  (** Weight of jitter in the score: owd + beta*jitter. *)
+      hysteresis_ms : float;
+      min_dwell_s : float;
+    }
+
+val spec_to_string : spec -> string
+
+type t
+
+val create : ?max_loss:float -> ?max_staleness_s:float -> spec -> t
+(** Defaults: [max_loss] 0.25, [max_staleness_s] 1.0. *)
+
+val spec : t -> spec
+
+val choose : t -> now_s:float -> path_stats array -> int
+(** Select a path id for the next packet. Raises [Invalid_argument] on an
+    empty stats array. *)
+
+val current : t -> int
+val switches : t -> int
+(** Number of path changes so far (control-plane churn metric). *)

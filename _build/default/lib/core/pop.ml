@@ -1,0 +1,379 @@
+module Engine = Tango_sim.Engine
+module Stats = Tango_sim.Stats
+module Packet = Tango_net.Packet
+module Flow = Tango_net.Flow
+module Addr = Tango_net.Addr
+module Fabric = Tango_dataplane.Fabric
+module Clock = Tango_dataplane.Clock
+module Tunnel = Tango_dataplane.Tunnel
+module Seq_tracker = Tango_dataplane.Seq_tracker
+module Series = Tango_telemetry.Series
+module Ewma = Tango_telemetry.Ewma
+module Jitter = Tango_telemetry.Jitter
+module Detect = Tango_telemetry.Detect
+module Inorder = Tango_workload.Inorder
+
+let probe_port = 7
+
+let report_port = 4790
+
+let app_port = 5000
+
+let stream_port = 5001
+
+let max_paths = 16
+
+type Packet.content += App_seq of int | Report of Policy.path_stats array
+
+type t = {
+  name : string;
+  node : int;
+  fabric : Fabric.t;
+  clock : Clock.t;
+  ewma_alpha : float;
+  plan : Addressing.plan;
+  remote_plan : Addressing.plan;
+  tunnels : Tunnel.t array;
+  path_labels : string array;
+  policy : Policy.t;
+  (* Inbound measurement state, indexed by path id. *)
+  owd_series : Series.t array;
+  owd_ewma : Ewma.t array;
+  jitter : Jitter.t array;
+  detectors : Detect.t array;
+  trackers : Seq_tracker.t array;
+  inbound_samples : int array;
+  last_arrival : float array;
+  (* Peer-reported stats for outbound paths, plus when the report
+     arrived — ages are re-based to "now" at read time so staleness
+     keeps growing when reports stop coming. *)
+  mutable outbound_stats : Policy.path_stats array;
+  mutable outbound_stats_at : float;
+  (* Application metrics. *)
+  app_latency : Series.t;
+  inorder : Inorder.t;
+  inorder_extra : Stats.t;
+  chosen_paths : Series.t;
+  mutable app_seq : int;
+  mutable next_packet_id : int;
+  mutable probes_sent : int;
+  mutable probes_received : int;
+  mutable app_received : int;
+  mutable reports_received : int;
+  mutable peer : t option;
+  mutable stream_handler : (now:float -> Packet.t -> unit) option;
+  (* Overlay hook: invoked for decapsulated packets whose inner
+     destination is not in this site's host prefix (Tango-of-N
+     relaying). *)
+  mutable transit_handler : (now:float -> Packet.t -> unit) option;
+  mutable transited : int;
+}
+
+let engine t = Tango_bgp.Network.engine (Fabric.network t.fabric)
+
+let engine_of = engine
+
+let create ~name ~node ~fabric ?(clock_offset_ns = 0L) ?(ewma_alpha = 0.1)
+    ?(jitter_window_s = 1.0) ~plan ~remote_plan ~outbound_paths ~policy () =
+  let tunnels =
+    Array.of_list
+      (List.map
+         (fun (p : Discovery.path) ->
+           Tunnel.create ~path_id:p.Discovery.index ~label:p.Discovery.label
+             ~local_endpoint:
+               (Addressing.host_address plan (Int64.of_int p.Discovery.index))
+             ~remote_endpoint:
+               (Addressing.tunnel_endpoint remote_plan ~path:p.Discovery.index)
+             ())
+         outbound_paths)
+  in
+  {
+    name;
+    node;
+    fabric;
+    clock = Clock.create ~offset_ns:clock_offset_ns ();
+    ewma_alpha;
+    plan;
+    remote_plan;
+    tunnels;
+    path_labels =
+      Array.of_list (List.map (fun (p : Discovery.path) -> p.Discovery.label) outbound_paths);
+    policy = Policy.create policy;
+    owd_series = Array.init max_paths (fun _ -> Series.create ());
+    owd_ewma = Array.init max_paths (fun _ -> Ewma.create ~alpha:ewma_alpha);
+    jitter = Array.init max_paths (fun _ -> Jitter.create ~window_s:jitter_window_s ());
+    detectors = Array.init max_paths (fun _ -> Detect.create ());
+    trackers = Array.init max_paths (fun _ -> Seq_tracker.create ());
+    inbound_samples = Array.make max_paths 0;
+    last_arrival = Array.make max_paths neg_infinity;
+    outbound_stats =
+      Array.init (List.length outbound_paths) (fun i -> Policy.no_stats ~path_id:i);
+    outbound_stats_at = 0.0;
+    app_latency = Series.create ();
+    inorder = Inorder.create ();
+    inorder_extra = Stats.create ();
+    chosen_paths = Series.create ();
+    app_seq = 0;
+    next_packet_id = 0;
+    probes_sent = 0;
+    probes_received = 0;
+    app_received = 0;
+    reports_received = 0;
+    peer = None;
+    stream_handler = None;
+    transit_handler = None;
+    transited = 0;
+  }
+
+let name t = t.name
+
+let node t = t.node
+
+let path_count t = Array.length t.tunnels
+
+let path_label t i =
+  if i < 0 || i >= Array.length t.path_labels then
+    invalid_arg (Printf.sprintf "Pop.path_label: no path %d" i)
+  else t.path_labels.(i)
+
+(* ------------------------------------------------------------------ *)
+(* Receive side: the receiver eBPF program plus host delivery.          *)
+
+let record_measurement t ~now (reception : Tunnel.reception) =
+  let path = reception.Tunnel.path_id in
+  if path >= 0 && path < max_paths then begin
+    Series.add t.owd_series.(path) ~time:now reception.Tunnel.owd_ms;
+    Ewma.add t.owd_ewma.(path) reception.Tunnel.owd_ms;
+    Jitter.add t.jitter.(path) ~time:now reception.Tunnel.owd_ms;
+    ignore (Detect.add t.detectors.(path) ~time:now reception.Tunnel.owd_ms);
+    Seq_tracker.observe t.trackers.(path) reception.Tunnel.seq;
+    t.inbound_samples.(path) <- t.inbound_samples.(path) + 1;
+    t.last_arrival.(path) <- now
+  end
+
+let deliver_to_host t ~now (packet : Packet.t) =
+  let flow = packet.Packet.flow in
+  if
+    (not (Tango_net.Prefix.mem t.plan.Addressing.host_prefix flow.Flow.dst))
+    && Option.is_some t.transit_handler
+  then begin
+    (* Not addressed to a host here: hand to the overlay for relaying. *)
+    t.transited <- t.transited + 1;
+    (Option.get t.transit_handler) ~now packet
+  end
+  else if flow.Flow.dst_port = probe_port then
+    t.probes_received <- t.probes_received + 1
+  else if flow.Flow.dst_port = report_port then begin
+    match packet.Packet.content with
+    | Some (Report stats) ->
+        t.reports_received <- t.reports_received + 1;
+        t.outbound_stats <- stats;
+        t.outbound_stats_at <- now
+    | Some _ | None -> ()
+  end
+  else if flow.Flow.dst_port = stream_port then begin
+    match t.stream_handler with
+    | Some handler -> handler ~now packet
+    | None -> ()
+  end
+  else if flow.Flow.dst_port = app_port then begin
+    t.app_received <- t.app_received + 1;
+    let latency = now -. packet.Packet.created_at in
+    Series.add t.app_latency ~time:now latency;
+    match packet.Packet.content with
+    | Some (App_seq seq) ->
+        let released = Inorder.arrival t.inorder ~seq ~time:now in
+        List.iter
+          (fun (s, _) ->
+            match Inorder.head_of_line_extra t.inorder ~seq:s with
+            | Some extra -> Stats.add t.inorder_extra extra
+            | None -> ())
+          released
+    | Some _ | None -> ()
+  end
+
+let handle_arrival t (packet : Packet.t) =
+  let now = Engine.now (engine t) in
+  if Packet.is_encapsulated packet then begin
+    let reception = Tunnel.receive ~clock:t.clock ~now_s:now packet in
+    record_measurement t ~now reception;
+    deliver_to_host t ~now packet
+  end
+  else deliver_to_host t ~now packet
+
+(* ------------------------------------------------------------------ *)
+(* Send side: the sender eBPF program.                                  *)
+
+let dispatch t (packet : Packet.t) =
+  match t.peer with
+  | None -> invalid_arg "Pop: not wired to a peer (call Pop.wire)"
+  | Some peer ->
+      Fabric.send t.fabric ~from_node:t.node
+        ~on_delivered:(fun ~node packet ->
+          if node = peer.node then handle_arrival peer packet
+          else if node = t.node then handle_arrival t packet)
+        packet
+
+let wire ~a ~b =
+  a.peer <- Some b;
+  b.peer <- Some a
+
+let fresh_id t =
+  let id = t.next_packet_id in
+  t.next_packet_id <- id + 1;
+  id
+
+let send_on_path t ~path ~src_port ~dst_port ~payload_bytes ?content ?dst () =
+  if path < 0 || path >= Array.length t.tunnels then
+    invalid_arg (Printf.sprintf "Pop.send_on_path: no tunnel %d" path);
+  let now = Engine.now (engine t) in
+  let dst =
+    match dst with
+    | Some a -> a
+    | None -> Addressing.host_address t.remote_plan 1L
+  in
+  let flow =
+    Flow.v
+      ~src:(Addressing.host_address t.plan 1L)
+      ~dst ~proto:17 ~src_port ~dst_port
+  in
+  let packet =
+    Packet.create ~id:(fresh_id t) ~flow ~payload_bytes ?content ~created_at:now ()
+  in
+  Tunnel.send t.tunnels.(path) ~clock:t.clock ~now_s:now packet;
+  dispatch t packet
+
+(* Peer-reported stats with ages re-based to the present: if reports
+   stop (e.g. every path carrying them died), staleness keeps rising. *)
+let live_outbound_stats t =
+  let now = Engine.now (engine t) in
+  let extra = now -. t.outbound_stats_at in
+  Array.map
+    (fun (s : Policy.path_stats) -> { s with Policy.age_s = s.Policy.age_s +. extra })
+    t.outbound_stats
+
+let send_app t ?(payload_bytes = 512) ?final_dst () =
+  let now = Engine.now (engine t) in
+  let path = Policy.choose t.policy ~now_s:now (live_outbound_stats t) in
+  let seq = t.app_seq in
+  t.app_seq <- seq + 1;
+  Series.add t.chosen_paths ~time:now (float_of_int path);
+  send_on_path t ~path ~src_port:(50000 + (seq mod 1000)) ~dst_port:app_port
+    ~payload_bytes ~content:(App_seq seq) ?dst:final_dst ();
+  path
+
+let set_transit_handler t handler = t.transit_handler <- Some handler
+
+let transited t = t.transited
+
+(* Relay a decapsulated in-flight packet onward over this PoP's own best
+   path, preserving its identity and creation time so end-to-end
+   latency measurements span the whole overlay route. *)
+let forward_transit t (packet : Packet.t) =
+  let now = Engine.now (engine t) in
+  let path = Policy.choose t.policy ~now_s:now (live_outbound_stats t) in
+  Tunnel.send t.tunnels.(path) ~clock:t.clock ~now_s:now packet;
+  dispatch t packet
+
+let set_stream_handler t handler = t.stream_handler <- Some handler
+
+(* Transport-layer segments: path selection via the live policy (like
+   app traffic) or pinned to one tunnel, without polluting the
+   app-latency metrics. *)
+let send_stream t ?(payload_bytes = 1200) ~route ~content () =
+  let path =
+    match route with
+    | `Policy ->
+        let now = Engine.now (engine t) in
+        Policy.choose t.policy ~now_s:now (live_outbound_stats t)
+    | `Path p -> p
+  in
+  send_on_path t ~path ~src_port:stream_port ~dst_port:stream_port
+    ~payload_bytes ~content ();
+  path
+
+let send_probe t =
+  for path = 0 to Array.length t.tunnels - 1 do
+    t.probes_sent <- t.probes_sent + 1;
+    send_on_path t ~path ~src_port:probe_port ~dst_port:probe_port
+      ~payload_bytes:64 ()
+  done
+
+(* Inbound path ids are the peer's tunnel indices, which target this
+   site's announced tunnel prefixes — so the count comes from our own
+   address plan, not from our outbound tunnel set. *)
+let inbound_path_count t = List.length t.plan.Addressing.tunnel_prefixes
+
+let inbound_snapshot t =
+  let now = Engine.now (engine t) in
+  Array.init (inbound_path_count t) (fun path ->
+      {
+        Policy.path_id = path;
+        owd_ewma_ms = Ewma.value t.owd_ewma.(path);
+        (* Policies need the live jitter estimate, not the trace-long
+           average the paper reports. *)
+        jitter_ms = Jitter.recent t.jitter.(path);
+        loss_rate = Seq_tracker.recent_loss_rate t.trackers.(path);
+        age_s = now -. t.last_arrival.(path);
+        samples = t.inbound_samples.(path);
+      })
+
+let send_report t =
+  if Array.length t.tunnels > 0 then begin
+    (* Ride the provider-default path: reports must flow even before any
+       measurements exist. *)
+    send_on_path t ~path:0 ~src_port:report_port ~dst_port:report_port
+      ~payload_bytes:128
+      ~content:(Report (inbound_snapshot t))
+      ()
+  end
+
+let start t ?(probe_interval_s = 0.01) ?(report_interval_s = 0.1) ~until_s () =
+  let e = engine t in
+  Tango_workload.Traffic.periodic e ~interval_s:probe_interval_s ~until_s
+    (fun _ -> send_probe t);
+  Tango_workload.Traffic.periodic e ~interval_s:report_interval_s ~until_s
+    (fun _ -> send_report t)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                            *)
+
+let check_path _t path =
+  if path < 0 || path >= max_paths then
+    invalid_arg (Printf.sprintf "Pop: path id %d out of range" path)
+
+let inbound_owd_series t ~path =
+  check_path t path;
+  t.owd_series.(path)
+
+let inbound_jitter_ms t ~path =
+  check_path t path;
+  Jitter.value t.jitter.(path)
+
+let inbound_stats t = inbound_snapshot t
+
+let outbound_stats t = live_outbound_stats t
+
+let detector_events t ~path =
+  check_path t path;
+  Detect.events t.detectors.(path)
+
+let tracker t ~path =
+  check_path t path;
+  t.trackers.(path)
+
+let app_latency_series t = t.app_latency
+
+let app_inorder_extra t = t.inorder_extra
+
+let chosen_path_series t = t.chosen_paths
+
+let policy_switches t = Policy.switches t.policy
+
+let probes_sent t = t.probes_sent
+
+let probes_received t = t.probes_received
+
+let app_received t = t.app_received
+
+let reports_received t = t.reports_received

@@ -1,0 +1,131 @@
+(** A Tango point of presence: the border switch plus its local server,
+    as deployed at each edge network (§3–4).
+
+    A PoP owns, per discovered outbound path, a tunnel whose remote
+    endpoint lies in the peer's per-path prefix; its data-plane programs
+    stamp, number and encapsulate outgoing packets and, on the inbound
+    side, decapsulate, measure one-way delay, track loss/reordering and
+    deliver to the host. Inbound per-path statistics are periodically
+    reported back to the peer (the cooperative feedback loop), where they
+    drive that peer's {!Policy} for traffic selection. *)
+
+type t
+
+val create :
+  name:string ->
+  node:int ->
+  fabric:Tango_dataplane.Fabric.t ->
+  ?clock_offset_ns:int64 ->
+  ?ewma_alpha:float ->
+  ?jitter_window_s:float ->
+  plan:Addressing.plan ->
+  remote_plan:Addressing.plan ->
+  outbound_paths:Discovery.path list ->
+  policy:Policy.spec ->
+  unit ->
+  t
+(** [outbound_paths] are the discovery results for the direction
+    this PoP → peer (i.e. discovery run with the {e peer} as origin). *)
+
+val wire : a:t -> b:t -> unit
+(** Connect two PoPs so each delivers the other's packets. Must be called
+    once before any traffic. *)
+
+val name : t -> string
+val node : t -> int
+val engine_of : t -> Tango_sim.Engine.t
+val path_count : t -> int
+val path_label : t -> int -> string
+
+(** {1 Traffic} *)
+
+val send_app : t -> ?payload_bytes:int -> ?final_dst:Tango_net.Addr.t -> unit -> int
+(** Send one application packet to the peer's host; returns the path id
+    the policy selected. [final_dst] overrides the inner destination
+    (used by the overlay to address a host {e beyond} the peer, which
+    then relays). *)
+
+(** {1 Overlay (Tango-of-N) hooks} *)
+
+val set_transit_handler : t -> (now:float -> Tango_net.Packet.t -> unit) -> unit
+(** Receive decapsulated packets whose inner destination lies outside
+    this site's host prefix — the relaying case. Without a handler such
+    packets fall through to normal host delivery. *)
+
+val forward_transit : t -> Tango_net.Packet.t -> unit
+(** Re-encapsulate a relayed packet onto this PoP's current best path
+    toward {e its} peer, preserving packet identity and creation time. *)
+
+val transited : t -> int
+(** Packets relayed through this PoP. *)
+
+val send_probe : t -> unit
+(** Send one measurement probe on {e every} outbound path (the paper's
+    per-10 ms probe train). *)
+
+val start :
+  t ->
+  ?probe_interval_s:float ->
+  ?report_interval_s:float ->
+  until_s:float ->
+  unit ->
+  unit
+(** Schedule periodic probing (default 10 ms, as in §5) and peer
+    reporting (default 100 ms) until [until_s]. *)
+
+(** {1 Transport hooks}
+
+    Reliable streams ({!Stream}) ride a dedicated port so their segments
+    and ACKs do not pollute the app-latency metrics. *)
+
+val set_stream_handler : t -> (now:float -> Tango_net.Packet.t -> unit) -> unit
+(** Install the receiver for stream-port packets (at most one). *)
+
+val send_stream :
+  t ->
+  ?payload_bytes:int ->
+  route:[ `Policy | `Path of int ] ->
+  content:Tango_net.Packet.content ->
+  unit ->
+  int
+(** Send one transport segment toward the peer; returns the path used.
+    [`Policy] consults the live path-selection policy, [`Path p] pins a
+    tunnel. *)
+
+(** {1 Measurements} *)
+
+val inbound_owd_series : t -> path:int -> Tango_telemetry.Series.t
+(** One-way delays measured here, per inbound path id (offset-shifted by
+    the clock skew, like the paper's). *)
+
+val inbound_jitter_ms : t -> path:int -> float
+(** Mean 1-s rolling stddev of the inbound OWD stream. *)
+
+val inbound_stats : t -> Policy.path_stats array
+(** Live snapshot of what this PoP measures on its inbound paths. *)
+
+val outbound_stats : t -> Policy.path_stats array
+(** Latest per-path stats reported by the peer — what the policy sees. *)
+
+val detector_events : t -> path:int -> Tango_telemetry.Detect.event list
+(** Route-change / spike events detected on an inbound path. *)
+
+val tracker : t -> path:int -> Tango_dataplane.Seq_tracker.t
+
+(** {1 Application-level metrics} *)
+
+val app_latency_series : t -> Tango_telemetry.Series.t
+(** True end-to-end latency (virtual time, clock-skew-free) of app
+    packets received here. *)
+
+val app_inorder_extra : t -> Tango_sim.Stats.t
+(** Head-of-line blocking penalty under in-order delivery, seconds. *)
+
+val chosen_path_series : t -> Tango_telemetry.Series.t
+(** Path id chosen for each outgoing app packet over time. *)
+
+val policy_switches : t -> int
+val probes_sent : t -> int
+val probes_received : t -> int
+val app_received : t -> int
+val reports_received : t -> int

@@ -1,0 +1,1 @@
+lib/dataplane/ecmp.ml: Array Tango_net

@@ -1,0 +1,1 @@
+lib/dataplane/ecmp.mli: Tango_net

@@ -1,0 +1,1 @@
+lib/dataplane/fabric.ml: Ecmp Float Hashtbl Option Tango_bgp Tango_net Tango_sim Tango_topo

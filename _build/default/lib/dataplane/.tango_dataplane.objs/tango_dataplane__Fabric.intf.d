@@ -1,0 +1,1 @@
+lib/dataplane/fabric.mli: Ecmp Tango_bgp Tango_net

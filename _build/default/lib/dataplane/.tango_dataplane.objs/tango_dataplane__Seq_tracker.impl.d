@@ -1,0 +1,1 @@
+lib/dataplane/seq_tracker.ml: Format Int64 Set

@@ -1,0 +1,1 @@
+lib/dataplane/seq_tracker.mli: Format

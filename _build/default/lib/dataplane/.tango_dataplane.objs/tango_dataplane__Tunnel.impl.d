@@ -1,0 +1,1 @@
+lib/dataplane/tunnel.ml: Clock Format Int64 Tango_net

@@ -1,0 +1,1 @@
+lib/dataplane/tunnel.mli: Clock Format Tango_net

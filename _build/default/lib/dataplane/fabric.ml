@@ -1,0 +1,146 @@
+module Network = Tango_bgp.Network
+module Route = Tango_bgp.Route
+module Topology = Tango_topo.Topology
+module Link = Tango_topo.Link
+module Engine = Tango_sim.Engine
+module Rng = Tango_sim.Rng
+module Packet = Tango_net.Packet
+module Flow = Tango_net.Flow
+
+type t = {
+  net : Network.t;
+  rng : Rng.t;
+  lanes_of : int -> Ecmp.lanes;
+  extra_delay_ms : from_node:int -> to_node:int -> time_s:float -> float;
+  failed_links : (int * int, unit) Hashtbl.t;
+  (* Bandwidth contention (optional): per directed link, when its
+     transmitter frees up. *)
+  max_queue_s : float option;
+  busy_until : (int * int, float) Hashtbl.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let no_lanes = [| 0.0 |]
+
+let create ?(seed = 4242) ?(lanes_of = fun _ -> no_lanes)
+    ?(extra_delay_ms = fun ~from_node:_ ~to_node:_ ~time_s:_ -> 0.0)
+    ?max_queue_s net =
+  (match max_queue_s with
+  | Some q when q < 0.0 -> invalid_arg "Fabric.create: negative queue bound"
+  | Some _ | None -> ());
+  {
+    net;
+    rng = Rng.create ~seed;
+    lanes_of;
+    extra_delay_ms;
+    failed_links = Hashtbl.create 4;
+    max_queue_s;
+    busy_until = Hashtbl.create 16;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let network t = t.net
+
+let hop_limit = 64
+
+let send t ~from_node ?(on_dropped = fun ~reason:_ _ -> ()) ~on_delivered packet =
+  t.sent <- t.sent + 1;
+  let engine = Network.engine t.net in
+  let topo = Network.topology t.net in
+  let drop reason =
+    t.dropped <- t.dropped + 1;
+    on_dropped ~reason packet
+  in
+  let rec at_node node hops =
+    Packet.record_hop packet (Topology.asn topo node);
+    if hops > hop_limit then drop "ttl"
+    else begin
+      let flow = Packet.forwarding_flow packet in
+      match Network.route_for_addr t.net ~node flow.Flow.dst with
+      | None -> drop "unroutable"
+      | Some route ->
+          if Route.local route then begin
+            t.delivered <- t.delivered + 1;
+            on_delivered ~node packet
+          end
+          else begin
+            match route.Route.learned_from with
+            | None ->
+                t.delivered <- t.delivered + 1;
+                on_delivered ~node packet
+            | Some next -> forward node next hops
+          end
+    end
+  and forward node next hops =
+    match Topology.link topo node next with
+    | None -> drop "unroutable"
+    | Some link ->
+        if Hashtbl.mem t.failed_links (node, next) then drop "link-failure"
+        else if link.Link.loss > 0.0 && Rng.float t.rng 1.0 < link.Link.loss then
+          drop "loss"
+        else begin
+          let flow = Packet.forwarding_flow packet in
+          let jitter =
+            if link.Link.jitter_ms > 0.0 then
+              Float.max 0.0 (Rng.gaussian t.rng ~mean:0.0 ~std:link.Link.jitter_ms)
+            else 0.0
+          in
+          let lane = Ecmp.lane_delay_ms (t.lanes_of next) ~salt:next flow in
+          let dynamic =
+            t.extra_delay_ms ~from_node:node ~to_node:next
+              ~time_s:(Engine.now engine)
+          in
+          let transmission_s =
+            Link.transmission_delay_ms link ~bytes:(Packet.wire_size packet)
+            /. 1000.0
+          in
+          (* Optional FIFO contention: wait for the transmitter, drop on
+             overflow (tail drop against the queue-delay bound). *)
+          let queueing_result =
+            match t.max_queue_s with
+            | None -> Some 0.0
+            | Some bound ->
+                let now = Engine.now engine in
+                let free_at =
+                  Float.max now
+                    (Option.value ~default:neg_infinity
+                       (Hashtbl.find_opt t.busy_until (node, next)))
+                in
+                let wait = free_at -. now in
+                if wait > bound then None
+                else begin
+                  Hashtbl.replace t.busy_until (node, next) (free_at +. transmission_s);
+                  Some wait
+                end
+          in
+          match queueing_result with
+          | None -> drop "queue-overflow"
+          | Some queueing_s ->
+              let delay_s =
+                ((link.Link.delay_ms +. jitter +. lane +. dynamic) /. 1000.0)
+                +. transmission_s +. queueing_s
+              in
+              Engine.schedule engine ~delay:(Float.max 0.0 delay_s) (fun _ ->
+                  at_node next (hops + 1))
+        end
+  in
+  at_node from_node 0
+
+let fail_link t ~from_node ~to_node =
+  Hashtbl.replace t.failed_links (from_node, to_node) ()
+
+let heal_link t ~from_node ~to_node =
+  Hashtbl.remove t.failed_links (from_node, to_node)
+
+let link_failed t ~from_node ~to_node =
+  Hashtbl.mem t.failed_links (from_node, to_node)
+
+let sent t = t.sent
+
+let delivered t = t.delivered
+
+let dropped t = t.dropped

@@ -1,0 +1,55 @@
+(** The wide-area packet fabric: hop-by-hop data-plane forwarding driven
+    by the converged BGP tables.
+
+    Each hop is resolved {e on arrival} at a node (so in-flight BGP
+    changes affect packets mid-path, as in reality). Per-hop latency is
+    the link's propagation delay, plus Gaussian link jitter, plus the
+    receiving transit's ECMP-lane offset for the packet's forwarding
+    5-tuple, plus a caller-supplied dynamic component — the hook the
+    workload layer uses to inject diurnal drift, route-change level
+    shifts and instability spikes per transit network. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?lanes_of:(int -> Ecmp.lanes) ->
+  ?extra_delay_ms:(from_node:int -> to_node:int -> time_s:float -> float) ->
+  ?max_queue_s:float ->
+  Tango_bgp.Network.t ->
+  t
+(** The fabric shares the BGP network's topology and engine. Defaults: a
+    single zero-offset lane everywhere and no dynamic delay.
+    [max_queue_s] enables bandwidth contention: each directed link
+    serializes packets FIFO at its link rate and tail-drops a packet
+    whose queueing delay would exceed the bound (reason
+    ["queue-overflow"]). Without it, links have unbounded parallel
+    capacity (delay-only model). *)
+
+val network : t -> Tango_bgp.Network.t
+
+val send :
+  t ->
+  from_node:int ->
+  ?on_dropped:(reason:string -> Tango_net.Packet.t -> unit) ->
+  on_delivered:(node:int -> Tango_net.Packet.t -> unit) ->
+  Tango_net.Packet.t ->
+  unit
+(** Inject a packet at [from_node]; it is forwarded toward the
+    destination of its {!Tango_net.Packet.forwarding_flow}. Exactly one
+    of the callbacks eventually fires (drop reasons: ["unroutable"],
+    ["loss"], ["ttl"]). *)
+
+val fail_link : t -> from_node:int -> to_node:int -> unit
+(** Silently blackhole a directed link: packets crossing it are dropped
+    with reason ["link-failure"], while BGP remains oblivious — the
+    gray-failure scenario that motivates data-driven failover (the paper
+    cites Blink-style recovery as the kind of technique Tango enables).
+    Idempotent. *)
+
+val heal_link : t -> from_node:int -> to_node:int -> unit
+val link_failed : t -> from_node:int -> to_node:int -> bool
+
+val sent : t -> int
+val delivered : t -> int
+val dropped : t -> int

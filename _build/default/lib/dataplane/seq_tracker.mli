@@ -1,0 +1,31 @@
+(** Per-tunnel loss and reordering detection from the Tango sequence
+    numbers (§3: "tunnel-specific sequence numbers on packets can allow
+    Tango to additionally compute loss and reordering"). *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> int64 -> unit
+(** Feed the sequence number of an arriving packet. A gap is counted as
+    provisional loss; a late arrival of a previously-missing number
+    converts the loss into a reordering; a second arrival of a delivered
+    number counts as a duplicate. *)
+
+val received : t -> int
+val lost : t -> int
+(** Numbers still missing (gaps never filled). *)
+
+val reordered : t -> int
+val duplicates : t -> int
+
+val loss_rate : t -> float
+(** [lost / (received + lost)]; [0.] before any traffic. *)
+
+val recent_loss_rate : t -> float
+(** EWMA of the per-packet loss indicator — a {e live} estimate that
+    climbs within tens of packets of a loss episode and decays
+    afterwards (reorder heals are credited back). Feeds failover
+    policies. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+module Packet = Tango_net.Packet
+
+type t = {
+  path_id : int;
+  label : string;
+  local_endpoint : Tango_net.Addr.t;
+  remote_endpoint : Tango_net.Addr.t;
+  udp_src : int;
+  udp_dst : int;
+  mutable next_seq : int64;
+}
+
+let create ~path_id ~label ~local_endpoint ~remote_endpoint ?udp_src
+    ?(udp_dst = 4789) () =
+  if path_id < 0 || path_id > 0xFFFF then
+    invalid_arg "Tunnel.create: path_id outside 16 bits";
+  let udp_src = match udp_src with Some p -> p | None -> 40000 + path_id in
+  { path_id; label; local_endpoint; remote_endpoint; udp_src; udp_dst; next_seq = 0L }
+
+let send t ~clock ~now_s (packet : Packet.t) =
+  let seq = t.next_seq in
+  t.next_seq <- Int64.add seq 1L;
+  Packet.encapsulate packet
+    {
+      Packet.outer_src = t.local_endpoint;
+      outer_dst = t.remote_endpoint;
+      udp_src = t.udp_src;
+      udp_dst = t.udp_dst;
+      tango =
+        {
+          Packet.timestamp_ns = Clock.now_ns clock ~sim_time_s:now_s;
+          seq;
+          path_id = t.path_id;
+          flags = 0;
+        };
+    }
+
+type reception = { owd_ms : float; seq : int64; path_id : int }
+
+let receive ~clock ~now_s (packet : Packet.t) =
+  let encap = Packet.decapsulate packet in
+  let arrival = Clock.now_ns clock ~sim_time_s:now_s in
+  let owd_ns = Int64.sub arrival encap.Packet.tango.Packet.timestamp_ns in
+  {
+    owd_ms = Int64.to_float owd_ns /. 1e6;
+    seq = encap.Packet.tango.Packet.seq;
+    path_id = encap.Packet.tango.Packet.path_id;
+  }
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "tunnel %d (%s) %s -> %s udp %d->%d" t.path_id t.label
+    (Tango_net.Addr.to_string t.local_endpoint)
+    (Tango_net.Addr.to_string t.remote_endpoint)
+    t.udp_src t.udp_dst

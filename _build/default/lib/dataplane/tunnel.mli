@@ -1,0 +1,49 @@
+(** Tango tunnels and the sender/receiver data-plane programs.
+
+    A tunnel binds a discovered wide-area path (identified by [path_id])
+    to a pair of addresses drawn from the per-path prefixes, with fixed
+    UDP ports so ECMP hashing in the core cannot spray the tunnel across
+    internal lanes. The [send] program is the paper's sender-side eBPF:
+    stamp, number and encapsulate; [receive] is the receiver side:
+    decapsulate and compute the one-way delay from the embedded
+    timestamp. *)
+
+type t = {
+  path_id : int;
+  label : string;  (** Human name of the path, e.g. "GTT". *)
+  local_endpoint : Tango_net.Addr.t;
+  remote_endpoint : Tango_net.Addr.t;
+  udp_src : int;
+  udp_dst : int;
+  mutable next_seq : int64;
+}
+
+val create :
+  path_id:int ->
+  label:string ->
+  local_endpoint:Tango_net.Addr.t ->
+  remote_endpoint:Tango_net.Addr.t ->
+  ?udp_src:int ->
+  ?udp_dst:int ->
+  unit ->
+  t
+(** Default ports: source [40000 + path_id] (distinct per tunnel),
+    destination 4789. *)
+
+val send : t -> clock:Clock.t -> now_s:float -> Tango_net.Packet.t -> unit
+(** Sender program: encapsulate the packet on this tunnel, stamping the
+    sender clock and the tunnel's next sequence number (which advances).
+    Raises [Invalid_argument] if the packet is already encapsulated. *)
+
+type reception = {
+  owd_ms : float;  (** Receiver clock minus embedded timestamp. *)
+  seq : int64;
+  path_id : int;
+}
+
+val receive :
+  clock:Clock.t -> now_s:float -> Tango_net.Packet.t -> reception
+(** Receiver program: decapsulate and compute the (offset-shifted)
+    one-way delay. Raises [Invalid_argument] on non-tunneled packets. *)
+
+val pp : Format.formatter -> t -> unit

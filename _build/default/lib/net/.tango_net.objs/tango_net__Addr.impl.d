@@ -1,0 +1,1 @@
+lib/net/addr.ml: Format Hashtbl Ipv4 Ipv6 Printf

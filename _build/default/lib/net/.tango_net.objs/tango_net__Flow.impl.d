@@ -1,0 +1,1 @@
+lib/net/flow.ml: Addr Format Int Int64 Ipv4 Ipv6 Printf

@@ -1,0 +1,1 @@
+lib/net/ipv6.ml: Array Buffer Format Hashtbl Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/net/prefix.ml: Addr Format Int Int32 Int64 Ipv4 Ipv6 Printf String

@@ -1,0 +1,1 @@
+lib/net/prefix.mli: Addr Format

@@ -1,0 +1,1 @@
+lib/net/siphash.ml: Bytes Char Int64 String

@@ -1,0 +1,1 @@
+lib/net/wire.ml: Bytes Int64 Ipv6 Option Packet Printf Siphash

@@ -1,0 +1,1 @@
+lib/net/wire.mli: Bytes Ipv6 Packet Siphash

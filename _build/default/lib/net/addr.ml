@@ -1,0 +1,37 @@
+type t = V4 of Ipv4.t | V6 of Ipv6.t
+
+let compare a b =
+  match (a, b) with
+  | V4 x, V4 y -> Ipv4.compare x y
+  | V6 x, V6 y -> Ipv6.compare x y
+  | V4 _, V6 _ -> -1
+  | V6 _, V4 _ -> 1
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | V4 x -> Hashtbl.hash (0, Ipv4.to_int32 x)
+  | V6 x -> Hashtbl.hash (1, Ipv6.hash x)
+
+let of_string s =
+  match Ipv4.of_string s with
+  | Ok v4 -> Ok (V4 v4)
+  | Error _ -> (
+      match Ipv6.of_string s with
+      | Ok v6 -> Ok (V6 v6)
+      | Error _ -> Error (Printf.sprintf "not an IP address: %S" s))
+
+let of_string_exn s =
+  match of_string s with Ok t -> t | Error msg -> invalid_arg msg
+
+let to_string = function
+  | V4 x -> Ipv4.to_string x
+  | V6 x -> Ipv6.to_string x
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let is_v4 = function V4 _ -> true | V6 _ -> false
+
+let is_v6 = function V6 _ -> true | V4 _ -> false
+
+let family_bits = function V4 _ -> 32 | V6 _ -> 128

@@ -1,0 +1,73 @@
+type t = {
+  src : Addr.t;
+  dst : Addr.t;
+  proto : int;
+  src_port : int;
+  dst_port : int;
+}
+
+let v ~src ~dst ~proto ~src_port ~dst_port =
+  let check_port name p =
+    if p < 0 || p > 0xFFFF then
+      invalid_arg (Printf.sprintf "Flow.v: %s port %d out of range" name p)
+  in
+  check_port "source" src_port;
+  check_port "destination" dst_port;
+  if proto < 0 || proto > 255 then
+    invalid_arg (Printf.sprintf "Flow.v: protocol %d out of range" proto);
+  { src; dst; proto; src_port; dst_port }
+
+let compare a b =
+  let c = Addr.compare a.src b.src in
+  if c <> 0 then c
+  else begin
+    let c = Addr.compare a.dst b.dst in
+    if c <> 0 then c
+    else begin
+      let c = Int.compare a.proto b.proto in
+      if c <> 0 then c
+      else begin
+        let c = Int.compare a.src_port b.src_port in
+        if c <> 0 then c else Int.compare a.dst_port b.dst_port
+      end
+    end
+  end
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Format.fprintf ppf "%a:%d -> %a:%d proto=%d" Addr.pp t.src t.src_port
+    Addr.pp t.dst t.dst_port t.proto
+
+let reverse t =
+  { t with src = t.dst; dst = t.src; src_port = t.dst_port; dst_port = t.src_port }
+
+(* FNV-1a, folding every byte of both addresses, the ports, the protocol
+   and the salt. Stable across runs: ECMP decisions must be reproducible. *)
+let hash_5tuple ?(salt = 0) t =
+  let fnv_prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  let feed_byte b =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (b land 0xFF))) fnv_prime
+  in
+  let feed_int64 x =
+    for shift = 0 to 7 do
+      feed_byte (Int64.to_int (Int64.shift_right_logical x (shift * 8)))
+    done
+  in
+  let feed_addr = function
+    | Addr.V4 a -> feed_int64 (Int64.of_int32 (Ipv4.to_int32 a))
+    | Addr.V6 a ->
+        feed_int64 (Ipv6.hi a);
+        feed_int64 (Ipv6.lo a)
+  in
+  feed_addr t.src;
+  feed_addr t.dst;
+  feed_byte t.proto;
+  feed_byte t.src_port;
+  feed_byte (t.src_port lsr 8);
+  feed_byte t.dst_port;
+  feed_byte (t.dst_port lsr 8);
+  feed_int64 (Int64.of_int salt);
+  (* Keep 62 bits so the result is a non-negative native int. *)
+  Int64.to_int (Int64.shift_right_logical !h 2)

@@ -1,0 +1,47 @@
+(** IPv6 addresses as opaque 128-bit values (two 64-bit halves).
+
+    Parsing accepts full and "::"-compressed textual forms; printing
+    follows RFC 5952 (lowercase hex, longest zero run compressed,
+    leftmost run on ties, no compression of a single group). *)
+
+type t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val make : int64 -> int64 -> t
+(** [make hi lo] from the high and low 64 bits (network order). *)
+
+val hi : t -> int64
+val lo : t -> int64
+
+val of_groups : int array -> t
+(** From eight 16-bit groups, most significant first. Raises
+    [Invalid_argument] unless exactly eight in-range groups are given. *)
+
+val to_groups : t -> int array
+
+val of_string : string -> (t, string) result
+val of_string_exn : string -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val add : t -> int64 -> t
+(** 128-bit addition of a non-negative 64-bit offset, with carry. *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val lognot : t -> t
+
+val shift_left : t -> int -> t
+(** [shift_left t n] for [0 <= n <= 128]. *)
+
+val shift_right : t -> int -> t
+(** Logical right shift, [0 <= n <= 128]. *)
+
+val any : t
+(** [::] *)
+
+val localhost : t
+(** [::1] *)

@@ -1,0 +1,74 @@
+type tango_header = {
+  timestamp_ns : int64;
+  seq : int64;
+  path_id : int;
+  flags : int;
+}
+
+type encap = {
+  outer_src : Addr.t;
+  outer_dst : Addr.t;
+  udp_src : int;
+  udp_dst : int;
+  tango : tango_header;
+}
+
+type content = ..
+
+type t = {
+  id : int;
+  flow : Flow.t;
+  payload_bytes : int;
+  created_at : float;
+  content : content option;
+  mutable encap : encap option;
+  mutable hops : int list;
+}
+
+let create ~id ~flow ~payload_bytes ?content ~created_at () =
+  if payload_bytes < 0 then invalid_arg "Packet.create: negative payload";
+  { id; flow; payload_bytes; created_at; content; encap = None; hops = [] }
+
+let encapsulate t encap =
+  match t.encap with
+  | Some _ -> invalid_arg "Packet.encapsulate: already encapsulated"
+  | None -> t.encap <- Some encap
+
+let decapsulate t =
+  match t.encap with
+  | None -> invalid_arg "Packet.decapsulate: not encapsulated"
+  | Some e ->
+      t.encap <- None;
+      e
+
+let is_encapsulated t = Option.is_some t.encap
+
+let forwarding_flow t =
+  match t.encap with
+  | None -> t.flow
+  | Some e ->
+      Flow.v ~src:e.outer_src ~dst:e.outer_dst ~proto:17 ~src_port:e.udp_src
+        ~dst_port:e.udp_dst
+
+let record_hop t asn = t.hops <- asn :: t.hops
+
+let path_taken t = List.rev t.hops
+
+(* Fixed header sizes: inner IPv6 (40); tunnel adds outer IPv6 (40),
+   UDP (8) and the 20-byte Tango shim. *)
+let inner_header_bytes = 40
+
+let tunnel_header_bytes = 40 + 8 + 20
+
+let wire_size t =
+  t.payload_bytes + inner_header_bytes
+  + match t.encap with None -> 0 | Some _ -> tunnel_header_bytes
+
+let pp ppf t =
+  Format.fprintf ppf "#%d %a%s %dB" t.id Flow.pp t.flow
+    (match t.encap with
+    | None -> ""
+    | Some e ->
+        Printf.sprintf " [tunnel -> %s path=%d seq=%Ld]"
+          (Addr.to_string e.outer_dst) e.tango.path_id e.tango.seq)
+    t.payload_bytes

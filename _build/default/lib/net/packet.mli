@@ -1,0 +1,68 @@
+(** Simulated packets.
+
+    A packet carries its original (inner) 5-tuple, an optional Tango
+    tunnel encapsulation, and bookkeeping used by the simulator: creation
+    time, the AS-level hops traversed so far, and a unique id. *)
+
+type tango_header = {
+  timestamp_ns : int64;  (** Sender switch clock at encap time. *)
+  seq : int64;  (** Per-tunnel sequence number (loss/reorder detection). *)
+  path_id : int;  (** Index of the discovered wide-area path used. *)
+  flags : int;  (** Reserved; carried through verbatim. *)
+}
+
+type encap = {
+  outer_src : Addr.t;
+  outer_dst : Addr.t;  (** Tunnel endpoint — selects the wide-area path. *)
+  udp_src : int;  (** Fixed per tunnel so ECMP cannot spray the flow. *)
+  udp_dst : int;
+  tango : tango_header;
+}
+
+type content = ..
+(** Extensible application payloads (e.g. Tango's peer telemetry
+    reports); the simulator forwards them opaquely. *)
+
+type t = {
+  id : int;
+  flow : Flow.t;  (** Inner (host-to-host) 5-tuple. *)
+  payload_bytes : int;
+  created_at : float;  (** Virtual time at creation. *)
+  content : content option;
+  mutable encap : encap option;
+  mutable hops : int list;  (** ASNs traversed, most recent first. *)
+}
+
+val create :
+  id:int ->
+  flow:Flow.t ->
+  payload_bytes:int ->
+  ?content:content ->
+  created_at:float ->
+  unit ->
+  t
+
+val encapsulate : t -> encap -> unit
+(** Raises [Invalid_argument] if the packet is already encapsulated —
+    Tango never nests tunnels between a single pair of PoPs. *)
+
+val decapsulate : t -> encap
+(** Remove and return the encapsulation; raises [Invalid_argument] when
+    there is none. *)
+
+val is_encapsulated : t -> bool
+
+val forwarding_flow : t -> Flow.t
+(** The 5-tuple the core sees: the outer UDP flow when encapsulated,
+    otherwise the inner flow. *)
+
+val record_hop : t -> int -> unit
+(** Note traversal of an AS. *)
+
+val path_taken : t -> int list
+(** ASNs in traversal order. *)
+
+val wire_size : t -> int
+(** Payload plus all header bytes currently on the packet. *)
+
+val pp : Format.formatter -> t -> unit

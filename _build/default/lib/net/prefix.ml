@@ -1,0 +1,84 @@
+type t = { addr : Addr.t; len : int }
+
+let mask_v4 len =
+  if len = 0 then 0l
+  else Int32.shift_left Int32.minus_one (32 - len)
+
+let mask_v6 len =
+  Ipv6.shift_left (Ipv6.lognot Ipv6.any) (128 - len)
+
+let canonicalize addr len =
+  match addr with
+  | Addr.V4 a -> Addr.V4 (Ipv4.of_int32 (Int32.logand (Ipv4.to_int32 a) (mask_v4 len)))
+  | Addr.V6 a -> Addr.V6 (Ipv6.logand a (mask_v6 len))
+
+let v addr len =
+  let bits = Addr.family_bits addr in
+  if len < 0 || len > bits then
+    invalid_arg (Printf.sprintf "Prefix.v: length %d out of range for /%d family" len bits);
+  { addr = canonicalize addr len; len }
+
+let addr t = t.addr
+
+let length t = t.len
+
+let compare a b =
+  let c = Addr.compare a.addr b.addr in
+  if c <> 0 then c else Int.compare a.len b.len
+
+let equal a b = compare a b = 0
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> Error (Printf.sprintf "missing '/' in prefix %S" s)
+  | Some i -> (
+      let addr_part = String.sub s 0 i in
+      let len_part = String.sub s (i + 1) (String.length s - i - 1) in
+      match (Addr.of_string addr_part, int_of_string_opt len_part) with
+      | Ok a, Some len when len >= 0 && len <= Addr.family_bits a -> Ok (v a len)
+      | Ok _, _ -> Error (Printf.sprintf "bad prefix length in %S" s)
+      | Error e, _ -> Error e)
+
+let of_string_exn s =
+  match of_string s with Ok t -> t | Error msg -> invalid_arg msg
+
+let to_string t = Printf.sprintf "%s/%d" (Addr.to_string t.addr) t.len
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let mem t a =
+  match (t.addr, a) with
+  | Addr.V4 net, Addr.V4 x ->
+      Int32.equal (Ipv4.to_int32 net)
+        (Int32.logand (Ipv4.to_int32 x) (mask_v4 t.len))
+  | Addr.V6 net, Addr.V6 x -> Ipv6.equal net (Ipv6.logand x (mask_v6 t.len))
+  | Addr.V4 _, Addr.V6 _ | Addr.V6 _, Addr.V4 _ -> false
+
+let subsumes p q = p.len <= q.len && mem p q.addr
+
+let overlaps p q = subsumes p q || subsumes q p
+
+let subnet t extra i =
+  if extra < 0 then invalid_arg "Prefix.subnet: negative extra bits";
+  let bits = Addr.family_bits t.addr in
+  let new_len = t.len + extra in
+  if new_len > bits then
+    invalid_arg (Printf.sprintf "Prefix.subnet: /%d exceeds family width" new_len);
+  if i < 0 || (extra < 62 && i >= 1 lsl extra) then
+    invalid_arg (Printf.sprintf "Prefix.subnet: index %d out of range for %d extra bits" i extra);
+  let base =
+    match t.addr with
+    | Addr.V4 a ->
+        let shifted = Int32.shift_left (Int32.of_int i) (32 - new_len) in
+        Addr.V4 (Ipv4.of_int32 (Int32.logor (Ipv4.to_int32 a) shifted))
+    | Addr.V6 a ->
+        let index = Ipv6.make 0L (Int64.of_int i) in
+        Addr.V6 (Ipv6.logor a (Ipv6.shift_left index (128 - new_len)))
+  in
+  v base new_len
+
+let nth_address t i =
+  if Int64.compare i 0L < 0 then invalid_arg "Prefix.nth_address: negative index";
+  match t.addr with
+  | Addr.V4 a -> Addr.V4 (Ipv4.add a (Int64.to_int i))
+  | Addr.V6 a -> Addr.V6 (Ipv6.add a i)

@@ -1,0 +1,225 @@
+type ipv6_header = {
+  traffic_class : int;
+  flow_label : int;
+  payload_length : int;
+  next_header : int;
+  hop_limit : int;
+  src : Ipv6.t;
+  dst : Ipv6.t;
+}
+
+type udp_header = { src_port : int; dst_port : int; length : int; checksum : int }
+
+let tango_shim_bytes = 20
+
+let tango_shim_auth_bytes = 28
+
+let auth_flag = 0x0001
+
+let ipv6_header_bytes = 40
+
+let udp_header_bytes = 8
+
+let set_u16 buf off v =
+  Bytes.set_uint8 buf off ((v lsr 8) land 0xFF);
+  Bytes.set_uint8 buf (off + 1) (v land 0xFF)
+
+let get_u16 buf off = (Bytes.get_uint8 buf off lsl 8) lor Bytes.get_uint8 buf (off + 1)
+
+let set_u64 buf off v =
+  for i = 0 to 7 do
+    Bytes.set_uint8 buf (off + i)
+      (Int64.to_int (Int64.shift_right_logical v ((7 - i) * 8)) land 0xFF)
+  done
+
+let get_u64 buf off =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Bytes.get_uint8 buf (off + i)))
+  done;
+  !v
+
+let set_ipv6 buf off a =
+  set_u64 buf off (Ipv6.hi a);
+  set_u64 buf (off + 8) (Ipv6.lo a)
+
+let get_ipv6 buf off = Ipv6.make (get_u64 buf off) (get_u64 buf (off + 8))
+
+let internet_checksum buf =
+  let len = Bytes.length buf in
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < len do
+    sum := !sum + get_u16 buf !i;
+    i := !i + 2
+  done;
+  if len land 1 = 1 then sum := !sum + (Bytes.get_uint8 buf (len - 1) lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF
+
+let udp_checksum ~src ~dst ~udp =
+  let udp_len = Bytes.length udp in
+  (* IPv6 pseudo-header: src(16) dst(16) upper-layer length(4) zeros(3)
+     next-header(1), then the UDP datagram. *)
+  let buf = Bytes.make (40 + udp_len) '\000' in
+  set_ipv6 buf 0 src;
+  set_ipv6 buf 16 dst;
+  set_u16 buf 32 (udp_len lsr 16);
+  set_u16 buf 34 (udp_len land 0xFFFF);
+  Bytes.set_uint8 buf 39 17;
+  Bytes.blit udp 0 buf 40 udp_len;
+  let sum = internet_checksum buf in
+  if sum = 0 then 0xFFFF else sum
+
+(* Authentication covers everything an attacker could usefully rewrite:
+   outer addresses (path identity), ports (ECMP pin) and the shim. *)
+let auth_message ~outer_src ~outer_dst ~udp_src ~udp_dst ~(tango : Packet.tango_header)
+    ~flags =
+  let m = Bytes.make 56 '\000' in
+  set_ipv6 m 0 outer_src;
+  set_ipv6 m 16 outer_dst;
+  set_u16 m 32 udp_src;
+  set_u16 m 34 udp_dst;
+  set_u64 m 36 tango.Packet.timestamp_ns;
+  set_u64 m 44 tango.Packet.seq;
+  set_u16 m 52 tango.Packet.path_id;
+  set_u16 m 54 flags;
+  m
+
+let encode_tunnel ?auth_key ~outer_src ~outer_dst ~udp_src ~udp_dst
+    ~(tango : Packet.tango_header) payload =
+  let authenticated = Option.is_some auth_key in
+  let shim_bytes = if authenticated then tango_shim_auth_bytes else tango_shim_bytes in
+  let wire_flags =
+    if authenticated then tango.flags lor auth_flag else tango.flags land lnot auth_flag
+  in
+  let payload_len = Bytes.length payload in
+  let udp_len = udp_header_bytes + shim_bytes + payload_len in
+  let total = ipv6_header_bytes + udp_len in
+  let buf = Bytes.make total '\000' in
+  (* IPv6 fixed header. *)
+  Bytes.set_uint8 buf 0 0x60;
+  set_u16 buf 4 udp_len;
+  Bytes.set_uint8 buf 6 17 (* next header: UDP *);
+  Bytes.set_uint8 buf 7 64 (* hop limit *);
+  set_ipv6 buf 8 outer_src;
+  set_ipv6 buf 24 outer_dst;
+  (* UDP header. *)
+  let udp_off = ipv6_header_bytes in
+  set_u16 buf udp_off udp_src;
+  set_u16 buf (udp_off + 2) udp_dst;
+  set_u16 buf (udp_off + 4) udp_len;
+  (* Tango shim: timestamp(8) seq(8) path_id(2) flags(2) [tag(8)]. *)
+  let shim_off = udp_off + udp_header_bytes in
+  set_u64 buf shim_off tango.timestamp_ns;
+  set_u64 buf (shim_off + 8) tango.seq;
+  set_u16 buf (shim_off + 16) tango.path_id;
+  set_u16 buf (shim_off + 18) wire_flags;
+  (match auth_key with
+  | Some key ->
+      let message =
+        auth_message ~outer_src ~outer_dst ~udp_src ~udp_dst ~tango
+          ~flags:wire_flags
+      in
+      set_u64 buf (shim_off + 20) (Siphash.mac key message)
+  | None -> ());
+  Bytes.blit payload 0 buf (shim_off + shim_bytes) payload_len;
+  (* Checksum over the UDP datagram with the field zeroed. *)
+  let udp_bytes = Bytes.sub buf udp_off udp_len in
+  let sum = udp_checksum ~src:outer_src ~dst:outer_dst ~udp:udp_bytes in
+  set_u16 buf (udp_off + 6) sum;
+  buf
+
+let decode_tunnel ?auth_key buf =
+  let len = Bytes.length buf in
+  if len < ipv6_header_bytes + udp_header_bytes + tango_shim_bytes then
+    Error (Printf.sprintf "frame too short: %d bytes" len)
+  else if Bytes.get_uint8 buf 0 lsr 4 <> 6 then
+    Error "not an IPv6 frame"
+  else begin
+    let payload_length = get_u16 buf 4 in
+    let next_header = Bytes.get_uint8 buf 6 in
+    if next_header <> 17 then Error (Printf.sprintf "next header %d is not UDP" next_header)
+    else if ipv6_header_bytes + payload_length > len then Error "truncated frame"
+    else begin
+      let ipv6 =
+        {
+          traffic_class =
+            ((Bytes.get_uint8 buf 0 land 0x0F) lsl 4)
+            lor (Bytes.get_uint8 buf 1 lsr 4);
+          flow_label =
+            ((Bytes.get_uint8 buf 1 land 0x0F) lsl 16)
+            lor (Bytes.get_uint8 buf 2 lsl 8)
+            lor Bytes.get_uint8 buf 3;
+          payload_length;
+          next_header;
+          hop_limit = Bytes.get_uint8 buf 7;
+          src = get_ipv6 buf 8;
+          dst = get_ipv6 buf 24;
+        }
+      in
+      let udp_off = ipv6_header_bytes in
+      let udp =
+        {
+          src_port = get_u16 buf udp_off;
+          dst_port = get_u16 buf (udp_off + 2);
+          length = get_u16 buf (udp_off + 4);
+          checksum = get_u16 buf (udp_off + 6);
+        }
+      in
+      if udp.length <> payload_length then Error "UDP length mismatch"
+      else begin
+        (* Verify the checksum by recomputing over a zero-checksum copy. *)
+        let udp_bytes = Bytes.sub buf udp_off udp.length in
+        set_u16 udp_bytes 6 0;
+        let expect = udp_checksum ~src:ipv6.src ~dst:ipv6.dst ~udp:udp_bytes in
+        if expect <> udp.checksum then
+          Error
+            (Printf.sprintf "bad UDP checksum: got %04x want %04x" udp.checksum
+               expect)
+        else begin
+          let shim_off = udp_off + udp_header_bytes in
+          let wire_flags = get_u16 buf (shim_off + 18) in
+          let authenticated = wire_flags land auth_flag <> 0 in
+          let tango : Packet.tango_header =
+            {
+              timestamp_ns = get_u64 buf shim_off;
+              seq = get_u64 buf (shim_off + 8);
+              path_id = get_u16 buf (shim_off + 16);
+              flags = wire_flags;
+            }
+          in
+          let shim_bytes =
+            if authenticated then tango_shim_auth_bytes else tango_shim_bytes
+          in
+          if ipv6_header_bytes + payload_length < shim_off + shim_bytes then
+            Error "frame too short for its shim"
+          else begin
+            match (auth_key, authenticated) with
+            | None, true -> Error "authenticated frame but no key configured"
+            | Some _, false -> Error "unauthenticated frame rejected (key configured)"
+            | None, false ->
+                let payload_off = shim_off + shim_bytes in
+                let payload_len = ipv6_header_bytes + payload_length - payload_off in
+                Ok (ipv6, udp, tango, Bytes.sub buf payload_off payload_len)
+            | Some key, true ->
+                let expect =
+                  Siphash.mac key
+                    (auth_message ~outer_src:ipv6.src ~outer_dst:ipv6.dst
+                       ~udp_src:udp.src_port ~udp_dst:udp.dst_port ~tango
+                       ~flags:wire_flags)
+                in
+                if not (Int64.equal expect (get_u64 buf (shim_off + 20))) then
+                  Error "authentication tag mismatch"
+                else begin
+                  let payload_off = shim_off + shim_bytes in
+                  let payload_len = ipv6_header_bytes + payload_length - payload_off in
+                  Ok (ipv6, udp, tango, Bytes.sub buf payload_off payload_len)
+                end
+          end
+        end
+      end
+    end
+  end

@@ -1,0 +1,66 @@
+(** Byte-level encoding of the Tango tunnel headers.
+
+    This is the exact layout the paper's eBPF programs prepend to data
+    packets: an outer IPv6 header, a UDP header (present to pin ECMP
+    hashing), and a 20-byte Tango shim carrying the sender timestamp, a
+    per-tunnel sequence number, the path id and flags. The simulator works
+    on structured {!Packet.t} values, but encoding/decoding is implemented
+    and tested so the header format is a checked artifact, not prose. *)
+
+type ipv6_header = {
+  traffic_class : int;
+  flow_label : int;
+  payload_length : int;
+  next_header : int;
+  hop_limit : int;
+  src : Ipv6.t;
+  dst : Ipv6.t;
+}
+
+type udp_header = { src_port : int; dst_port : int; length : int; checksum : int }
+
+val tango_shim_bytes : int
+(** Size of the plain Tango shim: 20 bytes. *)
+
+val tango_shim_auth_bytes : int
+(** Size of the authenticated shim: 28 bytes (a SipHash-2-4 tag over the
+    outer addresses, UDP ports and shim fields is appended). Frames with
+    flag bit 0 set carry it — the §6 "trustworthy telemetry" extension
+    protecting the measurement stream from on-path forgery. *)
+
+val auth_flag : int
+(** Flag bit marking an authenticated shim (0x0001). *)
+
+val internet_checksum : Bytes.t -> int
+(** RFC 1071 one's-complement sum over a buffer (odd lengths padded). *)
+
+val udp_checksum :
+  src:Ipv6.t -> dst:Ipv6.t -> udp:Bytes.t -> int
+(** UDP checksum over the IPv6 pseudo-header plus the UDP header+payload
+    bytes (with its checksum field zeroed). Never returns 0 (0xFFFF is
+    substituted, per RFC 2460). *)
+
+val encode_tunnel :
+  ?auth_key:Siphash.key ->
+  outer_src:Ipv6.t ->
+  outer_dst:Ipv6.t ->
+  udp_src:int ->
+  udp_dst:int ->
+  tango:Packet.tango_header ->
+  Bytes.t ->
+  Bytes.t
+(** [encode_tunnel ... payload] produces the full outer frame: IPv6 + UDP + Tango shim + payload, with
+    a valid UDP checksum and payload lengths filled in. With [auth_key]
+    the shim is the 28-byte authenticated variant and {!auth_flag} is
+    set in the flags on the wire. *)
+
+val decode_tunnel :
+  ?auth_key:Siphash.key ->
+  Bytes.t ->
+  (ipv6_header * udp_header * Packet.tango_header * Bytes.t, string) result
+(** Parse and validate a frame produced by {!encode_tunnel}: version
+    check, length checks and UDP checksum verification; when the frame is
+    authenticated, [auth_key] must be supplied and the tag must verify.
+    Supplying a key also {e requires} the frame to be authenticated, so
+    an on-path attacker cannot strip protection. Returns the headers and
+    the inner payload. *)

@@ -1,0 +1,79 @@
+type event = { time : float; seq : int; callback : t -> unit }
+
+and t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  queue : event Heap.t;
+  root_rng : Rng.t;
+}
+
+let compare_event a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ?(seed = 42) () =
+  {
+    clock = 0.0;
+    next_seq = 0;
+    queue = Heap.create ~cmp:compare_event;
+    root_rng = Rng.create ~seed;
+  }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let schedule_at t ~time callback =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g precedes now %g" time
+         t.clock);
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.push t.queue { time; seq; callback }
+
+let schedule t ~delay callback =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) callback
+
+let every t ~interval ?until callback =
+  if interval <= 0.0 then invalid_arg "Engine.every: non-positive interval";
+  let rec tick engine =
+    callback engine;
+    let next = now engine +. interval in
+    match until with
+    | Some stop when next > stop -> ()
+    | Some _ | None -> schedule_at engine ~time:next tick
+  in
+  schedule t ~delay:0.0 tick
+
+let pending t = Heap.length t.queue
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.time;
+      ev.callback t;
+      true
+
+let run ?until ?max_events t =
+  let executed = ref 0 in
+  let continue () =
+    match max_events with None -> true | Some m -> !executed < m
+  in
+  let rec loop () =
+    if continue () then
+      match Heap.peek t.queue with
+      | None -> ()
+      | Some ev -> (
+          match until with
+          | Some stop when ev.time > stop -> t.clock <- stop
+          | Some _ | None ->
+              ignore (step t);
+              incr executed;
+              loop ())
+  in
+  loop ()
+
+let cancel_all t = Heap.clear t.queue

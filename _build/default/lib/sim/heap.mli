@@ -1,0 +1,32 @@
+(** Array-backed binary min-heap, specialised by a comparison function.
+
+    Used as the pending-event queue of the discrete-event engine; kept
+    generic so tests can exercise it on plain integers. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Fresh empty heap ordered by [cmp] (smallest element on top). *)
+
+val length : 'a t -> int
+(** Number of stored elements. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Insert an element; O(log n). *)
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element; O(log n). *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop} but raises [Invalid_argument] when empty. *)
+
+val clear : 'a t -> unit
+(** Remove every element. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructively list all elements in ascending order; O(n log n). *)

@@ -1,0 +1,130 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  reservoir : float array;
+  reservoir_cap : int;
+  mutable reservoir_n : int;
+  rng : Rng.t;
+}
+
+let create ?(reservoir = 4096) ?(seed = 7) () =
+  {
+    n = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    reservoir = Array.make (max reservoir 1) 0.0;
+    reservoir_cap = reservoir;
+    reservoir_n = 0;
+    rng = Rng.create ~seed;
+  }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x;
+  if t.reservoir_cap > 0 then
+    if t.reservoir_n < t.reservoir_cap then begin
+      t.reservoir.(t.reservoir_n) <- x;
+      t.reservoir_n <- t.reservoir_n + 1
+    end
+    else begin
+      (* Vitter's algorithm R: keep each element with probability cap/n. *)
+      let j = Rng.int t.rng t.n in
+      if j < t.reservoir_cap then t.reservoir.(j) <- x
+    end
+
+let count t = t.n
+
+let mean t = if t.n = 0 then nan else t.mean
+
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+
+let min_value t = t.min_v
+
+let max_value t = t.max_v
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]";
+  if t.reservoir_n = 0 then nan
+  else begin
+    let sample = Array.sub t.reservoir 0 t.reservoir_n in
+    Array.sort Float.compare sample;
+    let pos = q *. float_of_int (t.reservoir_n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = int_of_float (Float.ceil pos) in
+    if lo = hi then sample.(lo)
+    else begin
+      let w = pos -. float_of_int lo in
+      ((1.0 -. w) *. sample.(lo)) +. (w *. sample.(hi))
+    end
+  end
+
+let merge a b =
+  let t = create ~reservoir:(max a.reservoir_cap b.reservoir_cap) () in
+  let feed src =
+    (* Reconstruct moments exactly via Chan's parallel update. *)
+    if src.n > 0 then begin
+      let n_a = float_of_int t.n and n_b = float_of_int src.n in
+      let delta = src.mean -. t.mean in
+      let n_ab = n_a +. n_b in
+      let mean = t.mean +. (delta *. n_b /. n_ab) in
+      let m2 = t.m2 +. src.m2 +. (delta *. delta *. n_a *. n_b /. n_ab) in
+      t.n <- t.n + src.n;
+      t.mean <- mean;
+      t.m2 <- m2;
+      if src.min_v < t.min_v then t.min_v <- src.min_v;
+      if src.max_v > t.max_v then t.max_v <- src.max_v
+    end;
+    for i = 0 to src.reservoir_n - 1 do
+      if t.reservoir_cap > 0 then
+        if t.reservoir_n < t.reservoir_cap then begin
+          t.reservoir.(t.reservoir_n) <- src.reservoir.(i);
+          t.reservoir_n <- t.reservoir_n + 1
+        end
+        else begin
+          let j = Rng.int t.rng (t.reservoir_n + i + 1) in
+          if j < t.reservoir_cap then t.reservoir.(j) <- src.reservoir.(i)
+        end
+    done
+  in
+  feed a;
+  feed b;
+  t
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let summarize (t : t) =
+  {
+    n = t.n;
+    mean = mean t;
+    stddev = stddev t;
+    min = min_value t;
+    max = max_value t;
+    p50 = quantile t 0.5;
+    p90 = quantile t 0.9;
+    p99 = quantile t 0.99;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.4f std=%.4f min=%.4f p50=%.4f p90=%.4f p99=%.4f max=%.4f"
+    s.n s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max

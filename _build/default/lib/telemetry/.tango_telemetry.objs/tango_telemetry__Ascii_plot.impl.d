@@ -1,0 +1,1 @@
+lib/telemetry/ascii_plot.ml: Array Buffer Float List Option Printf Series String

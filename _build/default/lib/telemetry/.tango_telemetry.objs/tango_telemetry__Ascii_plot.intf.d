@@ -1,0 +1,1 @@
+lib/telemetry/ascii_plot.mli: Series

@@ -1,0 +1,1 @@
+lib/telemetry/detect.ml: Float Format List Queue Rolling

@@ -1,0 +1,1 @@
+lib/telemetry/export.ml: Fun List Printf Series String

@@ -1,0 +1,1 @@
+lib/telemetry/jitter.ml: Ewma Rolling

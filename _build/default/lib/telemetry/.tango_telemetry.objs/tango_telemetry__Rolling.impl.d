@@ -1,0 +1,1 @@
+lib/telemetry/rolling.ml: Float Queue

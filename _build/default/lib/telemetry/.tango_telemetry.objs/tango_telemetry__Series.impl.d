@@ -1,0 +1,1 @@
+lib/telemetry/series.ml: Array Float Printf Tango_sim

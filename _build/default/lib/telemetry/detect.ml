@@ -1,0 +1,86 @@
+type event =
+  | Level_shift of { at : float; before_ms : float; after_ms : float }
+  | Spike of { at : float; value_ms : float; baseline_ms : float }
+
+let pp_event ppf = function
+  | Level_shift { at; before_ms; after_ms } ->
+      Format.fprintf ppf "level shift at %.1fs: %.2fms -> %.2fms" at before_ms
+        after_ms
+  | Spike { at; value_ms; baseline_ms } ->
+      Format.fprintf ppf "spike at %.1fs: %.2fms (baseline %.2fms)" at value_ms
+        baseline_ms
+
+type t = {
+  older : Rolling.t;  (* window [t-2w, t-w], approximated by delayed feed *)
+  recent : Rolling.t;
+  delay_buffer : (float * float) Queue.t;  (* samples waiting to age into [older] *)
+  window_s : float;
+  shift_threshold_ms : float;
+  spike_threshold_ms : float;
+  cooldown_s : float;
+  mutable last_shift_at : float;
+  mutable last_spike_at : float;
+  mutable history : event list;
+}
+
+let create ?(window_s = 5.0) ?(shift_threshold_ms = 2.0)
+    ?(spike_threshold_ms = 10.0) ?(cooldown_s = 30.0) () =
+  {
+    older = Rolling.create ~window_s;
+    recent = Rolling.create ~window_s;
+    delay_buffer = Queue.create ();
+    window_s;
+    shift_threshold_ms;
+    spike_threshold_ms;
+    cooldown_s;
+    last_shift_at = neg_infinity;
+    last_spike_at = neg_infinity;
+    history = [];
+  }
+
+let add t ~time value =
+  (* Samples flow into [recent] immediately and into [older] once they
+     are a window old, so the two windows cover adjacent spans. *)
+  Rolling.add t.recent ~time value;
+  Queue.push (time, value) t.delay_buffer;
+  let rec drain () =
+    match Queue.peek_opt t.delay_buffer with
+    | Some (ts, v) when ts <= time -. t.window_s ->
+        ignore (Queue.pop t.delay_buffer);
+        Rolling.add t.older ~time:ts v;
+        (* Manually advance the eviction horizon of [older]. *)
+        ignore v;
+        drain ()
+    | Some _ | None -> ()
+  in
+  drain ();
+  let baseline = Rolling.mean t.older in
+  let detected =
+    if Rolling.count t.older < 10 || Float.is_nan baseline then None
+    else if
+      value -. baseline > t.spike_threshold_ms
+      && time -. t.last_spike_at > t.window_s
+    then begin
+      t.last_spike_at <- time;
+      Some (Spike { at = time; value_ms = value; baseline_ms = baseline })
+    end
+    else begin
+      let recent_mean = Rolling.mean t.recent in
+      if
+        Rolling.count t.recent >= 10
+        && (not (Float.is_nan recent_mean))
+        && abs_float (recent_mean -. baseline) > t.shift_threshold_ms
+        && time -. t.last_shift_at > t.cooldown_s
+      then begin
+        t.last_shift_at <- time;
+        Some (Level_shift { at = time; before_ms = baseline; after_ms = recent_mean })
+      end
+      else None
+    end
+  in
+  (match detected with
+  | Some e -> t.history <- e :: t.history
+  | None -> ());
+  detected
+
+let events t = List.rev t.history

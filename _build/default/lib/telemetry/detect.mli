@@ -1,0 +1,34 @@
+(** Online detection of the two §5 phenomena: route-change level shifts
+    and instability spike periods. *)
+
+type event =
+  | Level_shift of { at : float; before_ms : float; after_ms : float }
+      (** Sustained change of the delay floor (Fig. 4 middle: +5 ms for
+          ~10 min after a GTT internal route change). *)
+  | Spike of { at : float; value_ms : float; baseline_ms : float }
+      (** Transient excursion well above the floor (Fig. 4 right: up to
+          78 ms against a 28 ms floor). *)
+
+val pp_event : Format.formatter -> event -> unit
+
+type t
+
+val create :
+  ?window_s:float ->
+  ?shift_threshold_ms:float ->
+  ?spike_threshold_ms:float ->
+  ?cooldown_s:float ->
+  unit ->
+  t
+(** [window_s] (default 5): length of each of the two adjacent comparison
+    windows for level shifts. [shift_threshold_ms] (default 2): minimum
+    difference of window means to report a shift. [spike_threshold_ms]
+    (default 10): excursion above the older window's mean to report a
+    spike. [cooldown_s] (default 30 for shifts, spikes use [window_s])
+    suppresses duplicate reports of one incident. *)
+
+val add : t -> time:float -> float -> event option
+(** Feed one sample; returns a freshly detected event, if any. *)
+
+val events : t -> event list
+(** All events so far, oldest first. *)

@@ -1,0 +1,20 @@
+type t = { alpha : float; mutable value : float; mutable initialized : bool }
+
+let create ~alpha =
+  if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Ewma.create: alpha outside (0,1]";
+  { alpha; value = nan; initialized = false }
+
+let add t x =
+  if t.initialized then t.value <- (t.alpha *. x) +. ((1.0 -. t.alpha) *. t.value)
+  else begin
+    t.value <- x;
+    t.initialized <- true
+  end
+
+let value t = t.value
+
+let initialized t = t.initialized
+
+let reset t =
+  t.value <- nan;
+  t.initialized <- false

@@ -1,0 +1,32 @@
+type t = {
+  rolling : Rolling.t;
+  recent : Ewma.t;
+  mutable sum_stddev : float;
+  mutable n : int;
+}
+
+let create ?(window_s = 1.0) ?(recent_alpha = 0.01) () =
+  {
+    rolling = Rolling.create ~window_s;
+    recent = Ewma.create ~alpha:recent_alpha;
+    sum_stddev = 0.0;
+    n = 0;
+  }
+
+let add t ~time value =
+  Rolling.add t.rolling ~time value;
+  (* Only meaningful once the window holds at least two samples. *)
+  if Rolling.count t.rolling >= 2 then begin
+    let std = Rolling.stddev t.rolling in
+    t.sum_stddev <- t.sum_stddev +. std;
+    Ewma.add t.recent std;
+    t.n <- t.n + 1
+  end
+
+let value t = if t.n = 0 then nan else t.sum_stddev /. float_of_int t.n
+
+let recent t = Ewma.value t.recent
+
+let current_window_stddev t = Rolling.stddev t.rolling
+
+let samples t = t.n

@@ -1,0 +1,52 @@
+type t = {
+  window_s : float;
+  samples : (float * float) Queue.t;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable last_time : float;
+}
+
+let create ~window_s =
+  if window_s <= 0.0 then invalid_arg "Rolling.create: non-positive window";
+  { window_s; samples = Queue.create (); sum = 0.0; sum_sq = 0.0; last_time = neg_infinity }
+
+let evict t ~now =
+  let cutoff = now -. t.window_s in
+  let rec go () =
+    match Queue.peek_opt t.samples with
+    | Some (time, v) when time < cutoff ->
+        ignore (Queue.pop t.samples);
+        t.sum <- t.sum -. v;
+        t.sum_sq <- t.sum_sq -. (v *. v);
+        go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let add t ~time value =
+  if time < t.last_time then invalid_arg "Rolling.add: time went backwards";
+  t.last_time <- time;
+  Queue.push (time, value) t.samples;
+  t.sum <- t.sum +. value;
+  t.sum_sq <- t.sum_sq +. (value *. value);
+  evict t ~now:time
+
+let count t = Queue.length t.samples
+
+let mean t =
+  let n = count t in
+  if n = 0 then nan else t.sum /. float_of_int n
+
+let stddev t =
+  let n = count t in
+  if n < 2 then 0.0
+  else begin
+    let nf = float_of_int n in
+    let variance = (t.sum_sq /. nf) -. ((t.sum /. nf) ** 2.0) in
+    sqrt (Float.max 0.0 variance)
+  end
+
+let min_value t =
+  Queue.fold (fun acc (_, v) -> Float.min acc v) infinity t.samples
+
+let window_s t = t.window_s

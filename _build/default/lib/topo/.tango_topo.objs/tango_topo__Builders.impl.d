@@ -1,0 +1,1 @@
+lib/topo/builders.ml: Array List Printf Tango_sim Topology

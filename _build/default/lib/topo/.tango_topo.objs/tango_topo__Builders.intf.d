@@ -1,0 +1,1 @@
+lib/topo/builders.mli: Topology

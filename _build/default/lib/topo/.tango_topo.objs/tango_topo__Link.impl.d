@@ -1,0 +1,1 @@
+lib/topo/link.ml: Format

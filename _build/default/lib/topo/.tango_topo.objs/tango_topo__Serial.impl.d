@@ -1,0 +1,1 @@
+lib/topo/serial.ml: Buffer Fun Hashtbl List Printf Relationship String Topology

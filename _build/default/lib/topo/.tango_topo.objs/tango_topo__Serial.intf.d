@@ -1,0 +1,1 @@
+lib/topo/serial.mli: Topology

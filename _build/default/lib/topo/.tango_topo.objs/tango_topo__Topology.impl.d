@@ -1,0 +1,1 @@
+lib/topo/topology.ml: Format Hashtbl Link List Printf Relationship

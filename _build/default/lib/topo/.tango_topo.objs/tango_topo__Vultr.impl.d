@@ -1,0 +1,1 @@
+lib/topo/vultr.ml: Link List Printf Topology

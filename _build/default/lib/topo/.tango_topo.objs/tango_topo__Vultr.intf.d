@@ -1,0 +1,1 @@
+lib/topo/vultr.mli: Topology

@@ -1,0 +1,19 @@
+(** Topology generators for tests, examples and benchmarks. *)
+
+val chain : int -> Topology.t
+(** [chain n] — node 0 is the top provider, node [i] is the provider of
+    node [i+1]. Node ids and ASNs are [0 .. n-1]. *)
+
+val star : center:int -> leaves:int -> Topology.t
+(** One provider with [leaves] customers; node ids [center] and
+    [center+1 ..]. *)
+
+val tier1_mesh : int list -> Topology.t
+(** Fully peered mesh over the given ASNs (node id = ASN). *)
+
+val random_hierarchy :
+  seed:int -> tier1:int -> tier2:int -> stubs:int -> Topology.t
+(** Random three-tier Internet-like topology: a tier-1 clique; each tier-2
+    AS buys transit from 1–3 tier-1s and peers with some tier-2s; each
+    stub buys from 1–2 tier-2s. Node ids are assigned densely from 0.
+    Deterministic in [seed]. *)

@@ -1,0 +1,23 @@
+type t = {
+  delay_ms : float;
+  jitter_ms : float;
+  bandwidth_mbps : float;
+  loss : float;
+}
+
+let v ?(jitter_ms = 0.02) ?(bandwidth_mbps = 10_000.0) ?(loss = 0.0) delay_ms =
+  if delay_ms < 0.0 then invalid_arg "Link.v: negative delay";
+  if jitter_ms < 0.0 then invalid_arg "Link.v: negative jitter";
+  if bandwidth_mbps <= 0.0 then invalid_arg "Link.v: non-positive bandwidth";
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Link.v: loss outside [0,1)";
+  { delay_ms; jitter_ms; bandwidth_mbps; loss }
+
+let default = v 1.0
+
+let transmission_delay_ms t ~bytes =
+  if bytes < 0 then invalid_arg "Link.transmission_delay_ms: negative size";
+  float_of_int (bytes * 8) /. (t.bandwidth_mbps *. 1000.0)
+
+let pp ppf t =
+  Format.fprintf ppf "%.2fms j=%.3fms %.0fMb/s loss=%.4f" t.delay_ms
+    t.jitter_ms t.bandwidth_mbps t.loss

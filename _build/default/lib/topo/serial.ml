@@ -1,0 +1,86 @@
+let parse input =
+  let t = Topology.create () in
+  let seen = Hashtbl.create 64 in
+  let ensure asn =
+    if not (Hashtbl.mem seen asn) then begin
+      Hashtbl.replace seen asn ();
+      Topology.add_node t ~id:asn ~asn (Printf.sprintf "AS%d" asn)
+    end
+  in
+  let lines = String.split_on_char '\n' input in
+  let error = ref None in
+  List.iteri
+    (fun idx line ->
+      if !error = None then begin
+        let lineno = idx + 1 in
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let line = String.trim line in
+        if line <> "" then begin
+          match String.split_on_char '|' line with
+          | [ a; b; rel ] -> (
+              match
+                (int_of_string_opt (String.trim a), int_of_string_opt (String.trim b),
+                 String.trim rel)
+              with
+              | Some a, Some b, rel when rel = "-1" || rel = "0" -> (
+                  ensure a;
+                  ensure b;
+                  match
+                    if rel = "-1" then Topology.connect t ~provider:a ~customer:b ()
+                    else Topology.connect_peers t a b ()
+                  with
+                  | () -> ()
+                  | exception Invalid_argument msg ->
+                      error := Some (Printf.sprintf "line %d: %s" lineno msg))
+              | Some _, Some _, rel ->
+                  error := Some (Printf.sprintf "line %d: unknown relationship %S" lineno rel)
+              | _ -> error := Some (Printf.sprintf "line %d: invalid ASN" lineno))
+          | _ ->
+              error :=
+                Some (Printf.sprintf "line %d: expected 'as|as|rel', got %S" lineno line)
+        end
+      end)
+    lines;
+  match !error with Some e -> Error e | None -> Ok t
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# <provider-as>|<customer-as>|-1  or  <peer-as>|<peer-as>|0\n";
+  let emitted = Hashtbl.create 64 in
+  List.iter
+    (fun (node : Topology.node) ->
+      if node.Topology.id <> node.Topology.asn then
+        invalid_arg "Serial.to_string: node id differs from ASN";
+      List.iter
+        (fun (peer, rel, _link) ->
+          let key = (min node.Topology.id peer, max node.Topology.id peer) in
+          if not (Hashtbl.mem emitted key) then begin
+            Hashtbl.replace emitted key ();
+            match rel with
+            | Relationship.Customer ->
+                Buffer.add_string buf (Printf.sprintf "%d|%d|-1\n" node.Topology.id peer)
+            | Relationship.Provider ->
+                Buffer.add_string buf (Printf.sprintf "%d|%d|-1\n" peer node.Topology.id)
+            | Relationship.Peer ->
+                Buffer.add_string buf (Printf.sprintf "%d|%d|0\n" node.Topology.id peer)
+          end)
+        (Topology.neighbors t node.Topology.id))
+    (Topology.nodes t);
+  Buffer.contents buf
+
+let load_file path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      parse content
+
+let save_file path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string t))

@@ -1,0 +1,21 @@
+(** Loading and saving AS topologies in the CAIDA "serial-1"
+    relationship format, so measured Internet graphs (or synthetic dumps)
+    can drive discovery and propagation experiments.
+
+    Each line is [provider|customer|-1] or [peer|peer|0]; [#] starts a
+    comment. Node ids equal ASNs and names are ["AS<n>"]; link
+    properties take defaults (this format carries none). Multi-node
+    ASes (like the two Vultr sites) cannot be represented — use the
+    programmatic builders for those. *)
+
+val parse : string -> (Topology.t, string) result
+(** Parse a document; errors carry the line number. Duplicate edges and
+    self-loops are rejected. *)
+
+val to_string : Topology.t -> string
+(** Render a topology built on [node id = ASN]; raises
+    [Invalid_argument] when a node's id and ASN differ (the format
+    cannot express it). *)
+
+val load_file : string -> (Topology.t, string) result
+val save_file : string -> Topology.t -> unit

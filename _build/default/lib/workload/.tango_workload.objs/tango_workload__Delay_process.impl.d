@@ -1,0 +1,1 @@
+lib/workload/delay_process.ml: Float List Tango_sim

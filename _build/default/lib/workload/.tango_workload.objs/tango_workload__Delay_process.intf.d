@@ -1,0 +1,1 @@
+lib/workload/delay_process.mli: Tango_sim

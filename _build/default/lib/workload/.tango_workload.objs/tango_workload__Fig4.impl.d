@@ -1,0 +1,1 @@
+lib/workload/fig4.ml: Delay_process Hashtbl Int64 Tango_sim Tango_topo

@@ -1,0 +1,1 @@
+lib/workload/fig4.mli: Delay_process

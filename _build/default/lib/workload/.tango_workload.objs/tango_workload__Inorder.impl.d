@@ -1,0 +1,1 @@
+lib/workload/inorder.ml: Hashtbl List

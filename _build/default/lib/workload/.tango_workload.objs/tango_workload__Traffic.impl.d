@@ -1,0 +1,1 @@
+lib/workload/traffic.ml: Float Tango_sim

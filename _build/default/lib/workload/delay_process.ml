@@ -1,0 +1,134 @@
+module Rng = Tango_sim.Rng
+
+type spike = { at_s : float; magnitude_ms : float; width_s : float }
+
+type event =
+  | Level_shift of {
+      start_s : float;
+      duration_s : float;
+      magnitude_ms : float;
+      onset : spike list;
+    }
+  | Instability of { start_s : float; duration_s : float; spikes : spike list }
+
+(* Rectangular: a spike holds its magnitude for its whole width and ends
+   abruptly. The sharp trailing edge matters — it is what reorders
+   packets (a packet sent just after the edge overtakes one sent just
+   before), producing the TCP head-of-line blocking §5 describes. *)
+let spike_value s ~time_s =
+  let dt = time_s -. s.at_s in
+  if dt < 0.0 || dt >= s.width_s then 0.0 else s.magnitude_ms
+
+let make_instability ~rng ~start_s ~duration_s ~rate_hz ~max_magnitude_ms
+    ?(width_s = 1.5) () =
+  if duration_s <= 0.0 then invalid_arg "make_instability: non-positive duration";
+  if rate_hz <= 0.0 then invalid_arg "make_instability: non-positive rate";
+  let rec arrivals t acc =
+    let t = t +. Rng.exponential rng ~rate:rate_hz in
+    if t >= start_s +. duration_s then List.rev acc
+    else begin
+      let magnitude =
+        Float.min max_magnitude_ms (Rng.pareto rng ~scale:(max_magnitude_ms /. 10.0) ~shape:1.2)
+      in
+      arrivals t ({ at_s = t; magnitude_ms = magnitude; width_s } :: acc)
+    end
+  in
+  let spikes = arrivals start_s [] in
+  (* Pin the headline: one spike in the middle reaches the cap. *)
+  let cap_spike =
+    { at_s = start_s +. (duration_s /. 2.0); magnitude_ms = max_magnitude_ms; width_s }
+  in
+  Instability { start_s; duration_s; spikes = cap_spike :: spikes }
+
+let make_route_change ~rng ~start_s ~duration_s ~magnitude_ms () =
+  (* A couple of brief excursions right around the change, as in Fig. 4
+     (middle): instability, then the new level. *)
+  let onset =
+    List.init 3 (fun i ->
+        {
+          at_s = start_s -. 2.0 +. (1.5 *. float_of_int i) +. Rng.float rng 0.5;
+          magnitude_ms = magnitude_ms *. (2.0 +. Rng.float rng 2.0);
+          width_s = 1.0;
+        })
+  in
+  Level_shift { start_s; duration_s; magnitude_ms; onset }
+
+type t = {
+  base_ms : float;
+  diurnal_amplitude_ms : float;
+  diurnal_period_s : float;
+  diurnal_phase : float;
+  ou_std_ms : float;
+  ou_tau_s : float;
+  white_std_ms : float;
+  event_list : event list;
+  rng : Rng.t;
+  mutable ou_state : float;
+  mutable last_time : float;
+}
+
+let create ~seed ?(base_ms = 0.0) ?(diurnal_amplitude_ms = 0.0)
+    ?(diurnal_period_s = 86400.0) ?(diurnal_phase = 0.0) ?(ou_std_ms = 0.0)
+    ?(ou_tau_s = 10.0) ?(white_std_ms = 0.0) ?(events = []) () =
+  if diurnal_period_s <= 0.0 then invalid_arg "Delay_process: non-positive period";
+  if ou_tau_s <= 0.0 then invalid_arg "Delay_process: non-positive tau";
+  if base_ms < 0.0 then invalid_arg "Delay_process: negative base";
+  {
+    base_ms;
+    diurnal_amplitude_ms;
+    diurnal_period_s;
+    diurnal_phase;
+    ou_std_ms;
+    ou_tau_s;
+    white_std_ms;
+    event_list = events;
+    rng = Rng.create ~seed;
+    ou_state = 0.0;
+    last_time = neg_infinity;
+  }
+
+let event_value event ~time_s =
+  match event with
+  | Level_shift { start_s; duration_s; magnitude_ms; onset } ->
+      let shift =
+        if time_s >= start_s && time_s < start_s +. duration_s then magnitude_ms
+        else 0.0
+      in
+      List.fold_left (fun acc s -> acc +. spike_value s ~time_s) shift onset
+  | Instability { spikes; _ } ->
+      (* Overlapping spikes do not stack; the worst one dominates, which
+         keeps the calibrated peak exact. *)
+      List.fold_left (fun acc s -> Float.max acc (spike_value s ~time_s)) 0.0 spikes
+
+let floor_value t ~time_s =
+  let diurnal =
+    t.diurnal_amplitude_ms
+    *. (1.0 +. sin ((2.0 *. Float.pi *. time_s /. t.diurnal_period_s) +. t.diurnal_phase))
+    /. 2.0
+  in
+  List.fold_left
+    (fun acc e -> acc +. event_value e ~time_s)
+    (t.base_ms +. diurnal) t.event_list
+
+let advance_ou t ~time_s =
+  if t.ou_std_ms > 0.0 then begin
+    let dt = if t.last_time = neg_infinity then 0.0 else time_s -. t.last_time in
+    let decay = exp (-.dt /. t.ou_tau_s) in
+    let innovation_std = t.ou_std_ms *. sqrt (1.0 -. (decay *. decay)) in
+    t.ou_state <-
+      (t.ou_state *. decay)
+      +. (if innovation_std > 0.0 then Rng.gaussian t.rng ~mean:0.0 ~std:innovation_std else 0.0)
+  end;
+  t.last_time <- time_s
+
+let value t ~time_s =
+  if time_s < t.last_time then
+    invalid_arg "Delay_process.value: time went backwards";
+  advance_ou t ~time_s;
+  let white =
+    if t.white_std_ms > 0.0 then Rng.gaussian t.rng ~mean:0.0 ~std:t.white_std_ms
+    else 0.0
+  in
+  Float.max 0.0 (floor_value t ~time_s +. t.ou_state +. white)
+
+let events t = t.event_list

@@ -1,0 +1,80 @@
+module Vultr = Tango_topo.Vultr
+module Rng = Tango_sim.Rng
+
+type t = {
+  horizon_s : float;
+  processes : (int * int, Delay_process.t) Hashtbl.t;
+  route_change : float * float;
+  instability : float * float;
+}
+
+let create ?(seed = 77) ?(horizon_s = 600.0) ?(route_change_magnitude_ms = 5.0)
+    ?(instability_peak_extra_ms = 50.0) () =
+  if horizon_s <= 0.0 then invalid_arg "Fig4.create: non-positive horizon";
+  let rng = Rng.create ~seed in
+  let processes = Hashtbl.create 16 in
+  let fresh_seed () = Int64.to_int (Rng.bits64 rng) land 0x3FFFFFFF in
+  let register ~transit ~toward process =
+    Hashtbl.replace processes (transit, toward) process
+  in
+  let rc_start = 0.40 *. horizon_s and rc_stop = 0.60 *. horizon_s in
+  let inst_start = 0.70 *. horizon_s and inst_stop = 0.80 *. horizon_s in
+  let gtt_events =
+    let event_rng = Rng.create ~seed:(fresh_seed ()) in
+    [
+      Delay_process.make_route_change ~rng:event_rng ~start_s:rc_start
+        ~duration_s:(rc_stop -. rc_start) ~magnitude_ms:route_change_magnitude_ms ();
+      Delay_process.make_instability ~rng:event_rng ~start_s:inst_start
+        ~duration_s:(inst_stop -. inst_start) ~rate_hz:0.5
+        ~max_magnitude_ms:instability_peak_extra_ms ();
+    ]
+  in
+  (* Westbound: the direction plotted in Fig. 4 (NY -> LA). Each noisy
+     process sits on a positive base so its noise is never clamped. *)
+  register ~transit:Vultr.gtt ~toward:Vultr.vultr_la
+    (Delay_process.create ~seed:(fresh_seed ()) ~base_ms:0.1 ~white_std_ms:0.01
+       ~ou_std_ms:0.02 ~ou_tau_s:15.0 ~events:gtt_events ());
+  register ~transit:Vultr.ntt ~toward:Vultr.vultr_la
+    (Delay_process.create ~seed:(fresh_seed ()) ~base_ms:0.8
+       ~diurnal_amplitude_ms:0.6 ~diurnal_period_s:horizon_s ~white_std_ms:0.05
+       ~ou_std_ms:0.15 ~ou_tau_s:20.0 ());
+  register ~transit:Vultr.telia ~toward:Vultr.vultr_la
+    (Delay_process.create ~seed:(fresh_seed ()) ~base_ms:1.5 ~white_std_ms:0.30
+       ~ou_std_ms:0.10 ~ou_tau_s:8.0 ());
+  register ~transit:Vultr.level3 ~toward:Vultr.vultr_la
+    (Delay_process.create ~seed:(fresh_seed ()) ~base_ms:0.6
+       ~diurnal_amplitude_ms:0.3 ~diurnal_period_s:(horizon_s /. 2.0)
+       ~white_std_ms:0.12 ~ou_std_ms:0.10 ());
+  (* Eastbound: LA -> NY, the direction whose jitter §5 quotes. *)
+  register ~transit:Vultr.gtt ~toward:Vultr.vultr_ny
+    (Delay_process.create ~seed:(fresh_seed ()) ~base_ms:0.1 ~white_std_ms:0.004
+       ~ou_std_ms:0.01 ~ou_tau_s:15.0 ());
+  register ~transit:Vultr.ntt ~toward:Vultr.vultr_ny
+    (Delay_process.create ~seed:(fresh_seed ()) ~base_ms:0.8
+       ~diurnal_amplitude_ms:0.5 ~diurnal_period_s:horizon_s ~white_std_ms:0.08
+       ~ou_std_ms:0.12 ());
+  register ~transit:Vultr.telia ~toward:Vultr.vultr_ny
+    (Delay_process.create ~seed:(fresh_seed ()) ~base_ms:1.5 ~white_std_ms:0.33
+       ~ou_std_ms:0.08 ~ou_tau_s:8.0 ());
+  register ~transit:Vultr.cogent ~toward:Vultr.vultr_ny
+    (Delay_process.create ~seed:(fresh_seed ()) ~base_ms:0.6 ~white_std_ms:0.10
+       ~ou_std_ms:0.10 ());
+  {
+    horizon_s;
+    processes;
+    route_change = (rc_start, rc_stop);
+    instability = (inst_start, inst_stop);
+  }
+
+let horizon_s t = t.horizon_s
+
+let extra_delay_ms t ~from_node ~to_node ~time_s =
+  match Hashtbl.find_opt t.processes (from_node, to_node) with
+  | Some process -> Delay_process.value process ~time_s
+  | None -> 0.0
+
+let route_change_window t = t.route_change
+
+let instability_window t = t.instability
+
+let process_for t ~transit ~toward = Hashtbl.find_opt t.processes (transit, toward)

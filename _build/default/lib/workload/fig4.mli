@@ -1,0 +1,46 @@
+(** The calibrated dynamics of the paper's measurement study (§5, Fig. 4),
+    time-compressed onto a configurable horizon.
+
+    Each transit network gets an independent {!Delay_process.t} per
+    direction, attached to the directed link where that transit hands
+    traffic to the destination Vultr site — so the NTT/Telia/GTT/Cogent
+    paths east- and west-bound all evolve independently, as the paper
+    observed. Headline shapes:
+
+    - GTT is the quiet, fastest path (jitter ≈ 0.01 ms eastbound);
+    - Telia is noisy (jitter ≈ 0.33 ms eastbound);
+    - NTT (the BGP default) drifts ~30% above GTT;
+    - westbound GTT suffers one internal route change (+5 ms level for a
+      tenth of the horizon, Fig. 4 middle) and one instability window
+      (spikes up to 78 ms total OWD against the 28 ms floor, Fig. 4
+      right). *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?horizon_s:float ->
+  ?route_change_magnitude_ms:float ->
+  ?instability_peak_extra_ms:float ->
+  unit ->
+  t
+(** [horizon_s] defaults to 600 s (the compressed "8 days").
+    [route_change_magnitude_ms] defaults to 5; the route change occupies
+    [0.40, 0.60) of the horizon. [instability_peak_extra_ms] defaults to
+    50 (28 ms floor + 50 = 78 ms peak); the instability window occupies
+    [0.70, 0.80). *)
+
+val horizon_s : t -> float
+
+val extra_delay_ms : t -> from_node:int -> to_node:int -> time_s:float -> float
+(** Plug into {!Tango_dataplane.Fabric.create}. *)
+
+val route_change_window : t -> float * float
+(** [(start, stop)] in seconds. *)
+
+val instability_window : t -> float * float
+
+val process_for :
+  t -> transit:int -> toward:int -> Delay_process.t option
+(** The process attached to the [transit -> toward] directed link, for
+    tests and calibration checks. *)

@@ -1,0 +1,48 @@
+type t = {
+  mutable next_seq : int;
+  buffer : (int, float) Hashtbl.t;  (* out-of-order arrivals *)
+  arrivals : (int, float) Hashtbl.t;
+  releases : (int, float) Hashtbl.t;
+  mutable released : int;
+}
+
+let create () =
+  {
+    next_seq = 0;
+    buffer = Hashtbl.create 64;
+    arrivals = Hashtbl.create 64;
+    releases = Hashtbl.create 64;
+    released = 0;
+  }
+
+let arrival t ~seq ~time =
+  if seq < t.next_seq || Hashtbl.mem t.buffer seq then []
+  else begin
+    Hashtbl.replace t.arrivals seq time;
+    Hashtbl.replace t.buffer seq time;
+    if seq > t.next_seq then []
+    else begin
+      (* This arrival fills the head: release the contiguous run. *)
+      let rec release acc =
+        match Hashtbl.find_opt t.buffer t.next_seq with
+        | None -> List.rev acc
+        | Some _ ->
+            Hashtbl.remove t.buffer t.next_seq;
+            Hashtbl.replace t.releases t.next_seq time;
+            t.released <- t.released + 1;
+            let this = t.next_seq in
+            t.next_seq <- this + 1;
+            release ((this, time) :: acc)
+      in
+      release []
+    end
+  end
+
+let released t = t.released
+
+let pending t = Hashtbl.length t.buffer
+
+let head_of_line_extra t ~seq =
+  match (Hashtbl.find_opt t.releases seq, Hashtbl.find_opt t.arrivals seq) with
+  | Some release, Some arrival -> Some (release -. arrival)
+  | _ -> None

@@ -1,0 +1,28 @@
+(** In-order delivery model for application-level impact (§5).
+
+    The paper argues that even when a path still delivers {e some}
+    packets at the minimum OWD during an instability episode, TCP-style
+    in-order delivery turns a single delayed packet into head-of-line
+    blocking for everything behind it. This module replays a stream of
+    (sequence, network-arrival-time) pairs through an in-order release
+    buffer and reports per-packet application delivery times. *)
+
+type t
+
+val create : unit -> t
+
+val arrival : t -> seq:int -> time:float -> (int * float) list
+(** Record a packet's network arrival; returns the packets released to
+    the application by this arrival as [(seq, release_time)] — i.e. the
+    contiguous run now deliverable. A released packet's release time is
+    the arrival time of the packet that unblocked it. Duplicate or
+    already-released sequence numbers release nothing. *)
+
+val released : t -> int
+val pending : t -> int
+(** Packets buffered, waiting for a gap to fill. *)
+
+val head_of_line_extra : t -> seq:int -> float option
+(** For a released packet, the extra delay in seconds it spent blocked
+    behind the missing packet ([release - arrival]); [None] if the
+    sequence number has not been released. *)

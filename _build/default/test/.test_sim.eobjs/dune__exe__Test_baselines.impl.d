@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Gen List QCheck QCheck_alcotest Tango Tango_baselines Tango_bgp Tango_dataplane Tango_net Tango_sim Tango_telemetry Tango_topo

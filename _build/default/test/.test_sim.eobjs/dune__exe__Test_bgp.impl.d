@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest As_path Community Decision Int List Network Option Printf QCheck QCheck_alcotest Route Speaker String Tango_bgp Tango_net Tango_sim Tango_topo Update

@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Array Clock Ecmp Fabric Fun Hashtbl Int64 List Option Printf QCheck QCheck_alcotest Seq_tracker Tango_bgp Tango_dataplane Tango_net Tango_sim Tango_topo Tunnel

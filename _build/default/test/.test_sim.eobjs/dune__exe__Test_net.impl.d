@@ -1,0 +1,1 @@
+test/test_net.ml: Addr Alcotest Bytes Char Flow Int64 Ipv4 Ipv6 List Packet Prefix Printf QCheck QCheck_alcotest Siphash Tango_net Wire

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Float Fun Gen Heap Int Int64 List QCheck QCheck_alcotest Rng Stats Tango_sim

@@ -1,0 +1,1 @@
+test/test_telemetry.ml: Alcotest Ascii_plot Detect Ewma Export Filename Float Gen Jitter List QCheck QCheck_alcotest Rolling Series String Sys Tango_sim Tango_telemetry

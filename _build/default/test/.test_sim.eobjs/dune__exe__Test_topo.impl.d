@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Builders Int Link List Printf Relationship Serial String Tango_bgp Tango_net Tango_sim Tango_topo Topology Vultr

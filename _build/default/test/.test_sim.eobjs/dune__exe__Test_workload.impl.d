@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Delay_process Fig4 Float Fun Inorder List QCheck QCheck_alcotest Tango_sim Tango_topo Tango_workload Traffic

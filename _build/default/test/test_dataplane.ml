@@ -1,0 +1,425 @@
+(* Tests for the data plane: clocks, tunnels, sequence tracking, ECMP
+   lanes and the packet fabric. *)
+
+open Tango_dataplane
+module Addr = Tango_net.Addr
+module Flow = Tango_net.Flow
+module Packet = Tango_net.Packet
+module Engine = Tango_sim.Engine
+module Prefix = Tango_net.Prefix
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+
+let test_clock_offset () =
+  let c = Clock.create ~offset_ns:5_000L () in
+  Alcotest.(check int64) "offset applied" 1_000_005_000L
+    (Clock.now_ns c ~sim_time_s:1.0)
+
+let test_clock_drift () =
+  (* 100 ppm for 10 s = 1 ms = 1e6 ns. *)
+  let c = Clock.create ~drift_ppm:100.0 () in
+  Alcotest.(check int64) "drift accumulates" 10_001_000_000L
+    (Clock.now_ns c ~sim_time_s:10.0)
+
+(* ------------------------------------------------------------------ *)
+(* Tunnel                                                              *)
+
+let mk_packet id =
+  Packet.create ~id
+    ~flow:
+      (Flow.v
+         ~src:(Addr.of_string_exn "2001:db8:4000::1")
+         ~dst:(Addr.of_string_exn "2001:db8:4010::1")
+         ~proto:17 ~src_port:1000 ~dst_port:5000)
+    ~payload_bytes:100 ~created_at:0.0 ()
+
+let mk_tunnel () =
+  Tunnel.create ~path_id:2 ~label:"GTT"
+    ~local_endpoint:(Addr.of_string_exn "2001:db8:4003::1")
+    ~remote_endpoint:(Addr.of_string_exn "2001:db8:4013::1")
+    ()
+
+let test_tunnel_seq_advances () =
+  let t = mk_tunnel () in
+  let clock = Clock.create () in
+  let p1 = mk_packet 1 and p2 = mk_packet 2 in
+  Tunnel.send t ~clock ~now_s:0.0 p1;
+  Tunnel.send t ~clock ~now_s:0.0 p2;
+  let e1 = Option.get p1.Packet.encap and e2 = Option.get p2.Packet.encap in
+  Alcotest.(check int64) "first seq" 0L e1.Packet.tango.Packet.seq;
+  Alcotest.(check int64) "second seq" 1L e2.Packet.tango.Packet.seq;
+  Alcotest.(check int) "path id carried" 2 e1.Packet.tango.Packet.path_id
+
+let test_tunnel_owd_with_synced_clocks () =
+  let t = mk_tunnel () in
+  let clock = Clock.create () in
+  let p = mk_packet 1 in
+  Tunnel.send t ~clock ~now_s:1.0 p;
+  let r = Tunnel.receive ~clock ~now_s:1.0284 p in
+  Alcotest.(check (float 1e-6)) "owd 28.4ms" 28.4 r.Tunnel.owd_ms
+
+let test_tunnel_owd_offset_is_constant () =
+  (* The paper's key measurement property: unsynchronized clocks shift
+     every OWD by the same constant, preserving relative comparisons. *)
+  let sender = Clock.create ~offset_ns:37_000_000L () in
+  let receiver = Clock.create ~offset_ns:(-12_000_000L) () in
+  let owd ~delay =
+    let t = mk_tunnel () in
+    let p = mk_packet 1 in
+    Tunnel.send t ~clock:sender ~now_s:5.0 p;
+    (Tunnel.receive ~clock:receiver ~now_s:(5.0 +. delay) p).Tunnel.owd_ms
+  in
+  let a = owd ~delay:0.028 and b = owd ~delay:0.0364 in
+  Alcotest.(check (float 1e-6)) "difference exact despite skew" 8.4 (b -. a);
+  Alcotest.(check (float 1e-6)) "absolute shifted by skew" (28.0 -. 49.0) a
+
+let test_tunnel_receive_raw_packet_rejected () =
+  let p = mk_packet 1 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Tunnel.receive ~clock:(Clock.create ()) ~now_s:0.0 p);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Seq_tracker                                                         *)
+
+let test_tracker_in_order () =
+  let t = Seq_tracker.create () in
+  List.iter (fun s -> Seq_tracker.observe t (Int64.of_int s)) [ 0; 1; 2; 3 ];
+  Alcotest.(check int) "received" 4 (Seq_tracker.received t);
+  Alcotest.(check int) "no loss" 0 (Seq_tracker.lost t);
+  Alcotest.(check int) "no reorder" 0 (Seq_tracker.reordered t)
+
+let test_tracker_loss () =
+  let t = Seq_tracker.create () in
+  List.iter (fun s -> Seq_tracker.observe t (Int64.of_int s)) [ 0; 1; 4 ];
+  Alcotest.(check int) "two missing" 2 (Seq_tracker.lost t);
+  Alcotest.(check (float 1e-9)) "loss rate" 0.4 (Seq_tracker.loss_rate t)
+
+let test_tracker_reorder_heals_loss () =
+  let t = Seq_tracker.create () in
+  List.iter (fun s -> Seq_tracker.observe t (Int64.of_int s)) [ 0; 2; 1; 3 ];
+  Alcotest.(check int) "nothing lost" 0 (Seq_tracker.lost t);
+  Alcotest.(check int) "one reorder" 1 (Seq_tracker.reordered t);
+  Alcotest.(check int) "all received" 4 (Seq_tracker.received t)
+
+let test_tracker_duplicates () =
+  let t = Seq_tracker.create () in
+  List.iter (fun s -> Seq_tracker.observe t (Int64.of_int s)) [ 0; 1; 1; 0 ];
+  Alcotest.(check int) "two dups" 2 (Seq_tracker.duplicates t);
+  Alcotest.(check int) "two received" 2 (Seq_tracker.received t)
+
+let tracker_qcheck_permutation_no_loss =
+  QCheck.Test.make ~name:"any permutation of 0..n-1 shows no loss" ~count:200
+    QCheck.(int_bound 50)
+    (fun n ->
+      let t = Seq_tracker.create () in
+      let arr = Array.init (n + 1) Fun.id in
+      let rng = Tango_sim.Rng.create ~seed:n in
+      Tango_sim.Rng.shuffle rng arr;
+      Array.iter (fun s -> Seq_tracker.observe t (Int64.of_int s)) arr;
+      Seq_tracker.lost t = 0 && Seq_tracker.received t = n + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Ecmp                                                                *)
+
+let test_ecmp_lane_stability () =
+  let lanes = Ecmp.uniform_lanes ~count:4 ~spread_ms:2.0 in
+  let flow =
+    Flow.v
+      ~src:(Addr.of_string_exn "2001:db8::1")
+      ~dst:(Addr.of_string_exn "2001:db8::2")
+      ~proto:17 ~src_port:40000 ~dst_port:4789
+  in
+  let l1 = Ecmp.select lanes ~salt:7 flow in
+  let l2 = Ecmp.select lanes ~salt:7 flow in
+  Alcotest.(check int) "same flow same lane" l1 l2
+
+let test_ecmp_spread () =
+  let lanes = Ecmp.uniform_lanes ~count:4 ~spread_ms:2.0 in
+  let seen = Hashtbl.create 4 in
+  for port = 1000 to 1200 do
+    let flow =
+      Flow.v
+        ~src:(Addr.of_string_exn "2001:db8::1")
+        ~dst:(Addr.of_string_exn "2001:db8::2")
+        ~proto:17 ~src_port:port ~dst_port:4789
+    in
+    Hashtbl.replace seen (Ecmp.select lanes ~salt:7 flow) ()
+  done;
+  Alcotest.(check int) "different flows cover all lanes" 4 (Hashtbl.length seen)
+
+let test_ecmp_lane_delay () =
+  let lanes = Ecmp.uniform_lanes ~count:3 ~spread_ms:1.5 in
+  Alcotest.(check (array (float 1e-9))) "offsets" [| 0.0; 1.5; 3.0 |] lanes
+
+(* ------------------------------------------------------------------ *)
+(* Fabric                                                              *)
+
+let chain_fabric () =
+  let topo = Tango_topo.Builders.chain 3 in
+  let engine = Engine.create () in
+  let net = Tango_bgp.Network.create topo engine in
+  Tango_bgp.Network.announce net ~node:2 (Prefix.of_string_exn "10.0.0.0/8") ();
+  ignore (Tango_bgp.Network.converge net);
+  (engine, Fabric.create net)
+
+let packet_to addr id =
+  Packet.create ~id
+    ~flow:
+      (Flow.v
+         ~src:(Addr.of_string_exn "192.168.0.1")
+         ~dst:(Addr.of_string_exn addr) ~proto:17 ~src_port:1 ~dst_port:2)
+    ~payload_bytes:64 ~created_at:0.0 ()
+
+let test_fabric_delivers () =
+  let engine, fabric = chain_fabric () in
+  let delivered = ref None in
+  Fabric.send fabric ~from_node:0
+    ~on_delivered:(fun ~node p -> delivered := Some (node, Packet.path_taken p))
+    (packet_to "10.1.2.3" 1);
+  Engine.run engine;
+  match !delivered with
+  | Some (node, path) ->
+      Alcotest.(check int) "delivered at origin" 2 node;
+      Alcotest.(check (list int)) "asn path" [ 0; 1; 2 ] path;
+      Alcotest.(check int) "counter" 1 (Fabric.delivered fabric)
+  | None -> Alcotest.fail "packet lost"
+
+let test_fabric_latency_is_sum_of_links () =
+  (* chain links default to 1 ms each; transmission of 104 bytes at
+     10 Gb/s is negligible but nonzero. *)
+  let engine, fabric = chain_fabric () in
+  let sent_at = Engine.now engine in
+  let arrival = ref nan in
+  Fabric.send fabric ~from_node:0
+    ~on_delivered:(fun ~node:_ _ -> arrival := Engine.now engine -. sent_at)
+    (packet_to "10.1.2.3" 1);
+  Engine.run engine;
+  Alcotest.(check bool) "about 2 ms" true (!arrival > 0.002 && !arrival < 0.0023)
+
+let test_fabric_unroutable () =
+  let engine, fabric = chain_fabric () in
+  let reason = ref "" in
+  Fabric.send fabric ~from_node:0
+    ~on_dropped:(fun ~reason:r _ -> reason := r)
+    ~on_delivered:(fun ~node:_ _ -> Alcotest.fail "should not deliver")
+    (packet_to "11.0.0.1" 1);
+  Engine.run engine;
+  Alcotest.(check string) "unroutable" "unroutable" !reason;
+  Alcotest.(check int) "dropped counter" 1 (Fabric.dropped fabric)
+
+let test_fabric_loss () =
+  let topo = Tango_topo.Topology.create () in
+  Tango_topo.Topology.add_node topo ~id:0 ~asn:0 "a";
+  Tango_topo.Topology.add_node topo ~id:1 ~asn:1 "b";
+  Tango_topo.Topology.connect topo ~provider:0 ~customer:1
+    ~link:(Tango_topo.Link.v ~loss:0.5 1.0) ();
+  let engine = Engine.create () in
+  let net = Tango_bgp.Network.create topo engine in
+  Tango_bgp.Network.announce net ~node:1 (Prefix.of_string_exn "10.0.0.0/8") ();
+  ignore (Tango_bgp.Network.converge net);
+  let fabric = Fabric.create ~seed:3 net in
+  let delivered = ref 0 and dropped = ref 0 in
+  for i = 1 to 500 do
+    Fabric.send fabric ~from_node:0
+      ~on_dropped:(fun ~reason:_ _ -> incr dropped)
+      ~on_delivered:(fun ~node:_ _ -> incr delivered)
+      (packet_to "10.0.0.1" i)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "accounted" 500 (!delivered + !dropped);
+  let rate = float_of_int !dropped /. 500.0 in
+  Alcotest.(check bool) "loss near 0.5" true (rate > 0.4 && rate < 0.6)
+
+let test_fabric_extra_delay_applied () =
+  let topo = Tango_topo.Builders.chain 2 in
+  let engine = Engine.create () in
+  let net = Tango_bgp.Network.create topo engine in
+  Tango_bgp.Network.announce net ~node:1 (Prefix.of_string_exn "10.0.0.0/8") ();
+  ignore (Tango_bgp.Network.converge net);
+  let fabric =
+    Fabric.create
+      ~extra_delay_ms:(fun ~from_node:_ ~to_node:_ ~time_s:_ -> 10.0)
+      net
+  in
+  let sent_at = Engine.now engine in
+  let arrival = ref nan in
+  Fabric.send fabric ~from_node:0
+    ~on_delivered:(fun ~node:_ _ -> arrival := Engine.now engine -. sent_at)
+    (packet_to "10.0.0.1" 1);
+  Engine.run engine;
+  Alcotest.(check bool) "about 11 ms" true (!arrival > 0.011 && !arrival < 0.0115)
+
+let test_fabric_lanes_differentiate_flows () =
+  let topo = Tango_topo.Builders.chain 3 in
+  let engine = Engine.create () in
+  let net = Tango_bgp.Network.create topo engine in
+  Tango_bgp.Network.announce net ~node:2 (Prefix.of_string_exn "10.0.0.0/8") ();
+  ignore (Tango_bgp.Network.converge net);
+  let fabric =
+    Fabric.create
+      ~lanes_of:(fun node ->
+        if node = 1 then Ecmp.uniform_lanes ~count:8 ~spread_ms:5.0
+        else [| 0.0 |])
+      net
+  in
+  let arrivals = Hashtbl.create 8 in
+  for port = 1 to 40 do
+    let p =
+      Packet.create ~id:port
+        ~flow:
+          (Flow.v
+             ~src:(Addr.of_string_exn "192.168.0.1")
+             ~dst:(Addr.of_string_exn "10.0.0.1")
+             ~proto:17 ~src_port:port ~dst_port:2)
+        ~payload_bytes:64 ~created_at:0.0 ()
+    in
+    Fabric.send fabric ~from_node:0
+      ~on_delivered:(fun ~node:_ p ->
+        Hashtbl.replace arrivals p.Packet.id (Engine.now engine))
+      p
+  done;
+  Engine.run engine;
+  let distinct = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ at -> Hashtbl.replace distinct (int_of_float (at *. 1e4)) ())
+    arrivals;
+  (* Eight lanes, 5 ms apart: different source ports land in clearly
+     separated arrival groups. *)
+  Alcotest.(check bool) "several lanes used" true (Hashtbl.length distinct >= 3)
+
+(* ------------------------------------------------------------------ *)
+(* Queueing / contention                                               *)
+
+let slow_link_net () =
+  let topo = Tango_topo.Topology.create () in
+  Tango_topo.Topology.add_node topo ~id:0 ~asn:0 "a";
+  Tango_topo.Topology.add_node topo ~id:1 ~asn:1 "b";
+  (* 1 Mb/s: a 1250 B packet (+40 B header) takes ~10.3 ms to serialize. *)
+  Tango_topo.Topology.connect topo ~provider:0 ~customer:1
+    ~link:(Tango_topo.Link.v ~jitter_ms:0.0 ~bandwidth_mbps:1.0 1.0) ();
+  let engine = Engine.create () in
+  let net = Tango_bgp.Network.create topo engine in
+  Tango_bgp.Network.announce net ~node:1 (Prefix.of_string_exn "10.0.0.0/8") ();
+  ignore (Tango_bgp.Network.converge net);
+  (engine, net)
+
+let big_packet i =
+  Packet.create ~id:i
+    ~flow:
+      (Flow.v
+         ~src:(Addr.of_string_exn "192.168.0.1")
+         ~dst:(Addr.of_string_exn "10.0.0.1")
+         ~proto:17 ~src_port:1 ~dst_port:2)
+    ~payload_bytes:1250 ~created_at:0.0 ()
+
+let test_fabric_queueing_serializes () =
+  let engine, net = slow_link_net () in
+  let fabric = Fabric.create ~max_queue_s:10.0 net in
+  let arrivals = ref [] in
+  for i = 1 to 5 do
+    Fabric.send fabric ~from_node:0
+      ~on_delivered:(fun ~node:_ _ -> arrivals := Engine.now engine :: !arrivals)
+      (big_packet i)
+  done;
+  Engine.run engine;
+  let arrivals = List.rev !arrivals in
+  Alcotest.(check int) "all delivered" 5 (List.length arrivals);
+  (* Back-to-back sends serialize ~10.3 ms apart. *)
+  let rec gaps = function
+    | a :: (b :: _ as rest) -> (b -. a) :: gaps rest
+    | _ -> []
+  in
+  List.iter
+    (fun gap ->
+      Alcotest.(check bool)
+        (Printf.sprintf "gap %.4f near serialization time" gap)
+        true
+        (gap > 0.009 && gap < 0.012))
+    (gaps arrivals)
+
+let test_fabric_queue_overflow_drops () =
+  let engine, net = slow_link_net () in
+  (* Queue bound of 25 ms holds only ~2 waiting packets. *)
+  let fabric = Fabric.create ~max_queue_s:0.025 net in
+  let delivered = ref 0 and dropped = ref 0 in
+  for i = 1 to 20 do
+    Fabric.send fabric ~from_node:0
+      ~on_dropped:(fun ~reason _ ->
+        Alcotest.(check string) "reason" "queue-overflow" reason;
+        incr dropped)
+      ~on_delivered:(fun ~node:_ _ -> incr delivered)
+      (big_packet i)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "accounted" 20 (!delivered + !dropped);
+  Alcotest.(check bool)
+    (Printf.sprintf "most dropped (%d delivered)" !delivered)
+    true
+    (!delivered <= 4 && !dropped >= 16)
+
+let test_fabric_no_contention_by_default () =
+  let engine, net = slow_link_net () in
+  let fabric = Fabric.create net in
+  let arrivals = ref [] in
+  for i = 1 to 5 do
+    Fabric.send fabric ~from_node:0
+      ~on_delivered:(fun ~node:_ _ -> arrivals := Engine.now engine :: !arrivals)
+      (big_packet i)
+  done;
+  Engine.run engine;
+  (* Delay-only model: everything arrives together. *)
+  match List.rev !arrivals with
+  | first :: rest ->
+      List.iter
+        (fun at -> Alcotest.(check (float 1e-9)) "simultaneous" first at)
+        rest
+  | [] -> Alcotest.fail "nothing delivered"
+
+let () =
+  let tc = Alcotest.test_case in
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "tango_dataplane"
+    [
+      ( "clock",
+        [ tc "offset" `Quick test_clock_offset; tc "drift" `Quick test_clock_drift ] );
+      ( "tunnel",
+        [
+          tc "seq advances" `Quick test_tunnel_seq_advances;
+          tc "owd synced" `Quick test_tunnel_owd_with_synced_clocks;
+          tc "owd offset constant" `Quick test_tunnel_owd_offset_is_constant;
+          tc "raw packet rejected" `Quick test_tunnel_receive_raw_packet_rejected;
+        ] );
+      ( "seq_tracker",
+        [
+          tc "in order" `Quick test_tracker_in_order;
+          tc "loss" `Quick test_tracker_loss;
+          tc "reorder heals" `Quick test_tracker_reorder_heals_loss;
+          tc "duplicates" `Quick test_tracker_duplicates;
+          qc tracker_qcheck_permutation_no_loss;
+        ] );
+      ( "ecmp",
+        [
+          tc "lane stability" `Quick test_ecmp_lane_stability;
+          tc "spread" `Quick test_ecmp_spread;
+          tc "lane delays" `Quick test_ecmp_lane_delay;
+        ] );
+      ( "fabric",
+        [
+          tc "delivers" `Quick test_fabric_delivers;
+          tc "latency sums links" `Quick test_fabric_latency_is_sum_of_links;
+          tc "unroutable" `Quick test_fabric_unroutable;
+          tc "loss" `Quick test_fabric_loss;
+          tc "extra delay" `Quick test_fabric_extra_delay_applied;
+          tc "ecmp lanes" `Quick test_fabric_lanes_differentiate_flows;
+        ] );
+      ( "queueing",
+        [
+          tc "serializes" `Quick test_fabric_queueing_serializes;
+          tc "overflow drops" `Quick test_fabric_queue_overflow_drops;
+          tc "off by default" `Quick test_fabric_no_contention_by_default;
+        ] );
+    ]

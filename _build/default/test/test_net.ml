@@ -1,0 +1,572 @@
+(* Tests for the network substrate: addresses, prefixes, flows, packets,
+   and the byte-level tunnel header codec. *)
+
+open Tango_net
+
+(* ------------------------------------------------------------------ *)
+(* IPv4                                                                *)
+
+let test_ipv4_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (Ipv4.to_string (Ipv4.of_string_exn s)))
+    [ "0.0.0.0"; "1.2.3.4"; "255.255.255.255"; "10.0.0.1"; "192.168.100.200" ]
+
+let test_ipv4_invalid () =
+  List.iter
+    (fun s ->
+      match Ipv4.of_string s with
+      | Ok _ -> Alcotest.failf "accepted invalid %S" s
+      | Error _ -> ())
+    [ "256.1.1.1"; "1.2.3"; "1.2.3.4.5"; "a.b.c.d"; ""; "1..2.3"; "-1.2.3.4" ]
+
+let test_ipv4_ordering () =
+  let lo = Ipv4.of_string_exn "9.255.255.255" in
+  let hi = Ipv4.of_string_exn "10.0.0.0" in
+  Alcotest.(check bool) "ordering" true (Ipv4.compare lo hi < 0);
+  (* Unsigned comparison: 200.x must be above 100.x. *)
+  let big = Ipv4.of_string_exn "200.0.0.1" in
+  Alcotest.(check bool) "unsigned" true (Ipv4.compare hi big < 0)
+
+let test_ipv4_arith () =
+  let a = Ipv4.of_string_exn "10.0.0.255" in
+  Alcotest.(check string) "succ crosses octet" "10.0.1.0"
+    (Ipv4.to_string (Ipv4.succ a));
+  Alcotest.(check string) "add 257" "10.0.2.0"
+    (Ipv4.to_string (Ipv4.add a 257))
+
+(* ------------------------------------------------------------------ *)
+(* IPv6                                                                *)
+
+let test_ipv6_roundtrip_canonical () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (Ipv6.to_string (Ipv6.of_string_exn s)))
+    [
+      "::";
+      "::1";
+      "1::";
+      "2001:db8::";
+      "2001:db8::1";
+      "fe80::1:2:3:4";
+      "1:2:3:4:5:6:7:8";
+      "2001:db8:0:1:1:1:1:1";
+    ]
+
+let test_ipv6_parse_forms () =
+  let check input expect =
+    Alcotest.(check string) input expect (Ipv6.to_string (Ipv6.of_string_exn input))
+  in
+  check "0:0:0:0:0:0:0:0" "::";
+  check "0000:0000:0000:0000:0000:0000:0000:0001" "::1";
+  check "2001:0DB8:0:0:0:0:0:1" "2001:db8::1";
+  check "2001:db8:0:0:1:0:0:1" "2001:db8::1:0:0:1"
+
+let test_ipv6_invalid () =
+  List.iter
+    (fun s ->
+      match Ipv6.of_string s with
+      | Ok _ -> Alcotest.failf "accepted invalid %S" s
+      | Error _ -> ())
+    [
+      "";
+      ":::";
+      "1::2::3";
+      "1:2:3:4:5:6:7:8:9";
+      "1:2:3:4:5:6:7";
+      "12345::";
+      "g::1";
+      "1.2.3.4";
+    ]
+
+let test_ipv6_groups_roundtrip () =
+  let groups = [| 0x2001; 0xdb8; 0; 0x42; 0; 0; 0xdead; 0xbeef |] in
+  Alcotest.(check (array int)) "groups" groups (Ipv6.to_groups (Ipv6.of_groups groups))
+
+let test_ipv6_add_carry () =
+  let a = Ipv6.make 0L Int64.minus_one in
+  let b = Ipv6.add a 1L in
+  Alcotest.(check int64) "hi carried" 1L (Ipv6.hi b);
+  Alcotest.(check int64) "lo wrapped" 0L (Ipv6.lo b)
+
+let test_ipv6_shifts () =
+  let one = Ipv6.make 0L 1L in
+  let shifted = Ipv6.shift_left one 64 in
+  Alcotest.(check int64) "into hi" 1L (Ipv6.hi shifted);
+  let back = Ipv6.shift_right shifted 64 in
+  Alcotest.(check bool) "roundtrip" true (Ipv6.equal one back);
+  let wide = Ipv6.shift_left one 127 in
+  Alcotest.(check int64) "top bit" Int64.min_int (Ipv6.hi wide)
+
+let ipv6_qcheck_roundtrip =
+  QCheck.Test.make ~name:"ipv6 print/parse roundtrip" ~count:500
+    QCheck.(pair (pair int64 int64) unit)
+    (fun ((hi, lo), ()) ->
+      let a = Ipv6.make hi lo in
+      Ipv6.equal a (Ipv6.of_string_exn (Ipv6.to_string a)))
+
+(* ------------------------------------------------------------------ *)
+(* Prefix                                                              *)
+
+let test_prefix_parse () =
+  let p = Prefix.of_string_exn "2001:db8::/32" in
+  Alcotest.(check int) "length" 32 (Prefix.length p);
+  Alcotest.(check string) "printed" "2001:db8::/32" (Prefix.to_string p)
+
+let test_prefix_canonical () =
+  let a = Prefix.of_string_exn "2001:db8::ffff/32" in
+  let b = Prefix.of_string_exn "2001:db8::/32" in
+  Alcotest.(check bool) "host bits dropped" true (Prefix.equal a b)
+
+let test_prefix_mem () =
+  let p = Prefix.of_string_exn "10.0.0.0/8" in
+  Alcotest.(check bool) "inside" true (Prefix.mem p (Addr.of_string_exn "10.200.3.4"));
+  Alcotest.(check bool) "outside" false (Prefix.mem p (Addr.of_string_exn "11.0.0.1"));
+  Alcotest.(check bool) "cross family" false
+    (Prefix.mem p (Addr.of_string_exn "2001:db8::1"))
+
+let test_prefix_mem_v6 () =
+  let p = Prefix.of_string_exn "2001:db8:1234::/48" in
+  Alcotest.(check bool) "inside" true
+    (Prefix.mem p (Addr.of_string_exn "2001:db8:1234:ffff::1"));
+  Alcotest.(check bool) "outside" false
+    (Prefix.mem p (Addr.of_string_exn "2001:db8:1235::1"))
+
+let test_prefix_zero_length () =
+  let p = Prefix.of_string_exn "0.0.0.0/0" in
+  Alcotest.(check bool) "default route matches all" true
+    (Prefix.mem p (Addr.of_string_exn "203.0.113.7"))
+
+let test_prefix_subsumes () =
+  let big = Prefix.of_string_exn "10.0.0.0/8" in
+  let small = Prefix.of_string_exn "10.1.0.0/16" in
+  Alcotest.(check bool) "subsumes" true (Prefix.subsumes big small);
+  Alcotest.(check bool) "not reverse" false (Prefix.subsumes small big);
+  Alcotest.(check bool) "overlaps" true (Prefix.overlaps small big)
+
+let test_prefix_subnet () =
+  let p = Prefix.of_string_exn "2001:db8::/32" in
+  let s0 = Prefix.subnet p 16 0 in
+  let s5 = Prefix.subnet p 16 5 in
+  Alcotest.(check string) "first /48" "2001:db8::/48" (Prefix.to_string s0);
+  Alcotest.(check string) "sixth /48" "2001:db8:5::/48" (Prefix.to_string s5);
+  Alcotest.(check bool) "parent holds child" true (Prefix.subsumes p s5)
+
+let test_prefix_subnet_v4 () =
+  let p = Prefix.of_string_exn "10.0.0.0/8" in
+  Alcotest.(check string) "subnet" "10.3.0.0/16"
+    (Prefix.to_string (Prefix.subnet p 8 3))
+
+let test_prefix_nth_address () =
+  let p = Prefix.of_string_exn "2001:db8:5::/48" in
+  Alcotest.(check string) "addr 1" "2001:db8:5::1"
+    (Addr.to_string (Prefix.nth_address p 1L))
+
+let test_prefix_invalid () =
+  List.iter
+    (fun s ->
+      match Prefix.of_string s with
+      | Ok _ -> Alcotest.failf "accepted invalid %S" s
+      | Error _ -> ())
+    [ "10.0.0.0"; "10.0.0.0/33"; "2001:db8::/129"; "x/8"; "10.0.0.0/-1" ]
+
+let prefix_qcheck_subnet_disjoint =
+  QCheck.Test.make ~name:"sibling subnets are disjoint" ~count:200
+    QCheck.(pair (int_bound 14) (int_bound 14))
+    (fun (i, j) ->
+      QCheck.assume (i <> j);
+      let p = Prefix.of_string_exn "2001:db8::/32" in
+      let a = Prefix.subnet p 4 (i mod 16) and b = Prefix.subnet p 4 (j mod 16) in
+      i mod 16 = j mod 16 || not (Prefix.overlaps a b))
+
+(* ------------------------------------------------------------------ *)
+(* Flow                                                                *)
+
+let flow_a () =
+  Flow.v
+    ~src:(Addr.of_string_exn "2001:db8::1")
+    ~dst:(Addr.of_string_exn "2001:db8::2")
+    ~proto:17 ~src_port:1234 ~dst_port:4789
+
+let test_flow_reverse () =
+  let f = flow_a () in
+  let r = Flow.reverse f in
+  Alcotest.(check bool) "src/dst swapped" true
+    (Addr.equal r.Flow.src f.Flow.dst && Addr.equal r.Flow.dst f.Flow.src);
+  Alcotest.(check int) "ports swapped" f.Flow.src_port r.Flow.dst_port;
+  Alcotest.(check bool) "double reverse" true (Flow.equal f (Flow.reverse r))
+
+let test_flow_hash_deterministic () =
+  let f = flow_a () in
+  Alcotest.(check int) "stable" (Flow.hash_5tuple f) (Flow.hash_5tuple f);
+  Alcotest.(check bool) "salt changes hash" true
+    (Flow.hash_5tuple ~salt:1 f <> Flow.hash_5tuple ~salt:2 f)
+
+let test_flow_hash_sensitivity () =
+  let f = flow_a () in
+  let g = { f with Flow.src_port = f.Flow.src_port + 1 } in
+  Alcotest.(check bool) "port matters" true
+    (Flow.hash_5tuple f <> Flow.hash_5tuple g)
+
+let test_flow_invalid () =
+  Alcotest.(check bool) "bad port raises" true
+    (try
+       ignore
+         (Flow.v
+            ~src:(Addr.of_string_exn "::1")
+            ~dst:(Addr.of_string_exn "::2")
+            ~proto:6 ~src_port:70000 ~dst_port:80);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Packet                                                              *)
+
+let sample_encap () =
+  {
+    Packet.outer_src = Addr.of_string_exn "2001:db8:100::1";
+    outer_dst = Addr.of_string_exn "2001:db8:200::1";
+    udp_src = 40000;
+    udp_dst = 4789;
+    tango = { Packet.timestamp_ns = 123456789L; seq = 7L; path_id = 2; flags = 0 };
+  }
+
+let test_packet_encap_cycle () =
+  let p = Packet.create ~id:1 ~flow:(flow_a ()) ~payload_bytes:100 ~created_at:0.0 () in
+  Alcotest.(check bool) "starts raw" false (Packet.is_encapsulated p);
+  let base = Packet.wire_size p in
+  Packet.encapsulate p (sample_encap ());
+  Alcotest.(check bool) "now tunneled" true (Packet.is_encapsulated p);
+  Alcotest.(check int) "tunnel adds 68 bytes" (base + 68) (Packet.wire_size p);
+  let e = Packet.decapsulate p in
+  Alcotest.(check int) "seq preserved" 7 (Int64.to_int e.Packet.tango.Packet.seq);
+  Alcotest.(check int) "size restored" base (Packet.wire_size p)
+
+let test_packet_double_encap_rejected () =
+  let p = Packet.create ~id:1 ~flow:(flow_a ()) ~payload_bytes:0 ~created_at:0.0 () in
+  Packet.encapsulate p (sample_encap ());
+  Alcotest.(check bool) "second encap raises" true
+    (try
+       Packet.encapsulate p (sample_encap ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_packet_forwarding_flow () =
+  let p = Packet.create ~id:1 ~flow:(flow_a ()) ~payload_bytes:0 ~created_at:0.0 () in
+  Alcotest.(check bool) "raw: inner flow" true
+    (Flow.equal (Packet.forwarding_flow p) (flow_a ()));
+  Packet.encapsulate p (sample_encap ());
+  let f = Packet.forwarding_flow p in
+  Alcotest.(check string) "outer dst drives forwarding" "2001:db8:200::1"
+    (Addr.to_string f.Flow.dst);
+  Alcotest.(check int) "udp proto" 17 f.Flow.proto
+
+let test_packet_decapsulate_raw () =
+  let p = Packet.create ~id:1 ~flow:(flow_a ()) ~payload_bytes:0 ~created_at:0.0 () in
+  Alcotest.(check bool) "raises on raw" true
+    (try ignore (Packet.decapsulate p); false with Invalid_argument _ -> true)
+
+let test_addr_family_ordering () =
+  let v4 = Addr.of_string_exn "255.255.255.255" in
+  let v6 = Addr.of_string_exn "::1" in
+  Alcotest.(check bool) "v4 before v6" true (Addr.compare v4 v6 < 0);
+  Alcotest.(check int) "family bits" 32 (Addr.family_bits v4);
+  Alcotest.(check int) "family bits v6" 128 (Addr.family_bits v6)
+
+let test_prefix_nth_negative () =
+  let p = Prefix.of_string_exn "10.0.0.0/8" in
+  Alcotest.(check bool) "negative index" true
+    (try ignore (Prefix.nth_address p (-1L)); false with Invalid_argument _ -> true)
+
+let test_packet_hops () =
+  let p = Packet.create ~id:1 ~flow:(flow_a ()) ~payload_bytes:0 ~created_at:0.0 () in
+  List.iter (Packet.record_hop p) [ 64512; 20473; 2914 ];
+  Alcotest.(check (list int)) "in order" [ 64512; 20473; 2914 ] (Packet.path_taken p)
+
+(* ------------------------------------------------------------------ *)
+(* Wire                                                                *)
+
+let test_wire_roundtrip () =
+  let payload = Bytes.of_string "hello tango, this is the inner packet" in
+  let tango = { Packet.timestamp_ns = 998877665544332211L; seq = 42L; path_id = 3; flags = 1 } in
+  let src = Ipv6.of_string_exn "2001:db8:100::1"
+  and dst = Ipv6.of_string_exn "2001:db8:200::beef" in
+  let frame =
+    Wire.encode_tunnel ~outer_src:src ~outer_dst:dst ~udp_src:40000
+      ~udp_dst:4789 ~tango payload
+  in
+  match Wire.decode_tunnel frame with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok (ipv6, udp, tango', payload') ->
+      Alcotest.(check bool) "src" true (Ipv6.equal src ipv6.Wire.src);
+      Alcotest.(check bool) "dst" true (Ipv6.equal dst ipv6.Wire.dst);
+      Alcotest.(check int) "udp src" 40000 udp.Wire.src_port;
+      Alcotest.(check int) "udp dst" 4789 udp.Wire.dst_port;
+      Alcotest.(check int64) "timestamp" tango.Packet.timestamp_ns tango'.Packet.timestamp_ns;
+      Alcotest.(check int64) "seq" 42L tango'.Packet.seq;
+      Alcotest.(check int) "path id" 3 tango'.Packet.path_id;
+      Alcotest.(check string) "payload" (Bytes.to_string payload) (Bytes.to_string payload')
+
+let test_wire_corruption_detected () =
+  let payload = Bytes.of_string "payload" in
+  let tango = { Packet.timestamp_ns = 1L; seq = 2L; path_id = 0; flags = 0 } in
+  let frame =
+    Wire.encode_tunnel
+      ~outer_src:(Ipv6.of_string_exn "::1")
+      ~outer_dst:(Ipv6.of_string_exn "::2")
+      ~udp_src:1 ~udp_dst:2 ~tango payload
+  in
+  (* Flip a bit in the payload: checksum must catch it. *)
+  let off = Bytes.length frame - 3 in
+  Bytes.set_uint8 frame off (Bytes.get_uint8 frame off lxor 0x40);
+  (match Wire.decode_tunnel frame with
+  | Ok _ -> Alcotest.fail "corruption not detected"
+  | Error _ -> ())
+
+let test_wire_truncated () =
+  match Wire.decode_tunnel (Bytes.create 10) with
+  | Ok _ -> Alcotest.fail "accepted truncated frame"
+  | Error _ -> ()
+
+let test_wire_wrong_version () =
+  let buf = Bytes.make 80 '\000' in
+  Bytes.set_uint8 buf 0 0x45;
+  match Wire.decode_tunnel buf with
+  | Ok _ -> Alcotest.fail "accepted IPv4 version"
+  | Error _ -> ()
+
+let test_wire_checksum_rfc1071 () =
+  (* Worked example from RFC 1071: words 0x0001 0xf203 0xf4f5 0xf6f7. *)
+  let buf = Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  Alcotest.(check int) "checksum" (lnot 0xddf2 land 0xFFFF)
+    (Wire.internet_checksum buf)
+
+(* ------------------------------------------------------------------ *)
+(* Siphash + authenticated telemetry                                   *)
+
+let reference_key = Siphash.key 0x0706050403020100L 0x0f0e0d0c0b0a0908L
+
+let test_siphash_reference_vectors () =
+  (* Canonical SipHash-2-4 vectors (Aumasson & Bernstein reference
+     implementation): key 00..0f, input = first N bytes of 00,01,02,... *)
+  let expect =
+    [
+      (0, 0x726fdb47dd0e0e31L);
+      (1, 0x74f839c593dc67fdL);
+      (2, 0x0d6c8009d9a94f5aL);
+      (7, 0xab0200f58b01d137L);
+      (8, 0x93f5f5799a932462L);
+      (15, 0xa129ca6149be45e5L);
+    ]
+  in
+  List.iter
+    (fun (n, want) ->
+      let input = Bytes.init n Char.chr in
+      Alcotest.(check int64) (Printf.sprintf "len %d" n) want
+        (Siphash.mac reference_key input))
+    expect
+
+let test_siphash_key_sensitivity () =
+  let other = Siphash.key 1L 2L in
+  let input = Bytes.of_string "tango telemetry" in
+  Alcotest.(check bool) "different keys differ" false
+    (Int64.equal (Siphash.mac reference_key input) (Siphash.mac other input))
+
+let test_siphash_key_of_string () =
+  let k =
+    Siphash.key_of_string
+      "\x00\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a\x0b\x0c\x0d\x0e\x0f"
+  in
+  Alcotest.(check int64) "matches reference key" 0x726fdb47dd0e0e31L
+    (Siphash.mac k Bytes.empty);
+  Alcotest.(check bool) "wrong length rejected" true
+    (try ignore (Siphash.key_of_string "short"); false
+     with Invalid_argument _ -> true)
+
+let auth_frame () =
+  Wire.encode_tunnel ~auth_key:reference_key
+    ~outer_src:(Ipv6.of_string_exn "2001:db8::1")
+    ~outer_dst:(Ipv6.of_string_exn "2001:db8::2")
+    ~udp_src:40001 ~udp_dst:4789
+    ~tango:{ Packet.timestamp_ns = 55L; seq = 9L; path_id = 1; flags = 0 }
+    (Bytes.of_string "measurement payload")
+
+(* What an on-path attacker can always do: fix up the (keyless) UDP
+   checksum after tampering. *)
+let refresh_checksum frame =
+  let read_u64 off =
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor (Int64.shift_left !v 8)
+             (Int64.of_int (Bytes.get_uint8 frame (off + i)))
+    done;
+    !v
+  in
+  let src = Ipv6.make (read_u64 8) (read_u64 16) in
+  let dst = Ipv6.make (read_u64 24) (read_u64 32) in
+  let udp_len = Bytes.length frame - 40 in
+  let udp = Bytes.sub frame 40 udp_len in
+  Bytes.set_uint8 udp 6 0;
+  Bytes.set_uint8 udp 7 0;
+  let sum = Wire.udp_checksum ~src ~dst ~udp in
+  Bytes.set_uint8 frame 46 (sum lsr 8);
+  Bytes.set_uint8 frame 47 (sum land 0xFF)
+
+let test_wire_auth_roundtrip () =
+  match Wire.decode_tunnel ~auth_key:reference_key (auth_frame ()) with
+  | Ok (_, _, tango, payload) ->
+      Alcotest.(check int64) "timestamp" 55L tango.Packet.timestamp_ns;
+      Alcotest.(check bool) "auth flag set on wire" true
+        (tango.Packet.flags land Wire.auth_flag <> 0);
+      Alcotest.(check string) "payload" "measurement payload" (Bytes.to_string payload)
+  | Error e -> Alcotest.failf "auth roundtrip failed: %s" e
+
+let test_wire_auth_detects_timestamp_forgery () =
+  (* The attacker rewrites the embedded timestamp to fake a faster path
+     and repairs the checksum — but cannot recompute the keyed tag. *)
+  let frame = auth_frame () in
+  Bytes.set_uint8 frame 50 (Bytes.get_uint8 frame 50 lxor 0x80);
+  refresh_checksum frame;
+  match Wire.decode_tunnel ~auth_key:reference_key frame with
+  | Ok _ -> Alcotest.fail "forged timestamp accepted"
+  | Error e -> Alcotest.(check string) "tag mismatch" "authentication tag mismatch" e
+
+let test_wire_auth_path_rebind_rejected () =
+  (* Splicing a validly-tagged shim onto a different tunnel destination
+     (path confusion) also fails: the outer addresses are part of the
+     authenticated message. *)
+  let frame = auth_frame () in
+  Bytes.set_uint8 frame 39 0x42;
+  refresh_checksum frame;
+  match Wire.decode_tunnel ~auth_key:reference_key frame with
+  | Ok _ -> Alcotest.fail "path rebind accepted"
+  | Error e -> Alcotest.(check string) "tag mismatch" "authentication tag mismatch" e
+
+let test_wire_auth_downgrade_rejected () =
+  (* Stripping authentication must not work when the receiver expects
+     it, and an authenticated frame needs a key to be read at all. *)
+  let plain =
+    Wire.encode_tunnel
+      ~outer_src:(Ipv6.of_string_exn "2001:db8::1")
+      ~outer_dst:(Ipv6.of_string_exn "2001:db8::2")
+      ~udp_src:40001 ~udp_dst:4789
+      ~tango:{ Packet.timestamp_ns = 55L; seq = 9L; path_id = 1; flags = 0 }
+      (Bytes.of_string "x")
+  in
+  (match Wire.decode_tunnel ~auth_key:reference_key plain with
+  | Ok _ -> Alcotest.fail "downgrade accepted"
+  | Error _ -> ());
+  match Wire.decode_tunnel (auth_frame ()) with
+  | Ok _ -> Alcotest.fail "authenticated frame read without key"
+  | Error _ -> ()
+
+let wire_qcheck_auth_roundtrip =
+  QCheck.Test.make ~name:"authenticated wire roundtrip" ~count:100
+    QCheck.(pair string (pair int64 int64))
+    (fun (s, (ts, seq)) ->
+      let tango = { Packet.timestamp_ns = ts; seq; path_id = 5; flags = 0 } in
+      let frame =
+        Wire.encode_tunnel ~auth_key:reference_key
+          ~outer_src:(Ipv6.of_string_exn "2001:db8::1")
+          ~outer_dst:(Ipv6.of_string_exn "2001:db8::2")
+          ~udp_src:7 ~udp_dst:8 ~tango (Bytes.of_string s)
+      in
+      match Wire.decode_tunnel ~auth_key:reference_key frame with
+      | Ok (_, _, tango', payload) ->
+          Bytes.to_string payload = s && Int64.equal tango'.Packet.timestamp_ns ts
+      | Error _ -> false)
+
+let wire_qcheck_roundtrip =
+  QCheck.Test.make ~name:"wire roundtrip on random payloads" ~count:200
+    QCheck.(triple string small_int (pair int64 int64))
+    (fun (s, path_id, (ts, seq)) ->
+      let tango =
+        { Packet.timestamp_ns = ts; seq; path_id = path_id land 0xFFFF; flags = 0 }
+      in
+      let frame =
+        Wire.encode_tunnel
+          ~outer_src:(Ipv6.of_string_exn "2001:db8::1")
+          ~outer_dst:(Ipv6.of_string_exn "2001:db8::2")
+          ~udp_src:7 ~udp_dst:8 ~tango (Bytes.of_string s)
+      in
+      match Wire.decode_tunnel frame with
+      | Ok (_, _, tango', payload) ->
+          Bytes.to_string payload = s
+          && Int64.equal tango'.Packet.timestamp_ns ts
+          && Int64.equal tango'.Packet.seq seq
+      | Error _ -> false)
+
+let () =
+  let tc = Alcotest.test_case in
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "tango_net"
+    [
+      ( "ipv4",
+        [
+          tc "roundtrip" `Quick test_ipv4_roundtrip;
+          tc "invalid" `Quick test_ipv4_invalid;
+          tc "ordering" `Quick test_ipv4_ordering;
+          tc "arithmetic" `Quick test_ipv4_arith;
+        ] );
+      ( "ipv6",
+        [
+          tc "roundtrip canonical" `Quick test_ipv6_roundtrip_canonical;
+          tc "parse forms" `Quick test_ipv6_parse_forms;
+          tc "invalid" `Quick test_ipv6_invalid;
+          tc "groups roundtrip" `Quick test_ipv6_groups_roundtrip;
+          tc "add carry" `Quick test_ipv6_add_carry;
+          tc "shifts" `Quick test_ipv6_shifts;
+          qc ipv6_qcheck_roundtrip;
+        ] );
+      ( "prefix",
+        [
+          tc "parse" `Quick test_prefix_parse;
+          tc "canonical" `Quick test_prefix_canonical;
+          tc "mem v4" `Quick test_prefix_mem;
+          tc "mem v6" `Quick test_prefix_mem_v6;
+          tc "zero length" `Quick test_prefix_zero_length;
+          tc "subsumes" `Quick test_prefix_subsumes;
+          tc "subnet v6" `Quick test_prefix_subnet;
+          tc "subnet v4" `Quick test_prefix_subnet_v4;
+          tc "nth address" `Quick test_prefix_nth_address;
+          tc "nth negative" `Quick test_prefix_nth_negative;
+          tc "invalid" `Quick test_prefix_invalid;
+          qc prefix_qcheck_subnet_disjoint;
+        ] );
+      ( "flow",
+        [
+          tc "family ordering" `Quick test_addr_family_ordering;
+          tc "reverse" `Quick test_flow_reverse;
+          tc "hash deterministic" `Quick test_flow_hash_deterministic;
+          tc "hash sensitivity" `Quick test_flow_hash_sensitivity;
+          tc "invalid" `Quick test_flow_invalid;
+        ] );
+      ( "packet",
+        [
+          tc "encap cycle" `Quick test_packet_encap_cycle;
+          tc "double encap rejected" `Quick test_packet_double_encap_rejected;
+          tc "forwarding flow" `Quick test_packet_forwarding_flow;
+          tc "hops" `Quick test_packet_hops;
+          tc "decapsulate raw" `Quick test_packet_decapsulate_raw;
+        ] );
+      ( "wire",
+        [
+          tc "roundtrip" `Quick test_wire_roundtrip;
+          tc "corruption detected" `Quick test_wire_corruption_detected;
+          tc "truncated" `Quick test_wire_truncated;
+          tc "wrong version" `Quick test_wire_wrong_version;
+          tc "rfc1071 example" `Quick test_wire_checksum_rfc1071;
+          qc wire_qcheck_roundtrip;
+        ] );
+      ( "auth",
+        [
+          tc "siphash reference vectors" `Quick test_siphash_reference_vectors;
+          tc "siphash key sensitivity" `Quick test_siphash_key_sensitivity;
+          tc "siphash key of string" `Quick test_siphash_key_of_string;
+          tc "auth roundtrip" `Quick test_wire_auth_roundtrip;
+          tc "timestamp forgery detected" `Quick test_wire_auth_detects_timestamp_forgery;
+          tc "path rebind rejected" `Quick test_wire_auth_path_rebind_rejected;
+          tc "downgrade rejected" `Quick test_wire_auth_downgrade_rejected;
+          qc wire_qcheck_auth_roundtrip;
+        ] );
+    ]

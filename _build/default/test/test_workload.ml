@@ -1,0 +1,274 @@
+(* Tests for the workload layer: delay processes, the Fig. 4 scenario,
+   traffic generators, and the in-order delivery model. *)
+
+open Tango_workload
+module Rng = Tango_sim.Rng
+module Engine = Tango_sim.Engine
+module Vultr = Tango_topo.Vultr
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Delay_process                                                       *)
+
+let test_spike_shape () =
+  let s = { Delay_process.at_s = 10.0; magnitude_ms = 50.0; width_s = 2.0 } in
+  check_float "before" 0.0 (Delay_process.spike_value s ~time_s:9.9);
+  check_float "onset" 50.0 (Delay_process.spike_value s ~time_s:10.0);
+  check_float "holds" 50.0 (Delay_process.spike_value s ~time_s:11.0);
+  check_float "sharp trailing edge" 0.0 (Delay_process.spike_value s ~time_s:12.0)
+
+let test_level_shift_floor () =
+  let rng = Rng.create ~seed:1 in
+  let event =
+    Delay_process.make_route_change ~rng ~start_s:100.0 ~duration_s:60.0
+      ~magnitude_ms:5.0 ()
+  in
+  let p = Delay_process.create ~seed:2 ~events:[ event ] () in
+  check_float "before" 0.0 (Delay_process.floor_value p ~time_s:50.0);
+  check_float "during" 5.0 (Delay_process.floor_value p ~time_s:130.0);
+  check_float "after" 0.0 (Delay_process.floor_value p ~time_s:200.0)
+
+let test_instability_peak_pinned () =
+  let rng = Rng.create ~seed:3 in
+  let event =
+    Delay_process.make_instability ~rng ~start_s:100.0 ~duration_s:60.0
+      ~rate_hz:0.5 ~max_magnitude_ms:50.0 ()
+  in
+  let p = Delay_process.create ~seed:4 ~events:[ event ] () in
+  (* Scan the window: the cap spike guarantees the peak reaches 50. *)
+  let peak = ref 0.0 in
+  for i = 0 to 6000 do
+    let t = 100.0 +. (float_of_int i /. 100.0) in
+    peak := Float.max !peak (Delay_process.floor_value p ~time_s:t)
+  done;
+  check_float "peak equals cap" 50.0 !peak;
+  (* Outside the window, nothing. *)
+  check_float "quiet before" 0.0 (Delay_process.floor_value p ~time_s:99.0);
+  check_float "quiet after" 0.0 (Delay_process.floor_value p ~time_s:161.6)
+
+let test_instability_spikes_bounded () =
+  let rng = Rng.create ~seed:5 in
+  match
+    Delay_process.make_instability ~rng ~start_s:0.0 ~duration_s:100.0
+      ~rate_hz:1.0 ~max_magnitude_ms:50.0 ()
+  with
+  | Delay_process.Instability { spikes; _ } ->
+      Alcotest.(check bool) "spikes exist" true (List.length spikes > 10);
+      List.iter
+        (fun (s : Delay_process.spike) ->
+          Alcotest.(check bool) "magnitude capped" true (s.magnitude_ms <= 50.0);
+          Alcotest.(check bool) "inside window" true
+            (s.at_s >= 0.0 && s.at_s <= 100.0))
+        spikes
+  | Delay_process.Level_shift _ -> Alcotest.fail "wrong event type"
+
+let test_diurnal_period () =
+  let p =
+    Delay_process.create ~seed:6 ~diurnal_amplitude_ms:2.0 ~diurnal_period_s:100.0 ()
+  in
+  let v0 = Delay_process.floor_value p ~time_s:0.0 in
+  let v100 = Delay_process.floor_value p ~time_s:100.0 in
+  check_float "periodic" v0 v100;
+  let peak = Delay_process.floor_value p ~time_s:25.0 in
+  check_float "amplitude" 2.0 peak
+
+let test_white_noise_statistics () =
+  let p = Delay_process.create ~seed:7 ~white_std_ms:0.33 () in
+  let stats = Tango_sim.Stats.create () in
+  for i = 0 to 20_000 do
+    Tango_sim.Stats.add stats (Delay_process.value p ~time_s:(float_of_int i *. 0.01))
+  done;
+  (* Clamped at zero, so the observed std of a zero-floor process is
+     below the nominal; it must still be clearly nonzero. *)
+  Alcotest.(check bool) "noisy" true (Tango_sim.Stats.stddev stats > 0.1)
+
+let test_process_values_nonnegative () =
+  let p =
+    Delay_process.create ~seed:8 ~white_std_ms:1.0 ~ou_std_ms:1.0 ()
+  in
+  for i = 0 to 5_000 do
+    let v = Delay_process.value p ~time_s:(float_of_int i *. 0.01) in
+    if v < 0.0 then Alcotest.failf "negative delay %f" v
+  done
+
+let test_process_monotonic_clock_enforced () =
+  let p = Delay_process.create ~seed:9 ~ou_std_ms:0.1 () in
+  ignore (Delay_process.value p ~time_s:10.0);
+  Alcotest.(check bool) "backwards rejected" true
+    (try ignore (Delay_process.value p ~time_s:9.0); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Fig4 scenario                                                       *)
+
+let test_fig4_windows () =
+  let sc = Fig4.create ~horizon_s:600.0 () in
+  let rc0, rc1 = Fig4.route_change_window sc in
+  let i0, i1 = Fig4.instability_window sc in
+  check_float "rc start" 240.0 rc0;
+  check_float "rc stop" 360.0 rc1;
+  check_float "inst start" 420.0 i0;
+  check_float "inst stop" 480.0 i1
+
+let test_fig4_gtt_westbound_has_events () =
+  let sc = Fig4.create () in
+  match Fig4.process_for sc ~transit:Vultr.gtt ~toward:Vultr.vultr_la with
+  | None -> Alcotest.fail "missing GTT westbound process"
+  | Some p ->
+      let events = Delay_process.events p in
+      Alcotest.(check int) "two events" 2 (List.length events);
+      let rc0, _ = Fig4.route_change_window sc in
+      (* Level shift is +5 ms inside its window. *)
+      Alcotest.(check bool) "shift visible" true
+        (Delay_process.floor_value p ~time_s:(rc0 +. 10.0) >= 4.9)
+
+let test_fig4_unrelated_links_zero () =
+  let sc = Fig4.create () in
+  check_float "no process on peer links" 0.0
+    (Fig4.extra_delay_ms sc ~from_node:Vultr.ntt ~to_node:Vultr.cogent ~time_s:1.0)
+
+let test_fig4_telia_noisier_than_gtt_eastbound () =
+  let sc = Fig4.create ~seed:21 () in
+  let sample transit =
+    match Fig4.process_for sc ~transit ~toward:Vultr.vultr_ny with
+    | None -> Alcotest.fail "missing process"
+    | Some p ->
+        let stats = Tango_sim.Stats.create () in
+        for i = 0 to 5_000 do
+          Tango_sim.Stats.add stats (Delay_process.value p ~time_s:(float_of_int i *. 0.01))
+        done;
+        Tango_sim.Stats.stddev stats
+  in
+  let telia = sample Vultr.telia and gtt = sample Vultr.gtt in
+  Alcotest.(check bool) "telia much noisier" true (telia > (5.0 *. gtt))
+
+(* ------------------------------------------------------------------ *)
+(* Traffic                                                             *)
+
+let test_traffic_periodic_count () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  Traffic.periodic e ~interval_s:0.01 ~until_s:1.0 (fun _ -> incr count);
+  Engine.run e;
+  (* Ticks at 0.00, 0.01, ...; float accumulation may or may not include
+     the tick at exactly 1.00. *)
+  Alcotest.(check bool) "100 Hz for 1 s" true (!count >= 100 && !count <= 101)
+
+let test_traffic_periodic_start () =
+  let e = Engine.create () in
+  let first = ref nan in
+  Traffic.periodic e ~interval_s:0.5 ~start_s:2.0 ~until_s:3.0 (fun e ->
+      if Float.is_nan !first then first := Engine.now e);
+  Engine.run e;
+  check_float "starts at 2" 2.0 !first
+
+let test_traffic_poisson_rate () =
+  let e = Engine.create () in
+  let rng = Rng.create ~seed:10 in
+  let count = ref 0 in
+  Traffic.poisson e ~rng ~rate_hz:100.0 ~until_s:10.0 (fun _ -> incr count);
+  Engine.run e;
+  Alcotest.(check bool) "about 1000 arrivals" true (!count > 850 && !count < 1150)
+
+let test_traffic_on_off_bursty () =
+  let e = Engine.create () in
+  let rng = Rng.create ~seed:11 in
+  let count = ref 0 in
+  Traffic.on_off e ~rng ~rate_hz:100.0 ~burst_s:0.5 ~idle_s:0.5 ~until_s:10.0
+    (fun _ -> incr count);
+  Engine.run e;
+  (* Duty cycle ~50%: far fewer than a constant 100 Hz source. *)
+  Alcotest.(check bool) "bursty" true (!count > 100 && !count < 900)
+
+(* ------------------------------------------------------------------ *)
+(* Inorder                                                             *)
+
+let test_inorder_sequential () =
+  let io = Inorder.create () in
+  let r0 = Inorder.arrival io ~seq:0 ~time:1.0 in
+  let r1 = Inorder.arrival io ~seq:1 ~time:2.0 in
+  Alcotest.(check (list (pair int (float 1e-9)))) "release 0" [ (0, 1.0) ] r0;
+  Alcotest.(check (list (pair int (float 1e-9)))) "release 1" [ (1, 2.0) ] r1;
+  Alcotest.(check int) "pending" 0 (Inorder.pending io)
+
+let test_inorder_head_of_line () =
+  let io = Inorder.create () in
+  ignore (Inorder.arrival io ~seq:0 ~time:1.0);
+  (* Packet 1 is delayed; 2 and 3 arrive and must wait. *)
+  Alcotest.(check (list (pair int (float 1e-9)))) "2 blocked" []
+    (Inorder.arrival io ~seq:2 ~time:1.1);
+  Alcotest.(check (list (pair int (float 1e-9)))) "3 blocked" []
+    (Inorder.arrival io ~seq:3 ~time:1.2);
+  Alcotest.(check int) "two pending" 2 (Inorder.pending io);
+  let released = Inorder.arrival io ~seq:1 ~time:1.5 in
+  Alcotest.(check (list (pair int (float 1e-9)))) "burst release"
+    [ (1, 1.5); (2, 1.5); (3, 1.5) ]
+    released;
+  (* Packet 2 waited 0.4 s behind the slow packet 1. *)
+  Alcotest.(check (option (float 1e-6))) "hol extra" (Some 0.4)
+    (Inorder.head_of_line_extra io ~seq:2);
+  Alcotest.(check (option (float 1e-6))) "unblocking packet itself" (Some 0.0)
+    (Inorder.head_of_line_extra io ~seq:1)
+
+let test_inorder_duplicates_ignored () =
+  let io = Inorder.create () in
+  ignore (Inorder.arrival io ~seq:0 ~time:1.0);
+  Alcotest.(check (list (pair int (float 1e-9)))) "dup ignored" []
+    (Inorder.arrival io ~seq:0 ~time:2.0);
+  Alcotest.(check int) "one released" 1 (Inorder.released io)
+
+let inorder_qcheck_all_released =
+  QCheck.Test.make ~name:"any permutation fully releases in order" ~count:200
+    QCheck.(int_bound 30)
+    (fun n ->
+      let io = Inorder.create () in
+      let arr = Array.init (n + 1) Fun.id in
+      let rng = Rng.create ~seed:(n + 100) in
+      Tango_sim.Rng.shuffle rng arr;
+      let released = ref [] in
+      Array.iteri
+        (fun i seq ->
+          let out = Inorder.arrival io ~seq ~time:(float_of_int i) in
+          released := !released @ List.map fst out)
+        arr;
+      !released = List.init (n + 1) Fun.id && Inorder.pending io = 0)
+
+let () =
+  let tc = Alcotest.test_case in
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "tango_workload"
+    [
+      ( "delay_process",
+        [
+          tc "spike shape" `Quick test_spike_shape;
+          tc "level shift floor" `Quick test_level_shift_floor;
+          tc "instability peak pinned" `Quick test_instability_peak_pinned;
+          tc "spikes bounded" `Quick test_instability_spikes_bounded;
+          tc "diurnal period" `Quick test_diurnal_period;
+          tc "white noise stats" `Slow test_white_noise_statistics;
+          tc "non-negative" `Quick test_process_values_nonnegative;
+          tc "monotonic clock" `Quick test_process_monotonic_clock_enforced;
+        ] );
+      ( "fig4",
+        [
+          tc "windows" `Quick test_fig4_windows;
+          tc "gtt westbound events" `Quick test_fig4_gtt_westbound_has_events;
+          tc "unrelated links zero" `Quick test_fig4_unrelated_links_zero;
+          tc "telia noisier than gtt" `Slow test_fig4_telia_noisier_than_gtt_eastbound;
+        ] );
+      ( "traffic",
+        [
+          tc "periodic count" `Quick test_traffic_periodic_count;
+          tc "periodic start" `Quick test_traffic_periodic_start;
+          tc "poisson rate" `Quick test_traffic_poisson_rate;
+          tc "on-off bursty" `Quick test_traffic_on_off_bursty;
+        ] );
+      ( "inorder",
+        [
+          tc "sequential" `Quick test_inorder_sequential;
+          tc "head of line" `Quick test_inorder_head_of_line;
+          tc "duplicates" `Quick test_inorder_duplicates_ignored;
+          qc inorder_qcheck_all_released;
+        ] );
+    ]
