@@ -1,0 +1,31 @@
+# Convenience wrapper around dune. `make check` is the CI gate: build,
+# formatting, the full test suite, then a fast end-to-end smoke of the
+# experiment harness (fig3 takes well under a second).
+
+.PHONY: all build fmt test smoke bench bench-json check clean
+
+all: build
+
+build:
+	dune build
+
+fmt:
+	dune build @fmt
+
+test:
+	dune runtest
+
+smoke:
+	dune exec bench/main.exe -- --experiment fig3 --no-micro
+
+bench:
+	dune exec bench/main.exe
+
+# Machine-readable microbench results (schema in EXPERIMENTS.md).
+bench-json:
+	dune exec bench/main.exe -- --experiment micro --json BENCH.json
+
+check: build fmt test smoke
+
+clean:
+	dune clean

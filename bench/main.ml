@@ -26,6 +26,7 @@ let experiments =
 let () =
   let selected = ref [] in
   let run_micro = ref true in
+  let json_path = ref None in
   let spec =
     [
       ( "--experiment",
@@ -43,6 +44,10 @@ let () =
         Arg.String (fun d -> Experiments.csv_dir := Some d),
         "DIR  also write figure series as CSV into DIR" );
       ("--no-micro", Arg.Clear run_micro, " skip the bechamel microbenchmarks");
+      ( "--json",
+        Arg.String (fun p -> json_path := Some p),
+        "PATH  also write the microbenchmark results (ns/op, minor/major \
+         words/op) as JSON to PATH; implies the microbenchmarks run" );
     ]
   in
   Arg.parse spec
@@ -53,10 +58,26 @@ let () =
     | [] -> List.map fst experiments @ (if !run_micro then [ "micro" ] else [])
     | l -> l
   in
+  (* --json needs the micro rows even when the selection skips them. *)
+  let to_run =
+    if Option.is_some !json_path && not (List.mem "micro" to_run) then
+      to_run @ [ "micro" ]
+    else to_run
+  in
   Printf.printf "Tango reproduction harness — HotNets '22\n";
   List.iter
     (fun id ->
-      if id = "micro" then Micro.run ()
+      if id = "micro" then begin
+        let rows = Micro.run_measured () in
+        match !json_path with
+        | None -> ()
+        | Some path -> (
+            match Micro.write_json path rows with
+            | () -> Printf.printf "  [microbenchmark results written to %s]\n" path
+            | exception Sys_error msg ->
+                Printf.eprintf "cannot write benchmark JSON: %s\n" msg;
+                exit 2)
+      end
       else
         match List.assoc_opt id experiments with
         | Some f -> f ()

@@ -1,5 +1,8 @@
 (* Bechamel microbenchmarks for the per-packet hot paths: what a real
-   Tango switch/eBPF program executes on every packet. *)
+   Tango switch/eBPF program executes on every packet. Each op is
+   measured against the monotonic clock and both GC allocation counters,
+   so BENCH.json records ns/op alongside minor/major words/op — the
+   regression surface for the zero-allocation fast path. *)
 
 open Bechamel
 open Toolkit
@@ -30,9 +33,23 @@ let test_encode =
            (Tango_net.Wire.encode_tunnel ~outer_src:ipv6 ~outer_dst:ipv6_b
               ~udp_src:40000 ~udp_dst:4789 ~tango:tango_header payload)))
 
+let test_encode_into =
+  let buf = Bytes.create (Tango_net.Wire.max_frame_bytes ~payload_bytes:512) in
+  Test.make ~name:"wire.encode_tunnel_into (512B reused buf)"
+    (Staged.stage (fun () ->
+         ignore
+           (Tango_net.Wire.encode_tunnel_into ~outer_src:ipv6 ~outer_dst:ipv6_b
+              ~udp_src:40000 ~udp_dst:4789 ~tango:tango_header ~buf payload)))
+
 let test_decode =
   Test.make ~name:"wire.decode_tunnel (512B)"
     (Staged.stage (fun () -> ignore (Tango_net.Wire.decode_tunnel frame)))
+
+let test_decode_into =
+  let payload_buf = Bytes.create 2048 in
+  Test.make ~name:"wire.decode_tunnel_into (512B reused buf)"
+    (Staged.stage (fun () ->
+         ignore (Tango_net.Wire.decode_tunnel_into ~payload:payload_buf frame)))
 
 let test_hash =
   Test.make ~name:"flow.hash_5tuple"
@@ -45,6 +62,20 @@ let test_rolling =
     (Staged.stage (fun () ->
          clock := !clock +. 0.01;
          Tango_telemetry.Rolling.add rolling ~time:!clock 28.0))
+
+let test_rolling_extrema =
+  let rolling = Tango_telemetry.Rolling.create ~window_s:1.0 in
+  let clock = ref 0.0 in
+  let tick = ref 0 in
+  Test.make ~name:"rolling.add+min+max (1s window @100Hz)"
+    (Staged.stage (fun () ->
+         clock := !clock +. 0.01;
+         incr tick;
+         (* Vary the value so the wedges actually churn. *)
+         Tango_telemetry.Rolling.add rolling ~time:!clock
+           (28.0 +. float_of_int (!tick land 0xF));
+         ignore (Tango_telemetry.Rolling.min_value rolling);
+         ignore (Tango_telemetry.Rolling.max_value rolling)))
 
 let test_jitter =
   let jitter = Tango_telemetry.Jitter.create () in
@@ -92,6 +123,40 @@ let test_auth_decode =
     (Staged.stage (fun () ->
          ignore (Tango_net.Wire.decode_tunnel ~auth_key:siphash_key auth_frame)))
 
+(* Path selection, uncached vs cached: the full policy scoring pass over
+   8 candidate paths against the O(1) per-flow decision-cache hit that
+   replaces it within a flow epoch. *)
+
+let path_stats =
+  Array.init 8 (fun i ->
+      {
+        Tango.Policy.path_id = i;
+        owd_ewma_ms = 28.0 +. float_of_int i;
+        jitter_ms = 0.1 *. float_of_int i;
+        loss_rate = 0.0;
+        age_s = 0.05;
+        samples = 1000;
+      })
+
+let test_policy_uncached =
+  let policy =
+    Tango.Policy.create
+      (Tango.Policy.Jitter_aware { beta = 5.0; hysteresis_ms = 1.0; min_dwell_s = 2.0 })
+  in
+  let clock = ref 0.0 in
+  Test.make ~name:"policy.choose uncached (8 paths)"
+    (Staged.stage (fun () ->
+         clock := !clock +. 0.001;
+         ignore (Tango.Policy.choose policy ~now_s:!clock path_stats)))
+
+let test_flow_cache_hit =
+  let cache = Tango_dataplane.Flow_cache.create () in
+  let hash = Tango_net.Flow.hash_5tuple flow in
+  Tango_dataplane.Flow_cache.store cache ~flow_hash:hash 3;
+  Test.make ~name:"policy.choose cached (flow-cache hit)"
+    (Staged.stage (fun () ->
+         ignore (Tango_dataplane.Flow_cache.find cache ~flow_hash:hash)))
+
 let test_decision =
   let route i =
     Tango_bgp.Route.make
@@ -107,36 +172,127 @@ let all_tests =
   Test.make_grouped ~name:"tango"
     [
       test_encode;
+      test_encode_into;
       test_decode;
+      test_decode_into;
       test_siphash;
       test_auth_decode;
       test_hash;
       test_rolling;
+      test_rolling_extrema;
       test_jitter;
       test_tracker;
       test_heap;
       test_rng;
+      test_policy_uncached;
+      test_flow_cache_hit;
       test_decision;
     ]
 
-let run () =
-  Printf.printf "\n=== Microbenchmarks (ns per operation, OLS fit) ===\n%!";
+(* ------------------------------------------------------------------ *)
+(* Measurement: one benchmark pass, analyzed against the clock and both
+   GC allocation counters.                                             *)
+
+type row = {
+  name : string;
+  ns_per_op : float option;
+  minor_words_per_op : float option;
+  major_words_per_op : float option;
+}
+
+let estimate results name =
+  match Hashtbl.find_opt results name with
+  | None -> None
+  | Some result -> (
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Some est
+      | Some _ | None -> None)
+
+let measure () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
-  let instances = Instance.[ monotonic_clock ] in
+  let instances =
+    Instance.[ monotonic_clock; minor_allocated; major_allocated ]
+  in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
   in
   let raw = Benchmark.all cfg instances all_tests in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  let clock = Analyze.all ols Instance.monotonic_clock raw in
+  let minor = Analyze.all ols Instance.minor_allocated raw in
+  let major = Analyze.all ols Instance.major_allocated raw in
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) clock [] in
+  List.map
+    (fun name ->
+      {
+        name;
+        ns_per_op = estimate clock name;
+        minor_words_per_op = estimate minor name;
+        major_words_per_op = estimate major name;
+      })
+    (List.sort String.compare names)
+
+let print_rows rows =
+  Printf.printf "\n=== Microbenchmarks (OLS fit per op) ===\n%!";
+  Printf.printf "  %-42s %12s %13s %13s\n" "op" "ns/op" "minor w/op" "major w/op";
   List.iter
-    (fun (name, result) ->
-      match Analyze.OLS.estimates result with
-      | Some [ est ] -> Printf.printf "  %-36s %10.1f ns/op\n" name est
-      | Some ests ->
-          Printf.printf "  %-36s %s\n" name
-            (String.concat " " (List.map (Printf.sprintf "%.1f") ests))
-      | None -> Printf.printf "  %-36s (no estimate)\n" name)
-    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+    (fun r ->
+      let cell = function
+        | Some v -> Printf.sprintf "%13.1f" v
+        | None -> Printf.sprintf "%13s" "-"
+      in
+      Printf.printf "  %-42s %s %s %s\n" r.name
+        (match r.ns_per_op with
+        | Some v -> Printf.sprintf "%12.1f" v
+        | None -> Printf.sprintf "%12s" "-")
+        (cell r.minor_words_per_op)
+        (cell r.major_words_per_op))
+    rows
+
+let run_measured () =
+  let rows = measure () in
+  print_rows rows;
+  rows
+
+let run () = ignore (run_measured ())
+
+(* ------------------------------------------------------------------ *)
+(* BENCH.json: the machine-readable perf trajectory future PRs regress
+   against (see EXPERIMENTS.md for the schema).                        *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_number = function
+  | Some v when Float.is_finite v -> Printf.sprintf "%.3f" v
+  | Some _ | None -> "null"
+
+let write_json path rows =
+  let oc = open_out path in
+  output_string oc "{\n";
+  output_string oc "  \"schema_version\": 1,\n";
+  output_string oc "  \"tool\": \"tango-bench\",\n";
+  output_string oc "  \"config\": { \"quota_s\": 0.25, \"limit\": 2000 },\n";
+  output_string oc "  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"ns_per_op\": %s, \"minor_words_per_op\": %s, \"major_words_per_op\": %s }%s\n"
+        (json_escape r.name) (json_number r.ns_per_op)
+        (json_number r.minor_words_per_op)
+        (json_number r.major_words_per_op)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc

@@ -7,6 +7,7 @@ module Fabric = Tango_dataplane.Fabric
 module Clock = Tango_dataplane.Clock
 module Tunnel = Tango_dataplane.Tunnel
 module Seq_tracker = Tango_dataplane.Seq_tracker
+module Flow_cache = Tango_dataplane.Flow_cache
 module Series = Tango_telemetry.Series
 module Ewma = Tango_telemetry.Ewma
 module Jitter = Tango_telemetry.Jitter
@@ -36,6 +37,15 @@ type t = {
   tunnels : Tunnel.t array;
   path_labels : string array;
   policy : Policy.t;
+  (* Path-decision fast path: the policy is re-evaluated at most once
+     per [policy_refresh_s] (one "flow epoch"); between evaluations,
+     per-flow decisions come from the cache. A changed preference
+     invalidates every cached flow at once. *)
+  policy_refresh_s : float;
+  path_cache : Flow_cache.t;
+  mutable last_choice : int;
+  mutable last_choice_at : float;
+  mutable policy_evals : int;
   (* Inbound measurement state, indexed by path id. *)
   owd_series : Series.t array;
   owd_ewma : Ewma.t array;
@@ -74,7 +84,10 @@ let engine t = Tango_bgp.Network.engine (Fabric.network t.fabric)
 let engine_of = engine
 
 let create ~name ~node ~fabric ?(clock_offset_ns = 0L) ?(ewma_alpha = 0.1)
-    ?(jitter_window_s = 1.0) ~plan ~remote_plan ~outbound_paths ~policy () =
+    ?(jitter_window_s = 1.0) ?(policy_refresh_s = 0.01) ~plan ~remote_plan
+    ~outbound_paths ~policy () =
+  if policy_refresh_s < 0.0 then
+    invalid_arg "Pop.create: negative policy refresh interval";
   let tunnels =
     Array.of_list
       (List.map
@@ -99,6 +112,11 @@ let create ~name ~node ~fabric ?(clock_offset_ns = 0L) ?(ewma_alpha = 0.1)
     path_labels =
       Array.of_list (List.map (fun (p : Discovery.path) -> p.Discovery.label) outbound_paths);
     policy = Policy.create policy;
+    policy_refresh_s;
+    path_cache = Flow_cache.create ();
+    last_choice = (match policy with Policy.Static i -> i | _ -> 0);
+    last_choice_at = neg_infinity;
+    policy_evals = 0;
     owd_series = Array.init max_paths (fun _ -> Series.create ());
     owd_ewma = Array.init max_paths (fun _ -> Ewma.create ~alpha:ewma_alpha);
     jitter = Array.init max_paths (fun _ -> Jitter.create ~window_s:jitter_window_s ());
@@ -223,10 +241,17 @@ let fresh_id t =
   t.next_packet_id <- id + 1;
   id
 
-let send_on_path t ~path ~src_port ~dst_port ~payload_bytes ?content ?dst () =
+let send_flow t ~path ~flow ~payload_bytes ?content () =
   if path < 0 || path >= Array.length t.tunnels then
     invalid_arg (Printf.sprintf "Pop.send_on_path: no tunnel %d" path);
   let now = Engine.now (engine t) in
+  let packet =
+    Packet.create ~id:(fresh_id t) ~flow ~payload_bytes ?content ~created_at:now ()
+  in
+  Tunnel.send t.tunnels.(path) ~clock:t.clock ~now_s:now packet;
+  dispatch t packet
+
+let send_on_path t ~path ~src_port ~dst_port ~payload_bytes ?content ?dst () =
   let dst =
     match dst with
     | Some a -> a
@@ -237,11 +262,7 @@ let send_on_path t ~path ~src_port ~dst_port ~payload_bytes ?content ?dst () =
       ~src:(Addressing.host_address t.plan 1L)
       ~dst ~proto:17 ~src_port ~dst_port
   in
-  let packet =
-    Packet.create ~id:(fresh_id t) ~flow ~payload_bytes ?content ~created_at:now ()
-  in
-  Tunnel.send t.tunnels.(path) ~clock:t.clock ~now_s:now packet;
-  dispatch t packet
+  send_flow t ~path ~flow ~payload_bytes ?content ()
 
 (* Peer-reported stats with ages re-based to the present: if reports
    stop (e.g. every path carrying them died), staleness keeps rising. *)
@@ -252,14 +273,48 @@ let live_outbound_stats t =
     (fun (s : Policy.path_stats) -> { s with Policy.age_s = s.Policy.age_s +. extra })
     t.outbound_stats
 
+(* One policy evaluation per flow epoch: the full scoring pass (and the
+   stats-array rebase it needs) runs at most once per [policy_refresh_s]
+   of virtual time; a changed preference invalidates the per-flow cache
+   so every flow migrates on its next packet. *)
+let refresh_policy t ~now =
+  if now -. t.last_choice_at > t.policy_refresh_s then begin
+    let path = Policy.choose t.policy ~now_s:now (live_outbound_stats t) in
+    t.policy_evals <- t.policy_evals + 1;
+    t.last_choice_at <- now;
+    if path <> t.last_choice then begin
+      t.last_choice <- path;
+      Flow_cache.invalidate t.path_cache
+    end
+  end
+
+let choose_path t ~now ~flow_hash =
+  refresh_policy t ~now;
+  match Flow_cache.find t.path_cache ~flow_hash with
+  | Some path -> path
+  | None ->
+      Flow_cache.store t.path_cache ~flow_hash t.last_choice;
+      t.last_choice
+
 let send_app t ?(payload_bytes = 512) ?final_dst () =
   let now = Engine.now (engine t) in
-  let path = Policy.choose t.policy ~now_s:now (live_outbound_stats t) in
   let seq = t.app_seq in
   t.app_seq <- seq + 1;
+  let dst =
+    match final_dst with
+    | Some a -> a
+    | None -> Addressing.host_address t.remote_plan 1L
+  in
+  let flow =
+    Flow.v
+      ~src:(Addressing.host_address t.plan 1L)
+      ~dst ~proto:17
+      ~src_port:(50000 + (seq mod 1000))
+      ~dst_port:app_port
+  in
+  let path = choose_path t ~now ~flow_hash:(Flow.hash_5tuple flow) in
   Series.add t.chosen_paths ~time:now (float_of_int path);
-  send_on_path t ~path ~src_port:(50000 + (seq mod 1000)) ~dst_port:app_port
-    ~payload_bytes ~content:(App_seq seq) ?dst:final_dst ();
+  send_flow t ~path ~flow ~payload_bytes ~content:(App_seq seq) ();
   path
 
 let set_transit_handler t handler = t.transit_handler <- Some handler
@@ -271,7 +326,9 @@ let transited t = t.transited
    latency measurements span the whole overlay route. *)
 let forward_transit t (packet : Packet.t) =
   let now = Engine.now (engine t) in
-  let path = Policy.choose t.policy ~now_s:now (live_outbound_stats t) in
+  let path =
+    choose_path t ~now ~flow_hash:(Flow.hash_5tuple packet.Packet.flow)
+  in
   Tunnel.send t.tunnels.(path) ~clock:t.clock ~now_s:now packet;
   dispatch t packet
 
@@ -281,15 +338,20 @@ let set_stream_handler t handler = t.stream_handler <- Some handler
    app traffic) or pinned to one tunnel, without polluting the
    app-latency metrics. *)
 let send_stream t ?(payload_bytes = 1200) ~route ~content () =
+  let flow =
+    Flow.v
+      ~src:(Addressing.host_address t.plan 1L)
+      ~dst:(Addressing.host_address t.remote_plan 1L)
+      ~proto:17 ~src_port:stream_port ~dst_port:stream_port
+  in
   let path =
     match route with
     | `Policy ->
         let now = Engine.now (engine t) in
-        Policy.choose t.policy ~now_s:now (live_outbound_stats t)
+        choose_path t ~now ~flow_hash:(Flow.hash_5tuple flow)
     | `Path p -> p
   in
-  send_on_path t ~path ~src_port:stream_port ~dst_port:stream_port
-    ~payload_bytes ~content ();
+  send_flow t ~path ~flow ~payload_bytes ~content ();
   path
 
 let send_probe t =
@@ -369,6 +431,14 @@ let app_inorder_extra t = t.inorder_extra
 let chosen_path_series t = t.chosen_paths
 
 let policy_switches t = Policy.switches t.policy
+
+let policy_evaluations t = t.policy_evals
+
+let path_cache_hits t = Flow_cache.hits t.path_cache
+
+let path_cache_misses t = Flow_cache.misses t.path_cache
+
+let path_cache_flows t = Flow_cache.flows t.path_cache
 
 let probes_sent t = t.probes_sent
 

@@ -18,6 +18,7 @@ val create :
   ?clock_offset_ns:int64 ->
   ?ewma_alpha:float ->
   ?jitter_window_s:float ->
+  ?policy_refresh_s:float ->
   plan:Addressing.plan ->
   remote_plan:Addressing.plan ->
   outbound_paths:Discovery.path list ->
@@ -25,7 +26,14 @@ val create :
   unit ->
   t
 (** [outbound_paths] are the discovery results for the direction
-    this PoP → peer (i.e. discovery run with the {e peer} as origin). *)
+    this PoP → peer (i.e. discovery run with the {e peer} as origin).
+
+    [policy_refresh_s] (default 0.01, one probe interval) bounds how
+    often the path-selection policy is fully re-evaluated: within a
+    refresh interval, packets take the per-flow decision cache instead
+    — one int-keyed lookup, no stats rebase, no policy scan. When a
+    re-evaluation flips the preferred path the cache is invalidated in
+    O(1) and every flow migrates on its next packet. *)
 
 val wire : a:t -> b:t -> unit
 (** Connect two PoPs so each delivers the other's packets. Must be called
@@ -125,6 +133,18 @@ val chosen_path_series : t -> Tango_telemetry.Series.t
 (** Path id chosen for each outgoing app packet over time. *)
 
 val policy_switches : t -> int
+
+val policy_evaluations : t -> int
+(** Full policy evaluations actually run — with the decision cache this
+    is bounded by elapsed virtual time / [policy_refresh_s], not by the
+    packet count. *)
+
+val path_cache_hits : t -> int
+val path_cache_misses : t -> int
+
+val path_cache_flows : t -> int
+(** Distinct flows that ever stored a decision. *)
+
 val probes_sent : t -> int
 val probes_received : t -> int
 val app_received : t -> int

@@ -12,11 +12,16 @@ type t = {
   rng : Rng.t;
   lanes_of : int -> Ecmp.lanes;
   extra_delay_ms : from_node:int -> to_node:int -> time_s:float -> float;
-  failed_links : (int * int, unit) Hashtbl.t;
+  (* Per-directed-link state lives in flat arrays indexed by the packed
+     key [from * node_count + to] — O(1) with no tuple allocation or
+     polymorphic hashing on the per-packet path, sized once from the
+     topology (node ids are small dense ints). *)
+  node_count : int;
+  failed_links : Bytes.t;
   (* Bandwidth contention (optional): per directed link, when its
      transmitter frees up. *)
   max_queue_s : float option;
-  busy_until : (int * int, float) Hashtbl.t;
+  busy_until : float array;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -30,18 +35,36 @@ let create ?(seed = 4242) ?(lanes_of = fun _ -> no_lanes)
   (match max_queue_s with
   | Some q when q < 0.0 -> invalid_arg "Fabric.create: negative queue bound"
   | Some _ | None -> ());
+  let node_count =
+    1
+    + List.fold_left
+        (fun m (n : Topology.node) -> max m n.Topology.id)
+        (-1)
+        (Topology.nodes (Network.topology net))
+  in
   {
     net;
     rng = Rng.create ~seed;
     lanes_of;
     extra_delay_ms;
-    failed_links = Hashtbl.create 4;
+    node_count;
+    failed_links = Bytes.make (node_count * node_count) '\000';
     max_queue_s;
-    busy_until = Hashtbl.create 16;
+    busy_until = Array.make (node_count * node_count) neg_infinity;
     sent = 0;
     delivered = 0;
     dropped = 0;
   }
+
+let link_key t ~from_node ~to_node =
+  if
+    from_node < 0 || from_node >= t.node_count || to_node < 0
+    || to_node >= t.node_count
+  then
+    invalid_arg
+      (Printf.sprintf "Fabric: link %d -> %d outside the topology" from_node
+         to_node);
+  (from_node * t.node_count) + to_node
 
 let network t = t.net
 
@@ -79,7 +102,8 @@ let send t ~from_node ?(on_dropped = fun ~reason:_ _ -> ()) ~on_delivered packet
     match Topology.link topo node next with
     | None -> drop "unroutable"
     | Some link ->
-        if Hashtbl.mem t.failed_links (node, next) then drop "link-failure"
+        if Bytes.get t.failed_links ((node * t.node_count) + next) <> '\000' then
+          drop "link-failure"
         else if link.Link.loss > 0.0 && Rng.float t.rng 1.0 < link.Link.loss then
           drop "loss"
         else begin
@@ -105,15 +129,12 @@ let send t ~from_node ?(on_dropped = fun ~reason:_ _ -> ()) ~on_delivered packet
             | None -> Some 0.0
             | Some bound ->
                 let now = Engine.now engine in
-                let free_at =
-                  Float.max now
-                    (Option.value ~default:neg_infinity
-                       (Hashtbl.find_opt t.busy_until (node, next)))
-                in
+                let key = (node * t.node_count) + next in
+                let free_at = Float.max now t.busy_until.(key) in
                 let wait = free_at -. now in
                 if wait > bound then None
                 else begin
-                  Hashtbl.replace t.busy_until (node, next) (free_at +. transmission_s);
+                  t.busy_until.(key) <- free_at +. transmission_s;
                   Some wait
                 end
           in
@@ -131,13 +152,13 @@ let send t ~from_node ?(on_dropped = fun ~reason:_ _ -> ()) ~on_delivered packet
   at_node from_node 0
 
 let fail_link t ~from_node ~to_node =
-  Hashtbl.replace t.failed_links (from_node, to_node) ()
+  Bytes.set t.failed_links (link_key t ~from_node ~to_node) '\001'
 
 let heal_link t ~from_node ~to_node =
-  Hashtbl.remove t.failed_links (from_node, to_node)
+  Bytes.set t.failed_links (link_key t ~from_node ~to_node) '\000'
 
 let link_failed t ~from_node ~to_node =
-  Hashtbl.mem t.failed_links (from_node, to_node)
+  Bytes.get t.failed_links (link_key t ~from_node ~to_node) <> '\000'
 
 let sent t = t.sent
 

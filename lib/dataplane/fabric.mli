@@ -45,7 +45,9 @@ val fail_link : t -> from_node:int -> to_node:int -> unit
     with reason ["link-failure"], while BGP remains oblivious — the
     gray-failure scenario that motivates data-driven failover (the paper
     cites Blink-style recovery as the kind of technique Tango enables).
-    Idempotent. *)
+    Idempotent. Link state lives in flat arrays indexed by the packed
+    key [from * node_count + to]; raises [Invalid_argument] for node ids
+    outside the topology. *)
 
 val heal_link : t -> from_node:int -> to_node:int -> unit
 val link_failed : t -> from_node:int -> to_node:int -> bool

@@ -1,0 +1,58 @@
+(* Generation-stamped flow -> path map, the software analogue of the
+   eBPF per-flow decision map a Tango switch would keep: the expensive
+   policy evaluation runs once per flow epoch and every later packet of
+   the flow hits an O(1) int-keyed lookup. Invalidation is O(1) too —
+   bumping the generation strands every stored entry, and stale slots
+   are overwritten in place on their next miss, so flipping the
+   preferred path never walks the table. *)
+
+(* Entries pack (generation, path) into one int so a hit allocates
+   nothing: generation lsl path_bits lor path. *)
+let path_bits = 8
+
+let max_path = (1 lsl path_bits) - 1
+
+type t = {
+  table : (int, int) Hashtbl.t;
+  mutable generation : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+let create ?(expected_flows = 1024) () =
+  {
+    table = Hashtbl.create expected_flows;
+    generation = 0;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+  }
+
+let find t ~flow_hash =
+  match Hashtbl.find_opt t.table flow_hash with
+  | Some packed when packed lsr path_bits = t.generation ->
+      t.hits <- t.hits + 1;
+      Some (packed land max_path)
+  | Some _ | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let store t ~flow_hash path =
+  if path < 0 || path > max_path then
+    invalid_arg (Printf.sprintf "Flow_cache.store: path %d outside [0, %d]" path max_path);
+  Hashtbl.replace t.table flow_hash ((t.generation lsl path_bits) lor path)
+
+let invalidate t =
+  t.generation <- t.generation + 1;
+  t.invalidations <- t.invalidations + 1
+
+let generation t = t.generation
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let invalidations t = t.invalidations
+
+let flows t = Hashtbl.length t.table

@@ -1,0 +1,38 @@
+(** Per-flow path-decision cache — the software analogue of the eBPF
+    decision map a Tango switch keeps so the policy runs once per flow
+    epoch, not once per packet.
+
+    Keys are {!Tango_net.Flow.hash_5tuple} values; entries are stamped
+    with the cache's generation. {!invalidate} bumps the generation in
+    O(1), instantly orphaning every stored decision (stale slots are
+    overwritten in place on their next miss) — this is how a telemetry
+    update that flips the preferred path flushes the fast path without
+    walking the table. A hit performs one int-keyed lookup and allocates
+    only the returned option. *)
+
+type t
+
+val max_path : int
+(** Largest storable path id (255 — path ids pack into the low byte of
+    a generation-stamped entry). *)
+
+val create : ?expected_flows:int -> unit -> t
+(** [expected_flows] presizes the table (default 1024). *)
+
+val find : t -> flow_hash:int -> int option
+(** The cached path for the flow, or [None] when absent or stamped with
+    an older generation. Counts a hit or a miss. *)
+
+val store : t -> flow_hash:int -> int -> unit
+(** Record the decision for the current generation. Raises
+    [Invalid_argument] for path ids outside [0, 255]. *)
+
+val invalidate : t -> unit
+(** Orphan every cached decision (O(1) generation bump). *)
+
+val generation : t -> int
+val hits : t -> int
+val misses : t -> int
+val invalidations : t -> int
+val flows : t -> int
+(** Number of distinct flows ever stored (including stale slots). *)

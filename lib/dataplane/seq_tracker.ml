@@ -1,10 +1,15 @@
 (* Missing sequence numbers are kept in a set; with 10 ms probe spacing
-   and realistic loss the set stays tiny. *)
-module Int64_set = Set.Make (Int64)
+   and realistic loss the set stays tiny.
+
+   Sequence numbers arrive as int64 (the wire field is 64-bit) but are
+   stored as native ints: tunnel sequences count up from zero and can
+   never reach 2^62 in a simulation, and an int set avoids boxing an
+   Int64 on every comparison of the per-packet path. *)
+module Int_set = Set.Make (Int)
 
 type t = {
-  mutable next_expected : int64;
-  mutable missing : Int64_set.t;
+  mutable next_expected : int;
+  mutable missing : Int_set.t;
   mutable received : int;
   mutable reordered : int;
   mutable duplicates : int;
@@ -15,8 +20,8 @@ let recent_alpha = 0.05
 
 let create () =
   {
-    next_expected = 0L;
-    missing = Int64_set.empty;
+    next_expected = 0;
+    missing = Int_set.empty;
     received = 0;
     reordered = 0;
     duplicates = 0;
@@ -26,21 +31,22 @@ let create () =
 let bump_recent t indicator =
   t.recent <- (recent_alpha *. indicator) +. ((1.0 -. recent_alpha) *. t.recent)
 
-let observe t seq =
-  if Int64.compare seq t.next_expected >= 0 then begin
+let observe t seq64 =
+  if Int64.compare seq64 (Int64.of_int max_int) > 0 || Int64.compare seq64 0L < 0
+  then invalid_arg "Seq_tracker.observe: sequence outside [0, max_int]";
+  let seq = Int64.to_int seq64 in
+  if seq >= t.next_expected then begin
     (* Every number skipped over becomes provisionally missing. *)
-    let cursor = ref t.next_expected in
-    while Int64.compare !cursor seq < 0 do
-      t.missing <- Int64_set.add !cursor t.missing;
-      bump_recent t 1.0;
-      cursor := Int64.add !cursor 1L
+    for skipped = t.next_expected to seq - 1 do
+      t.missing <- Int_set.add skipped t.missing;
+      bump_recent t 1.0
     done;
-    t.next_expected <- Int64.add seq 1L;
+    t.next_expected <- seq + 1;
     t.received <- t.received + 1;
     bump_recent t 0.0
   end
-  else if Int64_set.mem seq t.missing then begin
-    t.missing <- Int64_set.remove seq t.missing;
+  else if Int_set.mem seq t.missing then begin
+    t.missing <- Int_set.remove seq t.missing;
     t.received <- t.received + 1;
     t.reordered <- t.reordered + 1;
     (* The provisional loss turned out to be reordering. *)
@@ -51,7 +57,7 @@ let observe t seq =
 
 let received t = t.received
 
-let lost t = Int64_set.cardinal t.missing
+let lost t = Int_set.cardinal t.missing
 
 let reordered t = t.reordered
 

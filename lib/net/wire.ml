@@ -20,6 +20,9 @@ let ipv6_header_bytes = 40
 
 let udp_header_bytes = 8
 
+let max_frame_bytes ~payload_bytes =
+  ipv6_header_bytes + udp_header_bytes + tango_shim_auth_bytes + payload_bytes
+
 let set_u16 buf off v =
   Bytes.set_uint8 buf off ((v lsr 8) land 0xFF);
   Bytes.set_uint8 buf (off + 1) (v land 0xFF)
@@ -45,39 +48,65 @@ let set_ipv6 buf off a =
 
 let get_ipv6 buf off = Ipv6.make (get_u64 buf off) (get_u64 buf (off + 8))
 
-let internet_checksum buf =
-  let len = Bytes.length buf in
-  let sum = ref 0 in
-  let i = ref 0 in
-  while !i + 1 < len do
-    sum := !sum + get_u16 buf !i;
-    i := !i + 2
-  done;
-  if len land 1 = 1 then sum := !sum + (Bytes.get_uint8 buf (len - 1) lsl 8);
+(* One's-complement accumulation: callers add 16-bit words into a plain
+   int accumulator, then [finish_sum] folds the carries and complements.
+   Splitting it this way lets the pseudo-header be folded straight into
+   the running sum without ever materializing it as bytes. *)
+
+let finish_sum sum =
+  let sum = ref sum in
   while !sum lsr 16 <> 0 do
     sum := (!sum land 0xFFFF) + (!sum lsr 16)
   done;
   lnot !sum land 0xFFFF
 
-let udp_checksum ~src ~dst ~udp =
-  let udp_len = Bytes.length udp in
-  (* IPv6 pseudo-header: src(16) dst(16) upper-layer length(4) zeros(3)
-     next-header(1), then the UDP datagram. *)
-  let buf = Bytes.make (40 + udp_len) '\000' in
-  set_ipv6 buf 0 src;
-  set_ipv6 buf 16 dst;
-  set_u16 buf 32 (udp_len lsr 16);
-  set_u16 buf 34 (udp_len land 0xFFFF);
-  Bytes.set_uint8 buf 39 17;
-  Bytes.blit udp 0 buf 40 udp_len;
-  let sum = internet_checksum buf in
+(* Sum the 16-bit big-endian words of [buf.(off .. off+len-1)], padding
+   an odd tail with a zero byte. The word starting at absolute offset
+   [skip] (which must be [off]-aligned to a word boundary) is treated as
+   zero — how the checksum field itself is excluded without copying. *)
+let sum_range buf ~off ~len ~skip acc =
+  let acc = ref acc in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    if !i <> skip then acc := !acc + get_u16 buf !i;
+    i := !i + 2
+  done;
+  if len land 1 = 1 then acc := !acc + (Bytes.get_uint8 buf (stop - 1) lsl 8);
+  !acc
+
+let sum_u64 v acc =
+  acc
+  + (Int64.to_int (Int64.shift_right_logical v 48) land 0xFFFF)
+  + (Int64.to_int (Int64.shift_right_logical v 32) land 0xFFFF)
+  + (Int64.to_int (Int64.shift_right_logical v 16) land 0xFFFF)
+  + (Int64.to_int v land 0xFFFF)
+
+let internet_checksum buf =
+  finish_sum (sum_range buf ~off:0 ~len:(Bytes.length buf) ~skip:(-1) 0)
+
+(* IPv6 pseudo-header (src, dst, upper-layer length, next-header 17)
+   folded word-by-word into the running sum — no scratch buffer. *)
+let udp_checksum_range ~src ~dst buf ~off ~len ~skip =
+  let acc =
+    sum_u64 (Ipv6.hi src)
+      (sum_u64 (Ipv6.lo src) (sum_u64 (Ipv6.hi dst) (sum_u64 (Ipv6.lo dst) 0)))
+  in
+  let acc = acc + (len lsr 16) + (len land 0xFFFF) + 17 in
+  let sum = finish_sum (sum_range buf ~off ~len ~skip acc) in
   if sum = 0 then 0xFFFF else sum
+
+let udp_checksum ~src ~dst ~udp =
+  udp_checksum_range ~src ~dst udp ~off:0 ~len:(Bytes.length udp) ~skip:(-1)
 
 (* Authentication covers everything an attacker could usefully rewrite:
    outer addresses (path identity), ports (ECMP pin) and the shim. *)
-let auth_message ~outer_src ~outer_dst ~udp_src ~udp_dst ~(tango : Packet.tango_header)
-    ~flags =
-  let m = Bytes.make 56 '\000' in
+let auth_message_bytes = 56
+
+let auth_message_into m ~outer_src ~outer_dst ~udp_src ~udp_dst
+    ~(tango : Packet.tango_header) ~flags =
+  if Bytes.length m < auth_message_bytes then
+    invalid_arg "Wire.auth_message_into: buffer shorter than 56 bytes";
   set_ipv6 m 0 outer_src;
   set_ipv6 m 16 outer_dst;
   set_u16 m 32 udp_src;
@@ -85,11 +114,20 @@ let auth_message ~outer_src ~outer_dst ~udp_src ~udp_dst ~(tango : Packet.tango_
   set_u64 m 36 tango.Packet.timestamp_ns;
   set_u64 m 44 tango.Packet.seq;
   set_u16 m 52 tango.Packet.path_id;
-  set_u16 m 54 flags;
-  m
+  set_u16 m 54 flags
 
-let encode_tunnel ?auth_key ~outer_src ~outer_dst ~udp_src ~udp_dst
-    ~(tango : Packet.tango_header) payload =
+(* Per-module scratch for the 56-byte MAC input, reused across packets
+   the way an eBPF program reuses its per-CPU scratch map. The simulator
+   is single-domain; this is not safe under parallel domains. *)
+let auth_scratch = Bytes.make auth_message_bytes '\000'
+
+let mac ~auth_key ~outer_src ~outer_dst ~udp_src ~udp_dst ~tango ~flags =
+  auth_message_into auth_scratch ~outer_src ~outer_dst ~udp_src ~udp_dst ~tango
+    ~flags;
+  Siphash.mac auth_key auth_scratch
+
+let encode_tunnel_into ?auth_key ~outer_src ~outer_dst ~udp_src ~udp_dst
+    ~(tango : Packet.tango_header) ~buf payload =
   let authenticated = Option.is_some auth_key in
   let shim_bytes = if authenticated then tango_shim_auth_bytes else tango_shim_bytes in
   let wire_flags =
@@ -98,9 +136,14 @@ let encode_tunnel ?auth_key ~outer_src ~outer_dst ~udp_src ~udp_dst
   let payload_len = Bytes.length payload in
   let udp_len = udp_header_bytes + shim_bytes + payload_len in
   let total = ipv6_header_bytes + udp_len in
-  let buf = Bytes.make total '\000' in
+  if Bytes.length buf < total then
+    invalid_arg
+      (Printf.sprintf "Wire.encode_tunnel_into: buffer %d < frame %d"
+         (Bytes.length buf) total);
   (* IPv6 fixed header. *)
   Bytes.set_uint8 buf 0 0x60;
+  Bytes.set_uint8 buf 1 0;
+  set_u16 buf 2 0;
   set_u16 buf 4 udp_len;
   Bytes.set_uint8 buf 6 17 (* next header: UDP *);
   Bytes.set_uint8 buf 7 64 (* hop limit *);
@@ -111,6 +154,7 @@ let encode_tunnel ?auth_key ~outer_src ~outer_dst ~udp_src ~udp_dst
   set_u16 buf udp_off udp_src;
   set_u16 buf (udp_off + 2) udp_dst;
   set_u16 buf (udp_off + 4) udp_len;
+  set_u16 buf (udp_off + 6) 0;
   (* Tango shim: timestamp(8) seq(8) path_id(2) flags(2) [tag(8)]. *)
   let shim_off = udp_off + udp_header_bytes in
   set_u64 buf shim_off tango.timestamp_ns;
@@ -119,20 +163,37 @@ let encode_tunnel ?auth_key ~outer_src ~outer_dst ~udp_src ~udp_dst
   set_u16 buf (shim_off + 18) wire_flags;
   (match auth_key with
   | Some key ->
-      let message =
-        auth_message ~outer_src ~outer_dst ~udp_src ~udp_dst ~tango
-          ~flags:wire_flags
-      in
-      set_u64 buf (shim_off + 20) (Siphash.mac key message)
+      set_u64 buf (shim_off + 20)
+        (mac ~auth_key:key ~outer_src ~outer_dst ~udp_src ~udp_dst ~tango
+           ~flags:wire_flags)
   | None -> ());
   Bytes.blit payload 0 buf (shim_off + shim_bytes) payload_len;
-  (* Checksum over the UDP datagram with the field zeroed. *)
-  let udp_bytes = Bytes.sub buf udp_off udp_len in
-  let sum = udp_checksum ~src:outer_src ~dst:outer_dst ~udp:udp_bytes in
+  (* Checksum over the UDP datagram in place (the field is still zero). *)
+  let sum =
+    udp_checksum_range ~src:outer_src ~dst:outer_dst buf ~off:udp_off
+      ~len:udp_len ~skip:(-1)
+  in
   set_u16 buf (udp_off + 6) sum;
+  total
+
+let encode_tunnel ?auth_key ~outer_src ~outer_dst ~udp_src ~udp_dst ~tango
+    payload =
+  let authenticated = Option.is_some auth_key in
+  let shim_bytes = if authenticated then tango_shim_auth_bytes else tango_shim_bytes in
+  let total =
+    ipv6_header_bytes + udp_header_bytes + shim_bytes + Bytes.length payload
+  in
+  let buf = Bytes.create total in
+  let written =
+    encode_tunnel_into ?auth_key ~outer_src ~outer_dst ~udp_src ~udp_dst ~tango
+      ~buf payload
+  in
+  assert (written = total);
   buf
 
-let decode_tunnel ?auth_key buf =
+(* Zero-copy parse: validate the frame and locate the payload without
+   allocating anything beyond the two small header records. *)
+let decode_tunnel_spans ?auth_key buf =
   let len = Bytes.length buf in
   if len < ipv6_header_bytes + udp_header_bytes + tango_shim_bytes then
     Error (Printf.sprintf "frame too short: %d bytes" len)
@@ -171,10 +232,12 @@ let decode_tunnel ?auth_key buf =
       in
       if udp.length <> payload_length then Error "UDP length mismatch"
       else begin
-        (* Verify the checksum by recomputing over a zero-checksum copy. *)
-        let udp_bytes = Bytes.sub buf udp_off udp.length in
-        set_u16 udp_bytes 6 0;
-        let expect = udp_checksum ~src:ipv6.src ~dst:ipv6.dst ~udp:udp_bytes in
+        (* Verify by recomputing with the checksum word skipped in place —
+           no zeroed copy of the datagram. *)
+        let expect =
+          udp_checksum_range ~src:ipv6.src ~dst:ipv6.dst buf ~off:udp_off
+            ~len:udp.length ~skip:(udp_off + 6)
+        in
         if expect <> udp.checksum then
           Error
             (Printf.sprintf "bad UDP checksum: got %04x want %04x" udp.checksum
@@ -203,23 +266,41 @@ let decode_tunnel ?auth_key buf =
             | None, false ->
                 let payload_off = shim_off + shim_bytes in
                 let payload_len = ipv6_header_bytes + payload_length - payload_off in
-                Ok (ipv6, udp, tango, Bytes.sub buf payload_off payload_len)
+                Ok (ipv6, udp, tango, payload_off, payload_len)
             | Some key, true ->
                 let expect =
-                  Siphash.mac key
-                    (auth_message ~outer_src:ipv6.src ~outer_dst:ipv6.dst
-                       ~udp_src:udp.src_port ~udp_dst:udp.dst_port ~tango
-                       ~flags:wire_flags)
+                  mac ~auth_key:key ~outer_src:ipv6.src ~outer_dst:ipv6.dst
+                    ~udp_src:udp.src_port ~udp_dst:udp.dst_port ~tango
+                    ~flags:wire_flags
                 in
                 if not (Int64.equal expect (get_u64 buf (shim_off + 20))) then
                   Error "authentication tag mismatch"
                 else begin
                   let payload_off = shim_off + shim_bytes in
                   let payload_len = ipv6_header_bytes + payload_length - payload_off in
-                  Ok (ipv6, udp, tango, Bytes.sub buf payload_off payload_len)
+                  Ok (ipv6, udp, tango, payload_off, payload_len)
                 end
           end
         end
       end
     end
   end
+
+let decode_tunnel_into ?auth_key ~payload buf =
+  match decode_tunnel_spans ?auth_key buf with
+  | Error _ as e -> e
+  | Ok (ipv6, udp, tango, payload_off, payload_len) ->
+      if Bytes.length payload < payload_len then
+        Error
+          (Printf.sprintf "payload buffer %d < payload %d" (Bytes.length payload)
+             payload_len)
+      else begin
+        Bytes.blit buf payload_off payload 0 payload_len;
+        Ok (ipv6, udp, tango, payload_len)
+      end
+
+let decode_tunnel ?auth_key buf =
+  match decode_tunnel_spans ?auth_key buf with
+  | Error _ as e -> e
+  | Ok (ipv6, udp, tango, payload_off, payload_len) ->
+      Ok (ipv6, udp, tango, Bytes.sub buf payload_off payload_len)

@@ -38,7 +38,13 @@ val udp_checksum :
   src:Ipv6.t -> dst:Ipv6.t -> udp:Bytes.t -> int
 (** UDP checksum over the IPv6 pseudo-header plus the UDP header+payload
     bytes (with its checksum field zeroed). Never returns 0 (0xFFFF is
-    substituted, per RFC 2460). *)
+    substituted, per RFC 2460). The pseudo-header is folded directly
+    into the running sum — no scratch buffer is materialized. *)
+
+val max_frame_bytes : payload_bytes:int -> int
+(** Size of the largest frame {!encode_tunnel_into} can emit for a
+    payload of [payload_bytes] (the authenticated-shim layout) — how big
+    a reusable output buffer must be. *)
 
 val encode_tunnel :
   ?auth_key:Siphash.key ->
@@ -52,7 +58,27 @@ val encode_tunnel :
 (** [encode_tunnel ... payload] produces the full outer frame: IPv6 + UDP + Tango shim + payload, with
     a valid UDP checksum and payload lengths filled in. With [auth_key]
     the shim is the 28-byte authenticated variant and {!auth_flag} is
-    set in the flags on the wire. *)
+    set in the flags on the wire. Allocates exactly the returned frame;
+    the zero-allocation path is {!encode_tunnel_into}. *)
+
+val encode_tunnel_into :
+  ?auth_key:Siphash.key ->
+  outer_src:Ipv6.t ->
+  outer_dst:Ipv6.t ->
+  udp_src:int ->
+  udp_dst:int ->
+  tango:Packet.tango_header ->
+  buf:Bytes.t ->
+  Bytes.t ->
+  int
+(** Like {!encode_tunnel} but writes the frame into the caller-provided
+    [buf] starting at offset 0 and returns the frame length — the
+    per-packet fast path; a switch reuses one buffer of
+    {!max_frame_bytes} for every packet and allocates nothing. Raises
+    [Invalid_argument] when [buf] is too small. Bytes of [buf] beyond
+    the returned length are left untouched. Not safe under parallel
+    domains (a shared 56-byte MAC scratch is reused, in the way an eBPF
+    program reuses a per-CPU scratch map). *)
 
 val decode_tunnel :
   ?auth_key:Siphash.key ->
@@ -64,3 +90,15 @@ val decode_tunnel :
     Supplying a key also {e requires} the frame to be authenticated, so
     an on-path attacker cannot strip protection. Returns the headers and
     the inner payload. *)
+
+val decode_tunnel_into :
+  ?auth_key:Siphash.key ->
+  payload:Bytes.t ->
+  Bytes.t ->
+  (ipv6_header * udp_header * Packet.tango_header * int, string) result
+(** Like {!decode_tunnel} but copies the inner payload into the
+    caller-provided [payload] buffer at offset 0 and returns its length
+    — validation (including the checksum, verified in place with the
+    checksum word skipped rather than over a zeroed copy) allocates no
+    intermediate buffers. Errors when [payload] is too small for the
+    frame's payload. *)

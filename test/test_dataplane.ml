@@ -379,6 +379,47 @@ let test_fabric_no_contention_by_default () =
         rest
   | [] -> Alcotest.fail "nothing delivered"
 
+(* ------------------------------------------------------------------ *)
+(* Flow cache                                                          *)
+
+let test_flow_cache_hit_miss () =
+  let c = Flow_cache.create () in
+  Alcotest.(check (option int)) "empty" None (Flow_cache.find c ~flow_hash:7);
+  Flow_cache.store c ~flow_hash:7 3;
+  Alcotest.(check (option int)) "stored" (Some 3) (Flow_cache.find c ~flow_hash:7);
+  Alcotest.(check (option int)) "other hash" None (Flow_cache.find c ~flow_hash:8);
+  Alcotest.(check int) "hits" 1 (Flow_cache.hits c);
+  Alcotest.(check int) "misses" 2 (Flow_cache.misses c)
+
+let test_flow_cache_invalidation () =
+  let c = Flow_cache.create () in
+  Flow_cache.store c ~flow_hash:1 2;
+  Flow_cache.store c ~flow_hash:9 5;
+  Flow_cache.invalidate c;
+  (* Generation bump: every stale entry misses without being scanned. *)
+  Alcotest.(check (option int)) "stale after bump" None (Flow_cache.find c ~flow_hash:1);
+  Alcotest.(check (option int)) "all flows stale" None (Flow_cache.find c ~flow_hash:9);
+  Flow_cache.store c ~flow_hash:1 7;
+  Alcotest.(check (option int)) "restored in new generation" (Some 7)
+    (Flow_cache.find c ~flow_hash:1);
+  Alcotest.(check int) "invalidations counted" 1 (Flow_cache.invalidations c)
+
+let test_flow_cache_path_bounds () =
+  let c = Flow_cache.create () in
+  Flow_cache.store c ~flow_hash:1 Flow_cache.max_path;
+  Alcotest.(check (option int)) "max path roundtrips" (Some Flow_cache.max_path)
+    (Flow_cache.find c ~flow_hash:1);
+  Alcotest.(check bool) "path above max rejected" true
+    (try
+       Flow_cache.store c ~flow_hash:2 (Flow_cache.max_path + 1);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative path rejected" true
+    (try
+       Flow_cache.store c ~flow_hash:2 (-1);
+       false
+     with Invalid_argument _ -> true)
+
 let () =
   let tc = Alcotest.test_case in
   let qc = QCheck_alcotest.to_alcotest in
@@ -421,5 +462,11 @@ let () =
           tc "serializes" `Quick test_fabric_queueing_serializes;
           tc "overflow drops" `Quick test_fabric_queue_overflow_drops;
           tc "off by default" `Quick test_fabric_no_contention_by_default;
+        ] );
+      ( "flow_cache",
+        [
+          tc "hit/miss" `Quick test_flow_cache_hit_miss;
+          tc "generation invalidation" `Quick test_flow_cache_invalidation;
+          tc "path bounds" `Quick test_flow_cache_path_bounds;
         ] );
     ]

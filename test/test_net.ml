@@ -496,6 +496,94 @@ let wire_qcheck_roundtrip =
           && Int64.equal tango'.Packet.seq seq
       | Error _ -> false)
 
+(* The cursor codecs must be bit-for-bit the allocating API: the frame
+   written into a reused oversized buffer is byte-identical to
+   [encode_tunnel], and [decode_tunnel_into] recovers exactly the same
+   headers and payload — across payload lengths 0, odd sizes and the
+   auth shim on/off. *)
+let wire_qcheck_into_identical =
+  QCheck.Test.make ~name:"encode/decode_into identical to allocating API"
+    ~count:300
+    QCheck.(pair (string_of_size Gen.(0 -- 700)) bool)
+    (fun (s, authenticated) ->
+      let auth_key = if authenticated then Some reference_key else None in
+      let payload = Bytes.of_string s in
+      let tango = { Packet.timestamp_ns = 17L; seq = 3L; path_id = 6; flags = 0 } in
+      let src = Ipv6.of_string_exn "2001:db8::11"
+      and dst = Ipv6.of_string_exn "2001:db8::22" in
+      let reference =
+        Wire.encode_tunnel ?auth_key ~outer_src:src ~outer_dst:dst ~udp_src:40006
+          ~udp_dst:4789 ~tango payload
+      in
+      (* Oversized and dirty, to catch stale-byte reuse. *)
+      let buf =
+        Bytes.make (Wire.max_frame_bytes ~payload_bytes:(Bytes.length payload) + 32) '\xAA'
+      in
+      let len =
+        Wire.encode_tunnel_into ?auth_key ~outer_src:src ~outer_dst:dst
+          ~udp_src:40006 ~udp_dst:4789 ~tango ~buf payload
+      in
+      let identical =
+        len = Bytes.length reference
+        && Bytes.equal (Bytes.sub buf 0 len) reference
+      in
+      let payload_out = Bytes.make (Bytes.length payload + 16) '\xBB' in
+      match Wire.decode_tunnel_into ?auth_key ~payload:payload_out reference with
+      | Error _ -> false
+      | Ok (_, udp, tango', payload_len) ->
+          identical
+          && payload_len = Bytes.length payload
+          && Bytes.equal (Bytes.sub payload_out 0 payload_len) payload
+          && Int64.equal tango'.Packet.timestamp_ns 17L
+          && udp.Wire.src_port = 40006)
+
+let test_wire_into_edge_sizes () =
+  (* Zero-length and odd-length payloads exercise the checksum's odd
+     tail and the empty-blit path explicitly. *)
+  List.iter
+    (fun n ->
+      List.iter
+        (fun auth_key ->
+          let payload = Bytes.init n (fun i -> Char.chr ((i * 7) land 0xFF)) in
+          let tango = { Packet.timestamp_ns = 5L; seq = 1L; path_id = 0; flags = 0 } in
+          let src = Ipv6.of_string_exn "2001:db8::1"
+          and dst = Ipv6.of_string_exn "2001:db8::2" in
+          let reference =
+            Wire.encode_tunnel ?auth_key ~outer_src:src ~outer_dst:dst ~udp_src:1
+              ~udp_dst:2 ~tango payload
+          in
+          let buf = Bytes.make (Wire.max_frame_bytes ~payload_bytes:n) '\xCC' in
+          let len =
+            Wire.encode_tunnel_into ?auth_key ~outer_src:src ~outer_dst:dst
+              ~udp_src:1 ~udp_dst:2 ~tango ~buf payload
+          in
+          Alcotest.(check bytes)
+            (Printf.sprintf "identical frame (%d bytes, auth %b)" n
+               (Option.is_some auth_key))
+            reference (Bytes.sub buf 0 len))
+        [ None; Some reference_key ])
+    [ 0; 1; 2; 3; 511; 512 ]
+
+let test_wire_into_small_buffers_rejected () =
+  let payload = Bytes.make 32 'p' in
+  let tango = { Packet.timestamp_ns = 5L; seq = 1L; path_id = 0; flags = 0 } in
+  let src = Ipv6.of_string_exn "2001:db8::1"
+  and dst = Ipv6.of_string_exn "2001:db8::2" in
+  Alcotest.(check bool) "undersized encode buffer raises" true
+    (try
+       ignore
+         (Wire.encode_tunnel_into ~outer_src:src ~outer_dst:dst ~udp_src:1
+            ~udp_dst:2 ~tango ~buf:(Bytes.create 16) payload);
+       false
+     with Invalid_argument _ -> true);
+  let frame =
+    Wire.encode_tunnel ~outer_src:src ~outer_dst:dst ~udp_src:1 ~udp_dst:2
+      ~tango payload
+  in
+  match Wire.decode_tunnel_into ~payload:(Bytes.create 4) frame with
+  | Ok _ -> Alcotest.fail "undersized payload buffer accepted"
+  | Error _ -> ()
+
 let () =
   let tc = Alcotest.test_case in
   let qc = QCheck_alcotest.to_alcotest in
@@ -557,6 +645,10 @@ let () =
           tc "wrong version" `Quick test_wire_wrong_version;
           tc "rfc1071 example" `Quick test_wire_checksum_rfc1071;
           qc wire_qcheck_roundtrip;
+          tc "cursor codecs: edge payload sizes" `Quick test_wire_into_edge_sizes;
+          tc "cursor codecs: undersized buffers" `Quick
+            test_wire_into_small_buffers_rejected;
+          qc wire_qcheck_into_identical;
         ] );
       ( "auth",
         [

@@ -99,6 +99,141 @@ let test_rolling_min () =
   Rolling.add r ~time:0.2 4.0;
   check_float "min" 3.0 (Rolling.min_value r)
 
+(* Differential oracle: the Queue-of-pairs implementation Rolling
+   replaced. Kept verbatim (including the strict [time < cutoff]
+   eviction) so the flat-ring version is checked against the exact old
+   semantics, boundary cases included. *)
+module Rolling_reference = struct
+  type t = {
+    window_s : float;
+    samples : (float * float) Queue.t;
+    mutable sum : float;
+    mutable sum_sq : float;
+  }
+
+  let create ~window_s = { window_s; samples = Queue.create (); sum = 0.0; sum_sq = 0.0 }
+
+  let evict t ~now =
+    let cutoff = now -. t.window_s in
+    let rec drop () =
+      match Queue.peek_opt t.samples with
+      | Some (time, v) when time < cutoff ->
+          ignore (Queue.pop t.samples);
+          t.sum <- t.sum -. v;
+          t.sum_sq <- t.sum_sq -. (v *. v);
+          drop ()
+      | _ -> ()
+    in
+    drop ()
+
+  let add t ~time value =
+    Queue.push (time, value) t.samples;
+    t.sum <- t.sum +. value;
+    t.sum_sq <- t.sum_sq +. (value *. value);
+    evict t ~now:time
+
+  let count t = Queue.length t.samples
+
+  let mean t =
+    let n = count t in
+    if n = 0 then nan else t.sum /. float_of_int n
+
+  let stddev t =
+    let n = count t in
+    if n < 2 then 0.0
+    else begin
+      let nf = float_of_int n in
+      let variance = (t.sum_sq /. nf) -. ((t.sum /. nf) ** 2.0) in
+      sqrt (Float.max 0.0 variance)
+    end
+
+  let min_value t =
+    Queue.fold (fun acc (_, v) -> Float.min acc v) infinity t.samples
+
+  let max_value t =
+    Queue.fold (fun acc (_, v) -> Float.max acc v) neg_infinity t.samples
+end
+
+let check_rolling_agrees msg r ref_r =
+  Alcotest.(check int)
+    (msg ^ ": count") (Rolling_reference.count ref_r) (Rolling.count r);
+  let close what a b =
+    if not (Float.abs (a -. b) <= 1e-9 || (Float.is_nan a && Float.is_nan b))
+    then
+      Alcotest.failf "%s: %s diverged (ref %.17g vs ring %.17g)" msg what a b
+  in
+  close "mean" (Rolling_reference.mean ref_r) (Rolling.mean r);
+  close "stddev" (Rolling_reference.stddev ref_r) (Rolling.stddev r);
+  close "min" (Rolling_reference.min_value ref_r) (Rolling.min_value r);
+  close "max" (Rolling_reference.max_value ref_r) (Rolling.max_value r)
+
+let test_rolling_matches_reference () =
+  let r = Rolling.create ~window_s:1.0 in
+  let ref_r = Rolling_reference.create ~window_s:1.0 in
+  (* Deterministic but irregular stream: bursts, gaps longer than the
+     window, repeated values (wedge ties), growth past the initial ring
+     capacity. *)
+  let rng = ref 0x2545F4914F6CDD1D in
+  let next_bits () =
+    (* xorshift, masked to stay in positive int range *)
+    let x = !rng in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    rng := x;
+    x land 0xFFFFF
+  in
+  let time = ref 0.0 in
+  for step = 1 to 2000 do
+    let bits = next_bits () in
+    let dt =
+      match bits land 0x3F with
+      | 0 -> 1.5 (* gap past the window: full flush *)
+      | 1 -> 0.0 (* same-timestamp burst *)
+      | b -> float_of_int b *. 0.004
+    in
+    time := !time +. dt;
+    let value = 20.0 +. float_of_int ((bits lsr 6) land 0x1F) in
+    Rolling.add r ~time:!time value;
+    Rolling_reference.add ref_r ~time:!time value;
+    if step mod 7 = 0 then
+      check_rolling_agrees (Printf.sprintf "step %d" step) r ref_r
+  done;
+  check_rolling_agrees "final" r ref_r
+
+let test_rolling_cutoff_boundary () =
+  (* Eviction is strict: a sample at exactly [now - window_s] survives. *)
+  let r = Rolling.create ~window_s:1.0 in
+  let ref_r = Rolling_reference.create ~window_s:1.0 in
+  List.iter
+    (fun (t, v) ->
+      Rolling.add r ~time:t v;
+      Rolling_reference.add ref_r ~time:t v)
+    [ (0.0, 10.0); (0.25, 40.0); (1.0, 30.0) ];
+  Alcotest.(check int) "sample at time = cutoff survives" 3 (Rolling.count r);
+  check_rolling_agrees "boundary" r ref_r;
+  Rolling.add r ~time:1.2500000001 20.0;
+  Rolling_reference.add ref_r ~time:1.2500000001 20.0;
+  (* cutoff is now just past 0.25: both the 0.0 and 0.25 samples go. *)
+  Alcotest.(check int) "just past cutoff evicts" 2 (Rolling.count r);
+  check_rolling_agrees "past boundary" r ref_r
+
+let test_rolling_extrema_track_eviction () =
+  let r = Rolling.create ~window_s:1.0 in
+  Rolling.add r ~time:0.0 50.0;
+  Rolling.add r ~time:0.1 1.0;
+  Rolling.add r ~time:0.2 30.0;
+  check_float "min sees the dip" 1.0 (Rolling.min_value r);
+  check_float "max sees the spike" 50.0 (Rolling.max_value r);
+  (* Evict the spike only (cutoff 0.05): the dip at 0.1 is still in. *)
+  Rolling.add r ~time:1.05 25.0;
+  check_float "max after spike evicted" 30.0 (Rolling.max_value r);
+  check_float "min still the dip" 1.0 (Rolling.min_value r);
+  (* Now evict the dip too (cutoff 0.15). *)
+  Rolling.add r ~time:1.15 26.0;
+  check_float "min after dip evicted" 25.0 (Rolling.min_value r);
+  check_float "max unchanged" 30.0 (Rolling.max_value r)
+
 (* ------------------------------------------------------------------ *)
 (* Ewma                                                                *)
 
@@ -349,6 +484,9 @@ let () =
           tc "stddev" `Quick test_rolling_stddev;
           tc "constant signal" `Quick test_rolling_constant_signal;
           tc "min" `Quick test_rolling_min;
+          tc "matches queue reference" `Quick test_rolling_matches_reference;
+          tc "cutoff boundary is strict" `Quick test_rolling_cutoff_boundary;
+          tc "extrema track eviction" `Quick test_rolling_extrema_track_eviction;
         ] );
       ( "ewma",
         [
