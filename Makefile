@@ -2,7 +2,7 @@
 # formatting, the full test suite, then a fast end-to-end smoke of the
 # experiment harness (fig3 takes well under a second).
 
-.PHONY: all build fmt test smoke bench bench-json check clean
+.PHONY: all build fmt test lint lint-json smoke bench bench-json check clean
 
 all: build
 
@@ -15,6 +15,14 @@ fmt:
 test:
 	dune runtest
 
+# Static analysis: hot-path allocation / poly-compare / exception
+# discipline over lib/ (rules in DESIGN.md, schema in EXPERIMENTS.md).
+lint:
+	dune build @lint
+
+lint-json:
+	dune exec bin/tango_lint_main.exe -- --json --root lib
+
 smoke:
 	dune exec bench/main.exe -- --experiment fig3 --no-micro
 
@@ -25,7 +33,7 @@ bench:
 bench-json:
 	dune exec bench/main.exe -- --experiment micro --json BENCH.json
 
-check: build fmt test smoke
+check: build fmt test lint smoke
 
 clean:
 	dune clean

@@ -1,0 +1,40 @@
+(* tango_lint — enforce hot-path and dataplane discipline over lib/.
+
+   Usage: tango_lint [--json] [--rules] [--root DIR] [PATH ...]
+
+   Exit status: 0 when nothing unwaived is found, 1 otherwise, 2 on
+   usage errors. Run through the dune alias: `dune build @lint`. *)
+
+module Rules = Tango_lint.Rules
+module Engine = Tango_lint.Engine
+module Report = Tango_lint.Report
+
+let () =
+  let json = ref false in
+  let list_rules = ref false in
+  let roots = ref [] in
+  let add_root p = roots := p :: !roots in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit the machine-readable report instead of text");
+      ("--rules", Arg.Set list_rules, " list the rules and their rationale, then exit");
+      ("--root", Arg.String add_root, "DIR directory (or file) to lint; repeatable");
+    ]
+  in
+  let usage = "tango_lint [--json] [--rules] [--root DIR] [PATH ...]" in
+  Arg.parse (Arg.align spec) add_root usage;
+  if !list_rules then begin
+    List.iter
+      (fun r -> Printf.printf "%-14s %s\n" (Rules.id r) (Rules.describe r))
+      Rules.all;
+    exit 0
+  end;
+  let roots = match List.rev !roots with [] -> [ "lib" ] | rs -> rs in
+  (match List.find_opt (fun p -> not (Sys.file_exists p)) roots with
+  | Some missing ->
+      Printf.eprintf "tango_lint: no such path %S\n" missing;
+      exit 2
+  | None -> ());
+  let result = Engine.lint_paths roots in
+  if !json then Report.json stdout result else Report.text stdout result;
+  exit (match result.Engine.findings with [] -> 0 | _ -> 1)

@@ -65,7 +65,7 @@ let action_to_community = function
   | No_export_transit -> no_export_transit_comm
 
 let action_of_community (upper, lower) =
-  if (upper, lower) = no_export_transit_comm then Some No_export_transit
+  if equal (upper, lower) no_export_transit_comm then Some No_export_transit
   else if upper = ns_no_export then Some (No_export_to lower)
   else if upper = ns_export_only then Some (Export_only_to lower)
   else if upper >= ns_prepend_base + 2 && upper <= ns_prepend_base + 4 then

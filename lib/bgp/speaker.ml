@@ -131,7 +131,7 @@ let action_filter t (r : Route.t) (to_neighbor : neighbor) =
         actions
     in
     let excluded_by_only =
-      transit_neighbor && export_only <> []
+      transit_neighbor && not (List.is_empty export_only)
       && not (List.mem to_neighbor.asn export_only)
     in
     if suppressed || excluded_by_only then None

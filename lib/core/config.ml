@@ -274,7 +274,7 @@ let parse input =
                 block = !block;
                 probe_interval_s = !probe;
                 report_interval_s = !report;
-                sites = (if !sites = [] then default.sites else List.rev !sites);
+                sites = (match !sites with [] -> default.sites | sites -> List.rev sites);
               })
 
 let parse_file path =

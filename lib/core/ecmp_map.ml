@@ -24,7 +24,7 @@ let cluster ~tolerance_ms values =
   go 0.0 0 [] sorted
 
 let infer ~tolerance_ms floors =
-  if floors = [] then invalid_arg "Ecmp_map.infer: no observations";
+  if List.is_empty floors then invalid_arg "Ecmp_map.infer: no observations";
   let clusters = cluster ~tolerance_ms (List.map snd floors) in
   let fastest = match clusters with (m, _) :: _ -> m | [] -> assert false in
   let lanes =

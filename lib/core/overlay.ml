@@ -57,7 +57,7 @@ let plan_routes ~owd_ms ?(relay_overhead_ms = 0.1) ?(max_relays = 1) ~sites () =
     pairs
 
 let gain_ms plan =
-  if plan.direct_ms = infinity && plan.owd_ms < infinity then infinity
+  if Float.equal plan.direct_ms infinity && plan.owd_ms < infinity then infinity
   else Float.max 0.0 (plan.direct_ms -. plan.owd_ms)
 
 module Triangle = struct

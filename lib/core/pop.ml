@@ -157,7 +157,7 @@ let path_label t i =
 (* ------------------------------------------------------------------ *)
 (* Receive side: the receiver eBPF program plus host delivery.          *)
 
-let record_measurement t ~now (reception : Tunnel.reception) =
+let[@hot] record_measurement t ~now (reception : Tunnel.reception) =
   let path = reception.Tunnel.path_id in
   if path >= 0 && path < max_paths then begin
     Series.add t.owd_series.(path) ~time:now reception.Tunnel.owd_ms;
@@ -210,7 +210,7 @@ let deliver_to_host t ~now (packet : Packet.t) =
     | Some _ | None -> ()
   end
 
-let handle_arrival t (packet : Packet.t) =
+let[@hot] handle_arrival t (packet : Packet.t) =
   let now = Engine.now (engine t) in
   if Packet.is_encapsulated packet then begin
     let reception = Tunnel.receive ~clock:t.clock ~now_s:now packet in
@@ -222,11 +222,12 @@ let handle_arrival t (packet : Packet.t) =
 (* ------------------------------------------------------------------ *)
 (* Send side: the sender eBPF program.                                  *)
 
-let dispatch t (packet : Packet.t) =
+let[@hot] dispatch t (packet : Packet.t) =
   match t.peer with
   | None -> invalid_arg "Pop: not wired to a peer (call Pop.wire)"
   | Some peer ->
       Fabric.send t.fabric ~from_node:t.node
+        (* tango-lint: allow hot-alloc — delivery continuation handed to the fabric once per dispatch *)
         ~on_delivered:(fun ~node packet ->
           if node = peer.node then handle_arrival peer packet
           else if node = t.node then handle_arrival t packet)
@@ -277,7 +278,7 @@ let live_outbound_stats t =
    stats-array rebase it needs) runs at most once per [policy_refresh_s]
    of virtual time; a changed preference invalidates the per-flow cache
    so every flow migrates on its next packet. *)
-let refresh_policy t ~now =
+let[@hot] refresh_policy t ~now =
   if now -. t.last_choice_at > t.policy_refresh_s then begin
     let path = Policy.choose t.policy ~now_s:now (live_outbound_stats t) in
     t.policy_evals <- t.policy_evals + 1;
@@ -288,7 +289,7 @@ let refresh_policy t ~now =
     end
   end
 
-let choose_path t ~now ~flow_hash =
+let[@hot] choose_path t ~now ~flow_hash =
   refresh_policy t ~now;
   match Flow_cache.find t.path_cache ~flow_hash with
   | Some path -> path

@@ -52,7 +52,7 @@ let update_rtt t sample =
     t.srtt <- (0.875 *. t.srtt) +. (0.125 *. sample)
   end
 
-let finished t = t.completed_at <> None
+let finished t = Option.is_some t.completed_at
 
 let rec arm_timer t =
   if not (finished t) then begin

@@ -1,13 +1,13 @@
 type lanes = float array
 
 let uniform_lanes ~count ~spread_ms =
-  if count < 1 then invalid_arg "Ecmp.uniform_lanes: need at least one lane";
-  if spread_ms < 0.0 then invalid_arg "Ecmp.uniform_lanes: negative spread";
+  if count < 1 then Err.invalid "Ecmp.uniform_lanes: need at least one lane";
+  if spread_ms < 0.0 then Err.invalid "Ecmp.uniform_lanes: negative spread";
   Array.init count (fun i -> float_of_int i *. spread_ms)
 
 let select lanes ~salt flow =
   let n = Array.length lanes in
-  if n = 0 then invalid_arg "Ecmp.select: no lanes";
+  if n = 0 then Err.invalid "Ecmp.select: no lanes";
   Tango_net.Flow.hash_5tuple ~salt flow mod n
 
 let lane_delay_ms lanes ~salt flow = lanes.(select lanes ~salt flow)

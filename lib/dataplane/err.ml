@@ -1,0 +1,12 @@
+(* Declared contract-violation exception for the dataplane library —
+   the dataplane counterpart of [Tango_net.Err]. tango_lint bans
+   undeclared failwith / Invalid_argument under lib/dataplane. *)
+
+exception Invalid of string
+
+let () =
+  Printexc.register_printer (function
+    | Invalid msg -> Some ("Tango_dataplane.Err.Invalid: " ^ msg)
+    | _ -> None)
+
+let invalid fmt = Printf.ksprintf (fun msg -> raise (Invalid msg)) fmt

@@ -33,7 +33,7 @@ let create ?(seed = 4242) ?(lanes_of = fun _ -> no_lanes)
     ?(extra_delay_ms = fun ~from_node:_ ~to_node:_ ~time_s:_ -> 0.0)
     ?max_queue_s net =
   (match max_queue_s with
-  | Some q when q < 0.0 -> invalid_arg "Fabric.create: negative queue bound"
+  | Some q when q < 0.0 -> Err.invalid "Fabric.create: negative queue bound"
   | Some _ | None -> ());
   let node_count =
     1
@@ -56,28 +56,30 @@ let create ?(seed = 4242) ?(lanes_of = fun _ -> no_lanes)
     dropped = 0;
   }
 
-let link_key t ~from_node ~to_node =
+let[@hot] link_key t ~from_node ~to_node =
   if
     from_node < 0 || from_node >= t.node_count || to_node < 0
     || to_node >= t.node_count
   then
-    invalid_arg
-      (Printf.sprintf "Fabric: link %d -> %d outside the topology" from_node
-         to_node);
+    Err.invalid "Fabric: link %d -> %d outside the topology" from_node
+         to_node;
   (from_node * t.node_count) + to_node
 
 let network t = t.net
 
 let hop_limit = 64
 
-let send t ~from_node ?(on_dropped = fun ~reason:_ _ -> ()) ~on_delivered packet =
+(* tango-lint: allow hot-alloc — no-op default: fast-path callers pass ~on_dropped explicitly *)
+let[@hot] send t ~from_node ?(on_dropped = fun ~reason:_ _ -> ()) ~on_delivered packet =
   t.sent <- t.sent + 1;
   let engine = Network.engine t.net in
   let topo = Network.topology t.net in
+  (* tango-lint: allow hot-alloc — one drop-accounting closure per send, not per hop *)
   let drop reason =
     t.dropped <- t.dropped + 1;
     on_dropped ~reason packet
   in
+  (* tango-lint: allow hot-alloc — recursive forwarding loop captures the packet once per send *)
   let rec at_node node hops =
     Packet.record_hop packet (Topology.asn topo node);
     if hops > hop_limit then drop "ttl"
@@ -98,6 +100,7 @@ let send t ~from_node ?(on_dropped = fun ~reason:_ _ -> ()) ~on_delivered packet
             | Some next -> forward node next hops
           end
     end
+  (* tango-lint: allow hot-alloc — part of the same per-send recursive loop *)
   and forward node next hops =
     match Topology.link topo node next with
     | None -> drop "unroutable"
@@ -145,6 +148,7 @@ let send t ~from_node ?(on_dropped = fun ~reason:_ _ -> ()) ~on_delivered packet
                 ((link.Link.delay_ms +. jitter +. lane +. dynamic) /. 1000.0)
                 +. transmission_s +. queueing_s
               in
+              (* tango-lint: allow hot-alloc — event-engine continuation: one closure per scheduled hop *)
               Engine.schedule engine ~delay:(Float.max 0.0 delay_s) (fun _ ->
                   at_node next (hops + 1))
         end

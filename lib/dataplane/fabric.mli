@@ -46,7 +46,7 @@ val fail_link : t -> from_node:int -> to_node:int -> unit
     gray-failure scenario that motivates data-driven failover (the paper
     cites Blink-style recovery as the kind of technique Tango enables).
     Idempotent. Link state lives in flat arrays indexed by the packed
-    key [from * node_count + to]; raises [Invalid_argument] for node ids
+    key [from * node_count + to]; raises {!Err.Invalid} for node ids
     outside the topology. *)
 
 val heal_link : t -> from_node:int -> to_node:int -> unit

@@ -29,7 +29,7 @@ let create ?(expected_flows = 1024) () =
     invalidations = 0;
   }
 
-let find t ~flow_hash =
+let[@hot] find t ~flow_hash =
   match Hashtbl.find_opt t.table flow_hash with
   | Some packed when packed lsr path_bits = t.generation ->
       t.hits <- t.hits + 1;
@@ -38,9 +38,9 @@ let find t ~flow_hash =
       t.misses <- t.misses + 1;
       None
 
-let store t ~flow_hash path =
+let[@hot] store t ~flow_hash path =
   if path < 0 || path > max_path then
-    invalid_arg (Printf.sprintf "Flow_cache.store: path %d outside [0, %d]" path max_path);
+    Err.invalid "Flow_cache.store: path %d outside [0, %d]" path max_path;
   Hashtbl.replace t.table flow_hash ((t.generation lsl path_bits) lor path)
 
 let invalidate t =

@@ -25,7 +25,7 @@ val find : t -> flow_hash:int -> int option
 
 val store : t -> flow_hash:int -> int -> unit
 (** Record the decision for the current generation. Raises
-    [Invalid_argument] for path ids outside [0, 255]. *)
+    {!Err.Invalid} for path ids outside [0, 255]. *)
 
 val invalidate : t -> unit
 (** Orphan every cached decision (O(1) generation bump). *)

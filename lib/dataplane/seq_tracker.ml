@@ -28,12 +28,12 @@ let create () =
     recent = 0.0;
   }
 
-let bump_recent t indicator =
+let[@hot] bump_recent t indicator =
   t.recent <- (recent_alpha *. indicator) +. ((1.0 -. recent_alpha) *. t.recent)
 
-let observe t seq64 =
+let[@hot] observe t seq64 =
   if Int64.compare seq64 (Int64.of_int max_int) > 0 || Int64.compare seq64 0L < 0
-  then invalid_arg "Seq_tracker.observe: sequence outside [0, max_int]";
+  then Err.invalid "Seq_tracker.observe: sequence outside [0, max_int]";
   let seq = Int64.to_int seq64 in
   if seq >= t.next_expected then begin
     (* Every number skipped over becomes provisionally missing. *)

@@ -13,7 +13,7 @@ type t = {
 let create ~path_id ~label ~local_endpoint ~remote_endpoint ?udp_src
     ?(udp_dst = 4789) () =
   if path_id < 0 || path_id > 0xFFFF then
-    invalid_arg "Tunnel.create: path_id outside 16 bits";
+    Err.invalid "Tunnel.create: path_id outside 16 bits";
   let udp_src = match udp_src with Some p -> p | None -> 40000 + path_id in
   { path_id; label; local_endpoint; remote_endpoint; udp_src; udp_dst; next_seq = 0L }
 

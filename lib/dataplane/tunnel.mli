@@ -33,7 +33,7 @@ val create :
 val send : t -> clock:Clock.t -> now_s:float -> Tango_net.Packet.t -> unit
 (** Sender program: encapsulate the packet on this tunnel, stamping the
     sender clock and the tunnel's next sequence number (which advances).
-    Raises [Invalid_argument] if the packet is already encapsulated. *)
+    Raises {!Err.Invalid} if the packet is already encapsulated. *)
 
 type reception = {
   owd_ms : float;  (** Receiver clock minus embedded timestamp. *)
@@ -44,6 +44,6 @@ type reception = {
 val receive :
   clock:Clock.t -> now_s:float -> Tango_net.Packet.t -> reception
 (** Receiver program: decapsulate and compute the (offset-shifted)
-    one-way delay. Raises [Invalid_argument] on non-tunneled packets. *)
+    one-way delay. Raises {!Err.Invalid} on non-tunneled packets. *)
 
 val pp : Format.formatter -> t -> unit

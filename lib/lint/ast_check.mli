@@ -1,0 +1,24 @@
+(** The AST-level rule implementations. Purely syntactic — shape
+    heuristics over the untyped parsetree, tuned so a bare identifier is
+    never flagged while tuples / records / constructors / float literals
+    always are. *)
+
+type config = {
+  hot_modules : string list;
+      (** Path fragments (e.g. ["dataplane/fabric.ml"]) of the designated
+          hot-path modules where [Hot_alloc] applies to [@hot] bindings. *)
+  exn_ban_paths : string list;
+      (** Path fragments (e.g. ["lib/net/"]) where [No_failwith] applies. *)
+  require_mli : bool;  (** Whether [Missing_mli] is enforced by the engine. *)
+}
+
+val default : config
+(** The repo's designated hot modules and per-packet library paths. *)
+
+val path_matches : string -> string list -> bool
+(** [path_matches path fragments] — substring match on the normalized path. *)
+
+val check_structure : config -> file:string -> Parsetree.structure -> Rules.finding list
+(** Run the hot-allocation, polymorphic-compare and exception-ban passes
+    over one parsed implementation. Waivers are applied by the engine,
+    not here. *)

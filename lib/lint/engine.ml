@@ -1,0 +1,99 @@
+(* Orchestration: find the .ml files, parse each one with the 5.1
+   compiler front end, run the AST passes, check interface completeness,
+   then fold waivers in. Everything returns data; printing lives in
+   Report. *)
+
+type result = {
+  files : string list;
+  findings : Rules.finding list;  (* unwaived, sorted *)
+  waived : (Rules.finding * string) list;  (* finding, waiver reason *)
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_findings ~file exn =
+  let fallback message = [ { Rules.file; line = 1; col = 0; rule = Rules.Parse_error; message } ] in
+  match Location.error_of_exn exn with
+  | Some (`Ok report) ->
+      let loc = report.Location.main.Location.loc in
+      [
+        {
+          Rules.file;
+          line = loc.Location.loc_start.Lexing.pos_lnum;
+          col = loc.Location.loc_start.Lexing.pos_cnum - loc.Location.loc_start.Lexing.pos_bol;
+          rule = Rules.Parse_error;
+          message = Format.asprintf "%t" report.Location.main.Location.txt;
+        };
+      ]
+  | Some `Already_displayed | None -> fallback (Printexc.to_string exn)
+
+let lint_file ?(config = Ast_check.default) file =
+  let source = read_file file in
+  let waivers, waiver_findings = Waivers.scan ~path:file source in
+  let parsed =
+    let lexbuf = Lexing.from_string source in
+    Lexing.set_filename lexbuf file;
+    match Parse.implementation lexbuf with
+    | structure -> Ok structure
+    | exception exn -> Error (parse_findings ~file exn)
+  in
+  let ast_findings =
+    match parsed with
+    | Ok structure -> Ast_check.check_structure config ~file structure
+    | Error findings -> findings
+  in
+  let mli_findings =
+    if config.Ast_check.require_mli && not (Sys.file_exists (file ^ "i")) then
+      [
+        {
+          Rules.file;
+          line = 1;
+          col = 0;
+          rule = Rules.Missing_mli;
+          message = "no matching .mli: every library module declares its interface";
+        };
+      ]
+    else []
+  in
+  let raw = ast_findings @ mli_findings @ waiver_findings in
+  let waived, unwaived =
+    List.partition_map
+      (fun (f : Rules.finding) ->
+        match
+          List.find_opt (fun w -> Waivers.covers w ~rule:f.rule ~line:f.line) waivers
+        with
+        | Some w ->
+            w.Waivers.used <- true;
+            Either.Left (f, w.Waivers.reason)
+        | None -> Either.Right f)
+      raw
+  in
+  let unwaived = unwaived @ Waivers.unused_findings ~path:file waivers in
+  (unwaived, waived)
+
+let rec ml_files_under path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry -> ml_files_under (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let lint_paths ?(config = Ast_check.default) paths =
+  let files = List.concat_map ml_files_under paths in
+  let findings, waived =
+    List.fold_left
+      (fun (fs, ws) file ->
+        let f, w = lint_file ~config file in
+        (f @ fs, w @ ws))
+      ([], []) files
+  in
+  {
+    files;
+    findings = List.sort Rules.finding_compare findings;
+    waived =
+      List.sort (fun (a, _) (b, _) -> Rules.finding_compare a b) waived;
+  }

@@ -1,0 +1,16 @@
+(** Driver: file discovery, parsing, rule passes, waiver application. *)
+
+type result = {
+  files : string list;  (** every .ml scanned, sorted within each root *)
+  findings : Rules.finding list;  (** unwaived findings, report order *)
+  waived : (Rules.finding * string) list;
+      (** suppressed findings with the waiver's recorded reason *)
+}
+
+val lint_file :
+  ?config:Ast_check.config -> string -> Rules.finding list * (Rules.finding * string) list
+(** Lint one file; returns (unwaived, waived). Parse failures surface as
+    a [Parse_error] finding, not an exception. *)
+
+val lint_paths : ?config:Ast_check.config -> string list -> result
+(** Lint every .ml under the given files/directories (recursively). *)

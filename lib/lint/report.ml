@@ -1,0 +1,60 @@
+let text oc (r : Engine.result) =
+  List.iter
+    (fun (f : Rules.finding) ->
+      Printf.fprintf oc "%s:%d:%d: [%s] %s\n" f.file f.line f.col (Rules.id f.rule)
+        f.message)
+    r.Engine.findings;
+  Printf.fprintf oc "tango_lint: %d file%s scanned, %d finding%s, %d waived\n"
+    (List.length r.Engine.files)
+    (if List.length r.Engine.files = 1 then "" else "s")
+    (List.length r.Engine.findings)
+    (if List.length r.Engine.findings = 1 then "" else "s")
+    (List.length r.Engine.waived)
+
+(* Same hand-rolled JSON idiom as bench/micro.ml: the schema is small
+   and stable, documented in EXPERIMENTS.md. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_finding oc ~indent ~last (f : Rules.finding) =
+  Printf.fprintf oc
+    "%s{ \"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \"message\": \"%s\" }%s\n"
+    indent (json_escape f.file) f.line f.col (Rules.id f.rule) (json_escape f.message)
+    (if last then "" else ",")
+
+let json oc (r : Engine.result) =
+  let n_findings = List.length r.Engine.findings in
+  let n_waived = List.length r.Engine.waived in
+  output_string oc "{\n";
+  output_string oc "  \"schema_version\": 1,\n";
+  output_string oc "  \"tool\": \"tango_lint\",\n";
+  Printf.fprintf oc "  \"rules\": [ %s ],\n"
+    (String.concat ", " (List.map (fun ru -> "\"" ^ Rules.id ru ^ "\"") Rules.all));
+  Printf.fprintf oc "  \"files_scanned\": %d,\n" (List.length r.Engine.files);
+  output_string oc "  \"findings\": [\n";
+  List.iteri
+    (fun i f -> json_finding oc ~indent:"    " ~last:(i = n_findings - 1) f)
+    r.Engine.findings;
+  output_string oc "  ],\n";
+  output_string oc "  \"waived\": [\n";
+  List.iteri
+    (fun i ((f : Rules.finding), reason) ->
+      Printf.fprintf oc
+        "    { \"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", \"reason\": \"%s\" }%s\n"
+        (json_escape f.file) f.line (Rules.id f.rule) (json_escape reason)
+        (if i = n_waived - 1 then "" else ","))
+    r.Engine.waived;
+  output_string oc "  ],\n";
+  Printf.fprintf oc "  \"summary\": { \"errors\": %d, \"waived\": %d }\n" n_findings
+    n_waived;
+  output_string oc "}\n"

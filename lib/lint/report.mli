@@ -1,0 +1,10 @@
+(** Rendering of lint results: compiler-style text diagnostics and the
+    machine-readable JSON report (schema documented in EXPERIMENTS.md). *)
+
+val text : out_channel -> Engine.result -> unit
+(** One [file:line:col: [rule] message] line per finding plus a summary
+    trailer. *)
+
+val json : out_channel -> Engine.result -> unit
+(** Stable [schema_version 1] JSON object with [findings], [waived] and
+    a [summary]. *)

@@ -1,0 +1,50 @@
+type rule =
+  | Hot_alloc
+  | Poly_compare
+  | Float_equal
+  | No_failwith
+  | Missing_mli
+  | Waiver
+  | Parse_error
+
+let all =
+  [ Hot_alloc; Poly_compare; Float_equal; No_failwith; Missing_mli; Waiver; Parse_error ]
+
+let id = function
+  | Hot_alloc -> "hot-alloc"
+  | Poly_compare -> "poly-compare"
+  | Float_equal -> "float-equal"
+  | No_failwith -> "no-failwith"
+  | Missing_mli -> "missing-mli"
+  | Waiver -> "waiver"
+  | Parse_error -> "parse-error"
+
+let of_id s = List.find_opt (fun r -> String.equal (id r) s) all
+
+let describe = function
+  | Hot_alloc ->
+      "no allocation (closures, tuples, lists, records, arrays), Printf/Format, \
+       Queue or tuple-keyed Hashtbl use inside [@hot] functions of designated \
+       hot-path modules"
+  | Poly_compare ->
+      "no polymorphic =, <>, compare, min, max or Hashtbl.hash on structured \
+       (non-immediate) operands; use monomorphic comparators"
+  | Float_equal -> "no = / <> / compare on float operands: NaN makes them a hazard"
+  | No_failwith ->
+      "no failwith / invalid_arg / raise Invalid_argument / raise Failure in \
+       per-packet libraries (lib/net, lib/dataplane); declare the exception"
+  | Missing_mli -> "every lib/**/*.ml must have a matching .mli interface"
+  | Waiver -> "waiver comments must name a known rule and carry a reason"
+  | Parse_error -> "the file must parse"
+
+type finding = { file : string; line : int; col : int; rule : rule; message : string }
+
+let finding_compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare (id a.rule) (id b.rule)

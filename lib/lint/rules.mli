@@ -1,0 +1,27 @@
+(** The rule catalogue of [tango_lint] and the finding record every
+    check produces. Rule identifiers (the kebab-case strings) are the
+    stable names used in reports and in waiver comments. *)
+
+type rule =
+  | Hot_alloc  (** R1: allocation ban inside [@hot] functions of hot modules *)
+  | Poly_compare  (** R2: polymorphic compare/equal/hash on structured values *)
+  | Float_equal  (** R2b: float (in)equality — NaN hazard *)
+  | No_failwith  (** R3: undeclared exceptions in per-packet libraries *)
+  | Missing_mli  (** R4: .ml without a matching .mli *)
+  | Waiver  (** R5: malformed or unused waiver comments *)
+  | Parse_error  (** the file failed to parse at all *)
+
+val all : rule list
+
+val id : rule -> string
+(** Stable kebab-case identifier, e.g. ["hot-alloc"]. *)
+
+val of_id : string -> rule option
+
+val describe : rule -> string
+(** One-line human rationale, used by [--rules] and the docs. *)
+
+type finding = { file : string; line : int; col : int; rule : rule; message : string }
+
+val finding_compare : finding -> finding -> int
+(** Order by file, line, column, then rule id — the report order. *)

@@ -1,0 +1,117 @@
+(* Waivers are single-line comments of the form
+
+     tango-lint: allow <rule> — <reason>   (wrapped in a normal OCaml comment)
+
+   placed either at the end of the offending line or on the line just
+   above it. The separator may be an em-dash, "--" or "-". A waiver
+   that names an unknown rule, lacks a reason, or suppresses nothing is
+   itself a finding: exceptions to the rules stay visible in review. *)
+
+type t = { line : int; rule : Rules.rule; reason : string; mutable used : bool }
+
+(* Built by concatenation so the scanner does not flag its own
+   definition as a malformed waiver. *)
+let marker = "(* " ^ "tango-lint:"
+
+let contains_at s off sub =
+  off >= 0
+  && off + String.length sub <= String.length s
+  && String.equal (String.sub s off (String.length sub)) sub
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then None else if contains_at s i sub then Some i else go (i + 1) in
+  go 0
+
+(* Split "allow <rule> <sep> <reason>" into its parts. Returns
+   [Error message] for anything malformed. *)
+let parse_body body =
+  let body = String.trim body in
+  let allow = "allow " in
+  if not (contains_at body 0 allow) then
+    Error "expected 'allow <rule> \xe2\x80\x94 <reason>' after 'tango-lint:'"
+  else begin
+    let rest =
+      let n = String.length allow in
+      String.trim (String.sub body n (String.length body - n))
+    in
+    let rule_end =
+      match String.index_opt rest ' ' with Some i -> i | None -> String.length rest
+    in
+    let rule_id = String.sub rest 0 rule_end in
+    let tail = String.trim (String.sub rest rule_end (String.length rest - rule_end)) in
+    let reason =
+      (* Accept an em-dash, "--" or "-" between rule and reason. *)
+      if contains_at tail 0 "\xe2\x80\x94" then
+        Some (String.trim (String.sub tail 3 (String.length tail - 3)))
+      else if contains_at tail 0 "--" then
+        Some (String.trim (String.sub tail 2 (String.length tail - 2)))
+      else if contains_at tail 0 "-" then
+        Some (String.trim (String.sub tail 1 (String.length tail - 1)))
+      else None
+    in
+    match (Rules.of_id rule_id, reason) with
+    | None, _ -> Error (Printf.sprintf "unknown rule %S in waiver" rule_id)
+    | Some _, None | Some _, Some "" ->
+        Error (Printf.sprintf "waiver for %s is missing its reason" rule_id)
+    | Some rule, Some reason -> Ok (rule, reason)
+  end
+
+let scan ~path source =
+  let waivers = ref [] and findings = ref [] in
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun i line ->
+      let lnum = i + 1 in
+      match find_sub line marker with
+      | None -> ()
+      | Some off -> begin
+          let body_off = off + String.length marker in
+          let close =
+            match find_sub (String.sub line body_off (String.length line - body_off)) "*)" with
+            | Some c -> Some (body_off + c)
+            | None -> None
+          in
+          match close with
+          | None ->
+              findings :=
+                {
+                  Rules.file = path;
+                  line = lnum;
+                  col = off;
+                  rule = Rules.Waiver;
+                  message = "waiver comment must open and close on one line";
+                }
+                :: !findings
+          | Some close -> begin
+              match parse_body (String.sub line body_off (close - body_off)) with
+              | Error message ->
+                  findings :=
+                    { Rules.file = path; line = lnum; col = off; rule = Rules.Waiver; message }
+                    :: !findings
+              | Ok (rule, reason) ->
+                  waivers := { line = lnum; rule; reason; used = false } :: !waivers
+            end
+        end)
+    lines;
+  (List.rev !waivers, List.rev !findings)
+
+let covers t ~rule ~line =
+  String.equal (Rules.id rule) (Rules.id t.rule) && (line = t.line || line = t.line + 1)
+
+let unused_findings ~path waivers =
+  List.filter_map
+    (fun w ->
+      if w.used then None
+      else
+        Some
+          {
+            Rules.file = path;
+            line = w.line;
+            col = 0;
+            rule = Rules.Waiver;
+            message =
+              Printf.sprintf "unused waiver for %s: nothing to suppress here"
+                (Rules.id w.rule);
+          })
+    waivers

@@ -9,9 +9,11 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+(* Family-tagged mix without building a tuple for Hashtbl.hash to walk
+   polymorphically: shift leaves room for the V4/V6 tag bit. *)
 let hash = function
-  | V4 x -> Hashtbl.hash (0, Ipv4.to_int32 x)
-  | V6 x -> Hashtbl.hash (1, Ipv6.hash x)
+  | V4 x -> (Int32.to_int (Ipv4.to_int32 x) lsl 1) land max_int
+  | V6 x -> ((Ipv6.hash x lsl 1) lor 1) land max_int
 
 let of_string s =
   match Ipv4.of_string s with
@@ -22,7 +24,7 @@ let of_string s =
       | Error _ -> Error (Printf.sprintf "not an IP address: %S" s))
 
 let of_string_exn s =
-  match of_string s with Ok t -> t | Error msg -> invalid_arg msg
+  match of_string s with Ok t -> t | Error msg -> Err.invalid "%s" msg
 
 let to_string = function
   | V4 x -> Ipv4.to_string x

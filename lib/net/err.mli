@@ -1,0 +1,10 @@
+(** The declared contract-violation exception of the net library.
+    Per-packet code must not raise anonymous [Invalid_argument] /
+    [Failure] (lint rule [no-failwith]); it raises {!Invalid} instead. *)
+
+exception Invalid of string
+
+val invalid : ('a, unit, string, 'b) format4 -> 'a
+(** [invalid fmt ...] raises {!Invalid} with the formatted message.
+    Formatting only happens on the raise path, so callers stay
+    allocation-free when the check passes. *)

@@ -9,12 +9,12 @@ type t = {
 let v ~src ~dst ~proto ~src_port ~dst_port =
   let check_port name p =
     if p < 0 || p > 0xFFFF then
-      invalid_arg (Printf.sprintf "Flow.v: %s port %d out of range" name p)
+      Err.invalid "Flow.v: %s port %d out of range" name p
   in
   check_port "source" src_port;
   check_port "destination" dst_port;
   if proto < 0 || proto > 255 then
-    invalid_arg (Printf.sprintf "Flow.v: protocol %d out of range" proto);
+    Err.invalid "Flow.v: protocol %d out of range" proto;
   { src; dst; proto; src_port; dst_port }
 
 let compare a b =

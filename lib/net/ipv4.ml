@@ -11,7 +11,7 @@ let to_int32 x = x
 let of_octets a b c d =
   let check name v =
     if v < 0 || v > 255 then
-      invalid_arg (Printf.sprintf "Ipv4.of_octets: %s octet %d out of range" name v)
+      Err.invalid "Ipv4.of_octets: %s octet %d out of range" name v
   in
   check "first" a;
   check "second" b;
@@ -42,7 +42,7 @@ let of_string s =
   | _ -> Error (Printf.sprintf "invalid IPv4 address %S" s)
 
 let of_string_exn s =
-  match of_string s with Ok t -> t | Error msg -> invalid_arg msg
+  match of_string s with Ok t -> t | Error msg -> Err.invalid "%s" msg
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 

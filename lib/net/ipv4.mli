@@ -10,7 +10,7 @@ val to_int32 : t -> int32
 
 val of_octets : int -> int -> int -> int -> t
 (** [of_octets a b c d] builds [a.b.c.d]; each octet must fit in a byte,
-    otherwise [Invalid_argument] is raised. *)
+    otherwise {!Err.Invalid} is raised. *)
 
 val of_string : string -> (t, string) result
 (** Parse dotted-quad notation. *)

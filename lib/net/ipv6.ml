@@ -6,7 +6,10 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
-let hash t = Hashtbl.hash (t.hi, t.lo)
+(* Multiply-xor mix of the two halves; no tuple for Hashtbl.hash to
+   walk polymorphically. The constant is the splitmix64 multiplier. *)
+let hash t =
+  Int64.to_int (Int64.logxor t.hi (Int64.mul t.lo 0xBF58476D1CE4E5B9L)) land max_int
 
 let make hi lo = { hi; lo }
 
@@ -16,11 +19,11 @@ let lo t = t.lo
 
 let of_groups groups =
   if Array.length groups <> 8 then
-    invalid_arg "Ipv6.of_groups: expected 8 groups";
+    Err.invalid "Ipv6.of_groups: expected 8 groups";
   Array.iter
     (fun g ->
       if g < 0 || g > 0xFFFF then
-        invalid_arg (Printf.sprintf "Ipv6.of_groups: group %x out of range" g))
+        Err.invalid "Ipv6.of_groups: group %x out of range" g)
     groups;
   let pack a b c d =
     Int64.logor
@@ -121,7 +124,7 @@ let of_string s =
     else if double_colon_count > 1 then fail "multiple '::' in %S" s
     else begin
       let split_groups part =
-        if part = "" then Some []
+        if String.equal part "" then Some []
         else begin
           let pieces = String.split_on_char ':' part in
           let rec parse_all acc = function
@@ -172,7 +175,7 @@ let of_string s =
   end
 
 let of_string_exn s =
-  match of_string s with Ok t -> t | Error msg -> invalid_arg msg
+  match of_string s with Ok t -> t | Error msg -> Err.invalid "%s" msg
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
@@ -189,7 +192,7 @@ let logor a b = { hi = Int64.logor a.hi b.hi; lo = Int64.logor a.lo b.lo }
 let lognot a = { hi = Int64.lognot a.hi; lo = Int64.lognot a.lo }
 
 let shift_left t n =
-  if n < 0 || n > 128 then invalid_arg "Ipv6.shift_left: shift out of range";
+  if n < 0 || n > 128 then Err.invalid "Ipv6.shift_left: shift out of range";
   if n = 0 then t
   else if n >= 128 then { hi = 0L; lo = 0L }
   else if n >= 64 then { hi = Int64.shift_left t.lo (n - 64); lo = 0L }
@@ -202,7 +205,7 @@ let shift_left t n =
     }
 
 let shift_right t n =
-  if n < 0 || n > 128 then invalid_arg "Ipv6.shift_right: shift out of range";
+  if n < 0 || n > 128 then Err.invalid "Ipv6.shift_right: shift out of range";
   if n = 0 then t
   else if n >= 128 then { hi = 0L; lo = 0L }
   else if n >= 64 then { hi = 0L; lo = Int64.shift_right_logical t.hi (n - 64) }

@@ -18,7 +18,7 @@ val lo : t -> int64
 
 val of_groups : int array -> t
 (** From eight 16-bit groups, most significant first. Raises
-    [Invalid_argument] unless exactly eight in-range groups are given. *)
+    {!Err.Invalid} unless exactly eight in-range groups are given. *)
 
 val to_groups : t -> int array
 

@@ -26,17 +26,17 @@ type t = {
 }
 
 let create ~id ~flow ~payload_bytes ?content ~created_at () =
-  if payload_bytes < 0 then invalid_arg "Packet.create: negative payload";
+  if payload_bytes < 0 then Err.invalid "Packet.create: negative payload";
   { id; flow; payload_bytes; created_at; content; encap = None; hops = [] }
 
 let encapsulate t encap =
   match t.encap with
-  | Some _ -> invalid_arg "Packet.encapsulate: already encapsulated"
+  | Some _ -> Err.invalid "Packet.encapsulate: already encapsulated"
   | None -> t.encap <- Some encap
 
 let decapsulate t =
   match t.encap with
-  | None -> invalid_arg "Packet.decapsulate: not encapsulated"
+  | None -> Err.invalid "Packet.decapsulate: not encapsulated"
   | Some e ->
       t.encap <- None;
       e

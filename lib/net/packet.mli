@@ -43,11 +43,11 @@ val create :
   t
 
 val encapsulate : t -> encap -> unit
-(** Raises [Invalid_argument] if the packet is already encapsulated —
+(** Raises {!Err.Invalid} if the packet is already encapsulated —
     Tango never nests tunnels between a single pair of PoPs. *)
 
 val decapsulate : t -> encap
-(** Remove and return the encapsulation; raises [Invalid_argument] when
+(** Remove and return the encapsulation; raises {!Err.Invalid} when
     there is none. *)
 
 val is_encapsulated : t -> bool

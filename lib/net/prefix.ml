@@ -15,7 +15,7 @@ let canonicalize addr len =
 let v addr len =
   let bits = Addr.family_bits addr in
   if len < 0 || len > bits then
-    invalid_arg (Printf.sprintf "Prefix.v: length %d out of range for /%d family" len bits);
+    Err.invalid "Prefix.v: length %d out of range for /%d family" len bits;
   { addr = canonicalize addr len; len }
 
 let addr t = t.addr
@@ -40,7 +40,7 @@ let of_string s =
       | Error e, _ -> Error e)
 
 let of_string_exn s =
-  match of_string s with Ok t -> t | Error msg -> invalid_arg msg
+  match of_string s with Ok t -> t | Error msg -> Err.invalid "%s" msg
 
 let to_string t = Printf.sprintf "%s/%d" (Addr.to_string t.addr) t.len
 
@@ -59,13 +59,13 @@ let subsumes p q = p.len <= q.len && mem p q.addr
 let overlaps p q = subsumes p q || subsumes q p
 
 let subnet t extra i =
-  if extra < 0 then invalid_arg "Prefix.subnet: negative extra bits";
+  if extra < 0 then Err.invalid "Prefix.subnet: negative extra bits";
   let bits = Addr.family_bits t.addr in
   let new_len = t.len + extra in
   if new_len > bits then
-    invalid_arg (Printf.sprintf "Prefix.subnet: /%d exceeds family width" new_len);
+    Err.invalid "Prefix.subnet: /%d exceeds family width" new_len;
   if i < 0 || (extra < 62 && i >= 1 lsl extra) then
-    invalid_arg (Printf.sprintf "Prefix.subnet: index %d out of range for %d extra bits" i extra);
+    Err.invalid "Prefix.subnet: index %d out of range for %d extra bits" i extra;
   let base =
     match t.addr with
     | Addr.V4 a ->
@@ -78,7 +78,7 @@ let subnet t extra i =
   v base new_len
 
 let nth_address t i =
-  if Int64.compare i 0L < 0 then invalid_arg "Prefix.nth_address: negative index";
+  if Int64.compare i 0L < 0 then Err.invalid "Prefix.nth_address: negative index";
   match t.addr with
   | Addr.V4 a -> Addr.V4 (Ipv4.add a (Int64.to_int i))
   | Addr.V6 a -> Addr.V6 (Ipv6.add a i)

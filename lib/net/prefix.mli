@@ -8,7 +8,7 @@ type t
 
 val v : Addr.t -> int -> t
 (** [v addr len] canonicalizes [addr] to [len] bits. Raises
-    [Invalid_argument] if [len] is outside the family's range. *)
+    {!Err.Invalid} if [len] is outside the family's range. *)
 
 val addr : t -> Addr.t
 (** Canonical (masked) network address. *)
@@ -37,7 +37,7 @@ val overlaps : t -> t -> bool
 val subnet : t -> int -> int -> t
 (** [subnet p extra i] is the [i]-th subdivision of [p] into prefixes of
     length [length p + extra]. Used to carve per-route /48s out of an
-    institution's IPv6 block. Raises [Invalid_argument] when [i] is out of
+    institution's IPv6 block. Raises {!Err.Invalid} when [i] is out of
     range or the resulting length is illegal. *)
 
 val nth_address : t -> int64 -> Addr.t

@@ -4,7 +4,7 @@ let key k0 k1 = { k0; k1 }
 
 let key_of_string s =
   if String.length s <> 16 then
-    invalid_arg "Siphash.key_of_string: need exactly 16 bytes";
+    Err.invalid "Siphash.key_of_string: need exactly 16 bytes";
   let le64 off =
     let v = ref 0L in
     for i = 7 downto 0 do

@@ -15,7 +15,7 @@ val key : int64 -> int64 -> key
 
 val key_of_string : string -> key
 (** From exactly 16 bytes (little-endian halves); raises
-    [Invalid_argument] otherwise. *)
+    {!Err.Invalid} otherwise. *)
 
 val mac : key -> Bytes.t -> int64
 (** SipHash-2-4 of the byte string. *)

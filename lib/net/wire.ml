@@ -23,37 +23,37 @@ let udp_header_bytes = 8
 let max_frame_bytes ~payload_bytes =
   ipv6_header_bytes + udp_header_bytes + tango_shim_auth_bytes + payload_bytes
 
-let set_u16 buf off v =
+let[@hot] set_u16 buf off v =
   Bytes.set_uint8 buf off ((v lsr 8) land 0xFF);
   Bytes.set_uint8 buf (off + 1) (v land 0xFF)
 
-let get_u16 buf off = (Bytes.get_uint8 buf off lsl 8) lor Bytes.get_uint8 buf (off + 1)
+let[@hot] get_u16 buf off = (Bytes.get_uint8 buf off lsl 8) lor Bytes.get_uint8 buf (off + 1)
 
-let set_u64 buf off v =
+let[@hot] set_u64 buf off v =
   for i = 0 to 7 do
     Bytes.set_uint8 buf (off + i)
       (Int64.to_int (Int64.shift_right_logical v ((7 - i) * 8)) land 0xFF)
   done
 
-let get_u64 buf off =
+let[@hot] get_u64 buf off =
   let v = ref 0L in
   for i = 0 to 7 do
     v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Bytes.get_uint8 buf (off + i)))
   done;
   !v
 
-let set_ipv6 buf off a =
+let[@hot] set_ipv6 buf off a =
   set_u64 buf off (Ipv6.hi a);
   set_u64 buf (off + 8) (Ipv6.lo a)
 
-let get_ipv6 buf off = Ipv6.make (get_u64 buf off) (get_u64 buf (off + 8))
+let[@hot] get_ipv6 buf off = Ipv6.make (get_u64 buf off) (get_u64 buf (off + 8))
 
 (* One's-complement accumulation: callers add 16-bit words into a plain
    int accumulator, then [finish_sum] folds the carries and complements.
    Splitting it this way lets the pseudo-header be folded straight into
    the running sum without ever materializing it as bytes. *)
 
-let finish_sum sum =
+let[@hot] finish_sum sum =
   let sum = ref sum in
   while !sum lsr 16 <> 0 do
     sum := (!sum land 0xFFFF) + (!sum lsr 16)
@@ -64,7 +64,7 @@ let finish_sum sum =
    an odd tail with a zero byte. The word starting at absolute offset
    [skip] (which must be [off]-aligned to a word boundary) is treated as
    zero — how the checksum field itself is excluded without copying. *)
-let sum_range buf ~off ~len ~skip acc =
+let[@hot] sum_range buf ~off ~len ~skip acc =
   let acc = ref acc in
   let i = ref off in
   let stop = off + len in
@@ -75,7 +75,7 @@ let sum_range buf ~off ~len ~skip acc =
   if len land 1 = 1 then acc := !acc + (Bytes.get_uint8 buf (stop - 1) lsl 8);
   !acc
 
-let sum_u64 v acc =
+let[@hot] sum_u64 v acc =
   acc
   + (Int64.to_int (Int64.shift_right_logical v 48) land 0xFFFF)
   + (Int64.to_int (Int64.shift_right_logical v 32) land 0xFFFF)
@@ -87,7 +87,7 @@ let internet_checksum buf =
 
 (* IPv6 pseudo-header (src, dst, upper-layer length, next-header 17)
    folded word-by-word into the running sum — no scratch buffer. *)
-let udp_checksum_range ~src ~dst buf ~off ~len ~skip =
+let[@hot] udp_checksum_range ~src ~dst buf ~off ~len ~skip =
   let acc =
     sum_u64 (Ipv6.hi src)
       (sum_u64 (Ipv6.lo src) (sum_u64 (Ipv6.hi dst) (sum_u64 (Ipv6.lo dst) 0)))
@@ -103,10 +103,10 @@ let udp_checksum ~src ~dst ~udp =
    outer addresses (path identity), ports (ECMP pin) and the shim. *)
 let auth_message_bytes = 56
 
-let auth_message_into m ~outer_src ~outer_dst ~udp_src ~udp_dst
+let[@hot] auth_message_into m ~outer_src ~outer_dst ~udp_src ~udp_dst
     ~(tango : Packet.tango_header) ~flags =
   if Bytes.length m < auth_message_bytes then
-    invalid_arg "Wire.auth_message_into: buffer shorter than 56 bytes";
+    Err.invalid "Wire.auth_message_into: buffer shorter than 56 bytes";
   set_ipv6 m 0 outer_src;
   set_ipv6 m 16 outer_dst;
   set_u16 m 32 udp_src;
@@ -121,12 +121,12 @@ let auth_message_into m ~outer_src ~outer_dst ~udp_src ~udp_dst
    is single-domain; this is not safe under parallel domains. *)
 let auth_scratch = Bytes.make auth_message_bytes '\000'
 
-let mac ~auth_key ~outer_src ~outer_dst ~udp_src ~udp_dst ~tango ~flags =
+let[@hot] mac ~auth_key ~outer_src ~outer_dst ~udp_src ~udp_dst ~tango ~flags =
   auth_message_into auth_scratch ~outer_src ~outer_dst ~udp_src ~udp_dst ~tango
     ~flags;
   Siphash.mac auth_key auth_scratch
 
-let encode_tunnel_into ?auth_key ~outer_src ~outer_dst ~udp_src ~udp_dst
+let[@hot] encode_tunnel_into ?auth_key ~outer_src ~outer_dst ~udp_src ~udp_dst
     ~(tango : Packet.tango_header) ~buf payload =
   let authenticated = Option.is_some auth_key in
   let shim_bytes = if authenticated then tango_shim_auth_bytes else tango_shim_bytes in
@@ -137,9 +137,8 @@ let encode_tunnel_into ?auth_key ~outer_src ~outer_dst ~udp_src ~udp_dst
   let udp_len = udp_header_bytes + shim_bytes + payload_len in
   let total = ipv6_header_bytes + udp_len in
   if Bytes.length buf < total then
-    invalid_arg
-      (Printf.sprintf "Wire.encode_tunnel_into: buffer %d < frame %d"
-         (Bytes.length buf) total);
+    Err.invalid "Wire.encode_tunnel_into: buffer %d < frame %d"
+         (Bytes.length buf) total;
   (* IPv6 fixed header. *)
   Bytes.set_uint8 buf 0 0x60;
   Bytes.set_uint8 buf 1 0;

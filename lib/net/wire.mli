@@ -75,7 +75,7 @@ val encode_tunnel_into :
     [buf] starting at offset 0 and returns the frame length — the
     per-packet fast path; a switch reuses one buffer of
     {!max_frame_bytes} for every packet and allocates nothing. Raises
-    [Invalid_argument] when [buf] is too small. Bytes of [buf] beyond
+    {!Err.Invalid} when [buf] is too small. Bytes of [buf] beyond
     the returned length are left untouched. Not safe under parallel
     domains (a shared 56-byte MAC scratch is reused, in the way an eBPF
     program reuses a per-CPU scratch map). *)

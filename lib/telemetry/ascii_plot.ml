@@ -9,7 +9,7 @@ let span items =
     (infinity, neg_infinity) items
 
 let render ?(width = 72) ?(height = 16) ?t0 ?t1 ?title items =
-  if items = [] then invalid_arg "Ascii_plot.render: no series";
+  if List.is_empty items then invalid_arg "Ascii_plot.render: no series";
   if width < 8 || height < 2 then invalid_arg "Ascii_plot.render: canvas too small";
   let auto_lo, auto_hi = span items in
   let t0 = match t0 with Some v -> v | None -> auto_lo in

@@ -41,25 +41,25 @@ let ring_grow r =
   r.vals <- vals;
   r.head <- 0
 
-let ring_push_back r ~time v =
+let[@hot] ring_push_back r ~time v =
   if r.len = Array.length r.times then ring_grow r;
   let i = (r.head + r.len) land (Array.length r.times - 1) in
   r.times.(i) <- time;
   r.vals.(i) <- v;
   r.len <- r.len + 1
 
-let ring_front_time r = r.times.(r.head)
+let[@hot] ring_front_time r = r.times.(r.head)
 
-let ring_front_value r = r.vals.(r.head)
+let[@hot] ring_front_value r = r.vals.(r.head)
 
-let ring_pop_front r =
+let[@hot] ring_pop_front r =
   r.head <- (r.head + 1) land (Array.length r.times - 1);
   r.len <- r.len - 1
 
-let ring_back_value r =
+let[@hot] ring_back_value r =
   r.vals.((r.head + r.len - 1) land (Array.length r.times - 1))
 
-let ring_pop_back r = r.len <- r.len - 1
+let[@hot] ring_pop_back r = r.len <- r.len - 1
 
 (* The running aggregates live in a flat float array rather than mutable
    record fields: a mixed record boxes every float store, which would
@@ -88,7 +88,7 @@ let create ~window_s =
     acc = [| 0.0; 0.0; neg_infinity |];
   }
 
-let evict t ~now =
+let[@hot] evict t ~now =
   let cutoff = now -. t.window_s in
   while t.samples.len > 0 && ring_front_time t.samples < cutoff do
     let v = ring_front_value t.samples in
@@ -103,7 +103,7 @@ let evict t ~now =
     ring_pop_front t.max_wedge
   done
 
-let add t ~time value =
+let[@hot] add t ~time value =
   if time < t.acc.(last_time_ix) then
     invalid_arg "Rolling.add: time went backwards";
   t.acc.(last_time_ix) <- time;

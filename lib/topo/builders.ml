@@ -74,7 +74,7 @@ let random_hierarchy ~seed ~tier1 ~tier2 ~stubs =
     for _ = 1 to n2 do
       let a = t2_arr.(Tango_sim.Rng.int rng n2) in
       let b = t2_arr.(Tango_sim.Rng.int rng n2) in
-      if a <> b && Topology.relationship t a b = None then
+      if a <> b && Option.is_none (Topology.relationship t a b) then
         Topology.connect_peers t a b ()
     done;
   for _ = 1 to stubs do

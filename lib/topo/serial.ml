@@ -11,7 +11,7 @@ let parse input =
   let error = ref None in
   List.iteri
     (fun idx line ->
-      if !error = None then begin
+      if Option.is_none !error then begin
         let lineno = idx + 1 in
         let line =
           match String.index_opt line '#' with
@@ -19,18 +19,18 @@ let parse input =
           | None -> line
         in
         let line = String.trim line in
-        if line <> "" then begin
+        if not (String.equal line "") then begin
           match String.split_on_char '|' line with
           | [ a; b; rel ] -> (
               match
                 (int_of_string_opt (String.trim a), int_of_string_opt (String.trim b),
                  String.trim rel)
               with
-              | Some a, Some b, rel when rel = "-1" || rel = "0" -> (
+              | Some a, Some b, rel when String.equal rel "-1" || String.equal rel "0" -> (
                   ensure a;
                   ensure b;
                   match
-                    if rel = "-1" then Topology.connect t ~provider:a ~customer:b ()
+                    if String.equal rel "-1" then Topology.connect t ~provider:a ~customer:b ()
                     else Topology.connect_peers t a b ()
                   with
                   | () -> ()

@@ -112,7 +112,7 @@ let floor_value t ~time_s =
 
 let advance_ou t ~time_s =
   if t.ou_std_ms > 0.0 then begin
-    let dt = if t.last_time = neg_infinity then 0.0 else time_s -. t.last_time in
+    let dt = if Float.equal t.last_time neg_infinity then 0.0 else time_s -. t.last_time in
     let decay = exp (-.dt /. t.ou_tau_s) in
     let innovation_std = t.ou_std_ms *. sqrt (1.0 -. (decay *. decay)) in
     t.ou_state <-

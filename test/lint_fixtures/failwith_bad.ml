@@ -1,0 +1,7 @@
+(* Must-flag fixture for no-failwith (path is in the exception-ban set). *)
+
+let check x = if x < 0 then failwith "negative"
+
+let check2 x = if x > 10 then invalid_arg "too big"
+
+let check3 x = if x = 99 then raise (Invalid_argument "ninety-nine")

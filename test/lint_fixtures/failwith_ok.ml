@@ -1,0 +1,7 @@
+(* Must-pass fixture: same ban set, but the exception is declared. *)
+
+exception Invalid of string
+
+let invalid msg = raise (Invalid msg)
+
+let check x = if x < 0 then invalid "negative"

@@ -1,0 +1,7 @@
+(* Must-flag fixture for float-equal: every (=) here is a NaN hazard. *)
+
+let is_nan x = x = nan
+
+let half_is_zero x = x /. 2.0 = 0.0
+
+let clamp a = min a 0.5

@@ -1,0 +1,20 @@
+(* Must-flag fixture for hot-alloc: every [@hot] body below allocates. *)
+
+type point = { px : int; py : int }
+
+let[@hot] closure_alloc mul xs = List.map (fun x -> x * mul) xs
+
+let[@hot] tuple_alloc a b = (a, b)
+
+let[@hot] record_alloc a b = { px = a; py = b }
+
+let[@hot] cons_alloc x tail = x :: tail
+
+let[@hot] printf_alloc x = Printf.printf "seq=%d\n" x
+
+let[@hot] queue_alloc q x = Queue.push x q
+
+let[@hot] tuple_key_alloc tbl a b = Hashtbl.find tbl (a, b)
+
+(* Unmarked functions may allocate freely: this one must NOT flag. *)
+let cold_helper xs = List.map (fun x -> (x, x * 2)) xs

@@ -1,0 +1,11 @@
+(* Must-pass fixture for hot-alloc: [@hot] bodies that stay flat. *)
+
+let[@hot] pack_key hi lo = (hi lsl 16) lor (lo land 0xFFFF)
+
+let[@hot] read_byte buf off = Bytes.get_uint8 buf off
+
+let[@hot] lookup slots key =
+  let idx = key land (Array.length slots - 1) in
+  if slots.(idx) >= 0 then Some slots.(idx) else None
+
+let[@hot] bump counter = incr counter

@@ -1,0 +1,5 @@
+(* Waiver handling: the closure below is suppressed with a reason. *)
+
+let[@hot] staged mul xs =
+  (* tango-lint: allow hot-alloc — staging closure built once at init *)
+  List.map (fun x -> x * mul) xs

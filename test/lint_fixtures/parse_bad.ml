@@ -1,0 +1,3 @@
+(* Must-flag: this file deliberately does not parse. *)
+
+let broken = =

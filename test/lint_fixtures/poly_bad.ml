@@ -1,0 +1,9 @@
+(* Must-flag fixture for poly-compare. *)
+
+let eq_pair a = a = (1, 2)
+
+let ne_none o = o <> None
+
+let cmp_list xs = compare xs []
+
+let hash_pair a b = Hashtbl.hash (a, b)

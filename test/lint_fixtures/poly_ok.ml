@@ -1,0 +1,9 @@
+(* Must-pass fixture: monomorphic comparisons only. *)
+
+let eq_str a b = String.equal a b
+
+let no_floors xs = List.is_empty xs
+
+let feq a b = Float.equal a b
+
+let int_eq (a : int) b = a = b

@@ -1,0 +1,7 @@
+val eq_str : string -> string -> bool
+
+val no_floors : 'a list -> bool
+
+val feq : float -> float -> bool
+
+val int_eq : int -> int -> bool

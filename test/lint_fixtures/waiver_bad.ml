@@ -1,0 +1,10 @@
+(* Must-flag fixture for the waiver rule itself. *)
+
+(* tango-lint: allow bogus-rule — not a rule at all *)
+let a = 1
+
+(* tango-lint: allow poly-compare *)
+let b = 2
+
+(* tango-lint: allow no-failwith — nothing below raises *)
+let c = 3

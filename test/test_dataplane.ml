@@ -80,7 +80,7 @@ let test_tunnel_receive_raw_packet_rejected () =
     (try
        ignore (Tunnel.receive ~clock:(Clock.create ()) ~now_s:0.0 p);
        false
-     with Invalid_argument _ -> true)
+     with Tango_net.Err.Invalid _ -> true)
 
 (* ------------------------------------------------------------------ *)
 (* Seq_tracker                                                         *)
@@ -413,12 +413,12 @@ let test_flow_cache_path_bounds () =
     (try
        Flow_cache.store c ~flow_hash:2 (Flow_cache.max_path + 1);
        false
-     with Invalid_argument _ -> true);
+     with Err.Invalid _ -> true);
   Alcotest.(check bool) "negative path rejected" true
     (try
        Flow_cache.store c ~flow_hash:2 (-1);
        false
-     with Invalid_argument _ -> true)
+     with Err.Invalid _ -> true)
 
 let () =
   let tc = Alcotest.test_case in

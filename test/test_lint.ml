@@ -1,0 +1,152 @@
+(* Golden tests for tango_lint, driven by the fixture corpus in
+   test/lint_fixtures/. Each fixture is parsed by the lint engine with a
+   config that maps the fixture naming convention onto the real rule
+   scopes: hot_*.ml are "designated hot modules", failwith_*.ml sit in
+   the exception-ban path set. Fixtures are never compiled. *)
+
+open Tango_lint
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+let fixture_config =
+  {
+    Ast_check.hot_modules = [ "lint_fixtures/hot_" ];
+    exn_ban_paths = [ "lint_fixtures/failwith_" ];
+    require_mli = false;
+  }
+
+let lint ?(config = fixture_config) name = Engine.lint_file ~config (fixture name)
+
+(* (line, rule-id) pairs in a stable order, for multiset comparison. *)
+let pairs findings =
+  List.sort
+    (fun (l1, r1) (l2, r2) -> if l1 <> l2 then compare l1 l2 else String.compare r1 r2)
+    (List.map (fun f -> (f.Rules.line, Rules.id f.rule)) findings)
+
+let pair_t = Alcotest.(list (pair int string))
+
+let check_findings name expected =
+  let findings, _ = lint name in
+  Alcotest.check pair_t name expected (pairs findings)
+
+let test_hot_bad () =
+  check_findings "hot_bad.ml"
+    [
+      (5, "hot-alloc");
+      (* closure *)
+      (7, "hot-alloc");
+      (* tuple *)
+      (9, "hot-alloc");
+      (* record *)
+      (11, "hot-alloc");
+      (* list cell *)
+      (13, "hot-alloc");
+      (* Printf *)
+      (15, "hot-alloc");
+      (* Queue *)
+      (17, "hot-alloc");
+      (17, "hot-alloc");
+      (* tuple key + tuple-keyed Hashtbl *)
+    ]
+
+let test_hot_ok () = check_findings "hot_ok.ml" []
+
+let test_hot_waived () =
+  let findings, waived = lint "hot_waived.ml" in
+  Alcotest.check pair_t "no unwaived findings" [] (pairs findings);
+  match waived with
+  | [ (f, reason) ] ->
+      Alcotest.(check string) "waived rule" "hot-alloc" (Rules.id f.Rules.rule);
+      Alcotest.(check int) "waived line" 5 f.Rules.line;
+      Alcotest.(check string) "reason" "staging closure built once at init" reason
+  | other -> Alcotest.failf "expected exactly one waived finding, got %d" (List.length other)
+
+let test_poly_bad () =
+  check_findings "poly_bad.ml"
+    [ (3, "poly-compare"); (5, "poly-compare"); (7, "poly-compare"); (9, "poly-compare") ]
+
+let test_float_bad () =
+  check_findings "float_bad.ml"
+    [ (3, "float-equal"); (5, "float-equal"); (7, "float-equal") ]
+
+let test_poly_ok () = check_findings "poly_ok.ml" []
+
+let test_failwith_bad () =
+  check_findings "failwith_bad.ml"
+    [ (3, "no-failwith"); (5, "no-failwith"); (7, "no-failwith") ]
+
+let test_failwith_ok () = check_findings "failwith_ok.ml" []
+
+let test_waiver_bad () =
+  check_findings "waiver_bad.ml" [ (3, "waiver"); (6, "waiver"); (9, "waiver") ]
+
+let test_parse_bad () =
+  let findings, _ = lint "parse_bad.ml" in
+  match findings with
+  | [ f ] -> Alcotest.(check string) "rule" "parse-error" (Rules.id f.Rules.rule)
+  | other -> Alcotest.failf "expected one parse-error finding, got %d" (List.length other)
+
+(* R4: with require_mli on, a lone .ml is flagged and .ml + .mli is not. *)
+let test_missing_mli () =
+  let config = { fixture_config with Ast_check.require_mli = true } in
+  let flagged, _ = lint ~config "float_bad.ml" in
+  let has_missing =
+    List.exists (fun f -> String.equal (Rules.id f.Rules.rule) "missing-mli") flagged
+  in
+  Alcotest.(check bool) "float_bad.ml lacks an mli" true has_missing;
+  let ok, _ = lint ~config "poly_ok.ml" in
+  let has_missing =
+    List.exists (fun f -> String.equal (Rules.id f.Rules.rule) "missing-mli") ok
+  in
+  Alcotest.(check bool) "poly_ok.ml has its mli" false has_missing
+
+(* Waiver scanner unit behaviour, independent of the AST passes. *)
+let test_waiver_scan () =
+  let src =
+    "let x = 1 (* tango-lint: allow float-equal -- tolerance checked upstream *)\n"
+  in
+  let waivers, malformed = Waivers.scan ~path:"inline.ml" src in
+  Alcotest.(check int) "no malformed" 0 (List.length malformed);
+  match waivers with
+  | [ w ] ->
+      Alcotest.(check string) "rule" "float-equal" (Rules.id w.Waivers.rule);
+      Alcotest.(check string) "reason" "tolerance checked upstream" w.Waivers.reason;
+      Alcotest.(check bool) "covers own line" true
+        (Waivers.covers w ~rule:Rules.Float_equal ~line:1);
+      Alcotest.(check bool) "covers next line" true
+        (Waivers.covers w ~rule:Rules.Float_equal ~line:2);
+      Alcotest.(check bool) "not two lines down" false
+        (Waivers.covers w ~rule:Rules.Float_equal ~line:3);
+      Alcotest.(check bool) "rule-specific" false
+        (Waivers.covers w ~rule:Rules.Hot_alloc ~line:1)
+  | other -> Alcotest.failf "expected one waiver, got %d" (List.length other)
+
+let test_engine_walk () =
+  let result = Engine.lint_paths ~config:fixture_config [ "lint_fixtures" ] in
+  Alcotest.(check bool) "walk finds the corpus" true (List.length result.Engine.files >= 10);
+  Alcotest.(check bool) "corpus has findings" true
+    (List.length result.Engine.findings > 0)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "hot-alloc must-flag" `Quick test_hot_bad;
+          Alcotest.test_case "hot-alloc must-pass" `Quick test_hot_ok;
+          Alcotest.test_case "hot-alloc waived" `Quick test_hot_waived;
+          Alcotest.test_case "poly-compare must-flag" `Quick test_poly_bad;
+          Alcotest.test_case "float-equal must-flag" `Quick test_float_bad;
+          Alcotest.test_case "poly-compare must-pass" `Quick test_poly_ok;
+          Alcotest.test_case "no-failwith must-flag" `Quick test_failwith_bad;
+          Alcotest.test_case "no-failwith must-pass" `Quick test_failwith_ok;
+          Alcotest.test_case "waiver must-flag" `Quick test_waiver_bad;
+          Alcotest.test_case "parse error surfaces" `Quick test_parse_bad;
+          Alcotest.test_case "missing-mli" `Quick test_missing_mli;
+        ] );
+      ( "waivers",
+        [
+          Alcotest.test_case "scan and cover" `Quick test_waiver_scan;
+          Alcotest.test_case "engine walk" `Quick test_engine_walk;
+        ] );
+    ]

@@ -217,7 +217,7 @@ let test_flow_invalid () =
             ~dst:(Addr.of_string_exn "::2")
             ~proto:6 ~src_port:70000 ~dst_port:80);
        false
-     with Invalid_argument _ -> true)
+     with Err.Invalid _ -> true)
 
 (* ------------------------------------------------------------------ *)
 (* Packet                                                              *)
@@ -249,7 +249,7 @@ let test_packet_double_encap_rejected () =
     (try
        Packet.encapsulate p (sample_encap ());
        false
-     with Invalid_argument _ -> true)
+     with Err.Invalid _ -> true)
 
 let test_packet_forwarding_flow () =
   let p = Packet.create ~id:1 ~flow:(flow_a ()) ~payload_bytes:0 ~created_at:0.0 () in
@@ -264,7 +264,7 @@ let test_packet_forwarding_flow () =
 let test_packet_decapsulate_raw () =
   let p = Packet.create ~id:1 ~flow:(flow_a ()) ~payload_bytes:0 ~created_at:0.0 () in
   Alcotest.(check bool) "raises on raw" true
-    (try ignore (Packet.decapsulate p); false with Invalid_argument _ -> true)
+    (try ignore (Packet.decapsulate p); false with Err.Invalid _ -> true)
 
 let test_addr_family_ordering () =
   let v4 = Addr.of_string_exn "255.255.255.255" in
@@ -276,7 +276,7 @@ let test_addr_family_ordering () =
 let test_prefix_nth_negative () =
   let p = Prefix.of_string_exn "10.0.0.0/8" in
   Alcotest.(check bool) "negative index" true
-    (try ignore (Prefix.nth_address p (-1L)); false with Invalid_argument _ -> true)
+    (try ignore (Prefix.nth_address p (-1L)); false with Err.Invalid _ -> true)
 
 let test_packet_hops () =
   let p = Packet.create ~id:1 ~flow:(flow_a ()) ~payload_bytes:0 ~created_at:0.0 () in
@@ -381,7 +381,7 @@ let test_siphash_key_of_string () =
     (Siphash.mac k Bytes.empty);
   Alcotest.(check bool) "wrong length rejected" true
     (try ignore (Siphash.key_of_string "short"); false
-     with Invalid_argument _ -> true)
+     with Err.Invalid _ -> true)
 
 let auth_frame () =
   Wire.encode_tunnel ~auth_key:reference_key
@@ -575,7 +575,7 @@ let test_wire_into_small_buffers_rejected () =
          (Wire.encode_tunnel_into ~outer_src:src ~outer_dst:dst ~udp_src:1
             ~udp_dst:2 ~tango ~buf:(Bytes.create 16) payload);
        false
-     with Invalid_argument _ -> true);
+     with Err.Invalid _ -> true);
   let frame =
     Wire.encode_tunnel ~outer_src:src ~outer_dst:dst ~udp_src:1 ~udp_dst:2
       ~tango payload
