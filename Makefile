@@ -2,7 +2,7 @@
 # formatting, the full test suite, then a fast end-to-end smoke of the
 # experiment harness (fig3 takes well under a second).
 
-.PHONY: all build fmt test lint lint-json smoke bench bench-json check clean
+.PHONY: all build fmt test lint lint-json smoke obs-smoke bench bench-json bench-compare check clean
 
 all: build
 
@@ -33,7 +33,18 @@ bench:
 bench-json:
 	dune exec bench/main.exe -- --experiment micro --json BENCH.json
 
-check: build fmt test lint smoke
+# Regression gate: fail when a fast-path benchmark slowed by >25% or a
+# zero-allocation op started touching the major heap.
+bench-compare: bench-json
+	dune exec bench/compare.exe -- BENCH_baseline.json BENCH.json
+
+# End-to-end observability smoke: run an experiment with --metrics and
+# validate the emitted JSON-lines snapshot against the schema.
+obs-smoke:
+	dune exec bin/tango_cli.exe -- fig3 --metrics _build/obs_smoke.jsonl --prom _build/obs_smoke.prom > /dev/null
+	dune exec test/validate_obs.exe -- _build/obs_smoke.jsonl
+
+check: build fmt test lint smoke obs-smoke
 
 clean:
 	dune clean

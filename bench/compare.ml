@@ -1,0 +1,133 @@
+(* Bench-regression gate.
+
+   Usage:
+     dune exec bench/compare.exe -- BENCH_baseline.json BENCH.json
+     dune exec bench/compare.exe -- --tolerance 0.25 baseline.json current.json
+
+   Reads two microbenchmark result files in the BENCH.json schema
+   (EXPERIMENTS.md) and exits non-zero when, for any benchmark present
+   in both files,
+
+     - ns/op regressed by more than the tolerance (default 25%), or
+     - major-heap words/op went from (effectively) zero in the baseline
+       to non-zero now — the zero-allocation fast path grew a leak.
+
+   Benchmarks present in only one file are reported but never fail the
+   gate, so adding or retiring benchmarks does not require regenerating
+   the baseline in the same commit. *)
+
+module Json = Tango_obs.Json
+
+type row = { ns : float option; major : float option }
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  content
+
+let rows_of_file path =
+  let json =
+    match Json.parse (read_file path) with
+    | v -> v
+    | exception Json.Parse_error msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        exit 2
+  in
+  let results =
+    match Json.member "results" json with
+    | Some (Json.List l) -> l
+    | _ ->
+        Printf.eprintf "%s: no \"results\" array\n" path;
+        exit 2
+  in
+  List.filter_map
+    (fun entry ->
+      match Json.string_opt (Json.member "name" entry) with
+      | Some name ->
+          Some
+            ( name,
+              {
+                ns = Json.number_opt (Json.member "ns_per_op" entry);
+                major = Json.number_opt (Json.member "major_words_per_op" entry);
+              } )
+      | None -> None)
+    results
+
+(* OLS fits on sub-ns ops can come out slightly negative; clamp so the
+   ratio test is meaningful. Below this floor a benchmark is treated as
+   free and never regresses. *)
+let ns_floor = 0.5
+
+(* Noise floor for the major-words gate: a baseline at or under this is
+   "zero-allocation", and staying under it is a pass. *)
+let major_epsilon = 0.01
+
+let () =
+  let tolerance = ref 0.25 in
+  let paths = ref [] in
+  let spec =
+    [
+      ( "--tolerance",
+        Arg.Set_float tolerance,
+        "FRAC  allowed fractional ns/op regression (default 0.25)" );
+    ]
+  in
+  Arg.parse spec
+    (fun p -> paths := p :: !paths)
+    "bench regression gate: compare.exe [--tolerance FRAC] BASELINE CURRENT";
+  let baseline_path, current_path =
+    match List.rev !paths with
+    | [ b; c ] -> (b, c)
+    | _ ->
+        Printf.eprintf "usage: compare.exe [--tolerance FRAC] BASELINE CURRENT\n";
+        exit 2
+  in
+  let baseline = rows_of_file baseline_path in
+  let current = rows_of_file current_path in
+  let failures = ref 0 in
+  let compared = ref 0 in
+  Printf.printf "bench gate: %s vs %s (tolerance %.0f%%)\n" baseline_path
+    current_path (100.0 *. !tolerance);
+  List.iter
+    (fun (name, base) ->
+      match List.assoc_opt name current with
+      | None -> Printf.printf "  ~ %-45s only in baseline (skipped)\n" name
+      | Some cur -> (
+          incr compared;
+          (match (base.ns, cur.ns) with
+          | Some b, Some c ->
+              let b = Float.max b ns_floor and c = Float.max c ns_floor in
+              let ratio = c /. b in
+              if ratio > 1.0 +. !tolerance then begin
+                incr failures;
+                Printf.printf "  ! %-45s ns/op %8.1f -> %8.1f  (%+.0f%%)\n" name
+                  b c
+                  ((ratio -. 1.0) *. 100.0)
+              end
+              else
+                Printf.printf "  . %-45s ns/op %8.1f -> %8.1f  (%+.0f%%)\n" name
+                  b c
+                  ((ratio -. 1.0) *. 100.0)
+          | _ -> Printf.printf "  ~ %-45s no ns/op estimate\n" name);
+          match (base.major, cur.major) with
+          | Some b, Some c when Float.abs b <= major_epsilon && c > major_epsilon
+            ->
+              incr failures;
+              Printf.printf
+                "  ! %-45s major words/op %.3f -> %.3f (was zero-alloc)\n" name
+                b c
+          | _ -> ()))
+    baseline;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name baseline) then
+        Printf.printf "  ~ %-45s new benchmark (not gated)\n" name)
+    current;
+  if !failures > 0 then begin
+    Printf.printf "FAIL: %d regression(s) across %d compared benchmarks\n"
+      !failures !compared;
+    exit 1
+  end
+  else Printf.printf "OK: %d benchmarks within tolerance\n" !compared

@@ -4,8 +4,17 @@
      dune exec bench/main.exe                 # every experiment + microbenches
      dune exec bench/main.exe -- --experiment fig3
      dune exec bench/main.exe -- --horizon 120 --csv out/
+     dune exec bench/main.exe -- --experiment failover --metrics obs.jsonl
    Experiments regenerate the paper's figures/tables (see DESIGN.md and
-   EXPERIMENTS.md for the per-experiment index). *)
+   EXPERIMENTS.md for the per-experiment index). [--metrics]/[--prom]
+   turn the lib/obs recording switch on for the selected experiments and
+   write the snapshot afterwards (schema in EXPERIMENTS.md); without
+   them recording stays off and output is byte-identical. *)
+
+module Obs_metric = Tango_obs.Metric
+module Obs_trace = Tango_obs.Trace
+module Obs_manifest = Tango_obs.Manifest
+module Obs_export = Tango_obs.Export
 
 let experiments =
   [
@@ -27,6 +36,8 @@ let () =
   let selected = ref [] in
   let run_micro = ref true in
   let json_path = ref None in
+  let metrics_path = ref None in
+  let prom_path = ref None in
   let spec =
     [
       ( "--experiment",
@@ -48,6 +59,14 @@ let () =
         Arg.String (fun p -> json_path := Some p),
         "PATH  also write the microbenchmark results (ns/op, minor/major \
          words/op) as JSON to PATH; implies the microbenchmarks run" );
+      ( "--metrics",
+        Arg.String (fun p -> metrics_path := Some p),
+        "PATH  turn obs recording on and write the metric/trace snapshot as \
+         JSON-lines to PATH (schema in EXPERIMENTS.md)" );
+      ( "--prom",
+        Arg.String (fun p -> prom_path := Some p),
+        "PATH  turn obs recording on and write the metric snapshot in \
+         Prometheus text format to PATH" );
     ]
   in
   Arg.parse spec
@@ -65,6 +84,21 @@ let () =
     else to_run
   in
   Printf.printf "Tango reproduction harness — HotNets '22\n";
+  let obs_requested = Option.is_some !metrics_path || Option.is_some !prom_path in
+  let obs_session =
+    if not obs_requested then None
+    else begin
+      Obs_metric.reset_values ();
+      Obs_trace.clear Obs_trace.default;
+      Obs_metric.set_enabled true;
+      Some
+        (Obs_manifest.start ~experiment:(String.concat "," to_run) ~seed:42
+           ~config:
+             (Printf.sprintf "bench horizon=%g probe_interval=%g"
+                !Experiments.horizon !Experiments.probe_interval)
+           ())
+    end
+  in
   List.iter
     (fun id ->
       if id = "micro" then begin
@@ -86,4 +120,26 @@ let () =
               (String.concat ", " (List.map fst experiments));
             exit 2)
     to_run;
+  (match obs_session with
+  | None -> ()
+  | Some session ->
+      Obs_metric.set_enabled false;
+      let manifest =
+        Obs_manifest.finish session
+          ~virtual_s:
+            (Obs_metric.gauge_value (Obs_metric.gauge "sim_virtual_time_seconds"))
+          ~sim_events:(Obs_metric.counter_value (Obs_metric.counter "sim_events_total"))
+          Obs_trace.default
+      in
+      let snapshot = Obs_export.snapshot () in
+      Option.iter
+        (fun path ->
+          Obs_export.write_jsonl ~manifest path snapshot;
+          Printf.printf "  [obs snapshot written to %s]\n" path)
+        !metrics_path;
+      Option.iter
+        (fun path ->
+          Obs_export.write_prometheus path snapshot;
+          Printf.printf "  [obs snapshot written to %s]\n" path)
+        !prom_path);
   Printf.printf "\nDone.\n"

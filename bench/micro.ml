@@ -157,6 +157,75 @@ let test_flow_cache_hit =
     (Staged.stage (fun () ->
          ignore (Tango_dataplane.Flow_cache.find cache ~flow_hash:hash)))
 
+(* Observability primitives (lib/obs): the cost a metric or trace call
+   adds to an instrumented hot path, with recording on and off. Each op
+   toggles the process-wide switch itself (two plain bool stores) so the
+   global state is left off for every other benchmark. *)
+
+module Obs_metric = Tango_obs.Metric
+module Obs_trace = Tango_obs.Trace
+
+let obs_counter = Obs_metric.counter ~help:"bench counter" "bench_obs_incr_total"
+
+let obs_gauge = Obs_metric.gauge ~help:"bench gauge" "bench_obs_gauge"
+
+let obs_hist =
+  Obs_metric.histogram ~help:"bench histogram" "bench_obs_seconds"
+
+let obs_ring = Obs_trace.create ~capacity:4096 ()
+
+let obs_kind = Obs_trace.kind "bench.event"
+
+let test_obs_incr_on =
+  Test.make ~name:"obs.metric.incr (recording on)"
+    (Staged.stage (fun () ->
+         Obs_metric.set_enabled true;
+         Obs_metric.incr obs_counter;
+         Obs_metric.set_enabled false))
+
+let test_obs_incr_off =
+  Test.make ~name:"obs.metric.incr (recording off)"
+    (Staged.stage (fun () ->
+         Obs_metric.set_enabled false;
+         Obs_metric.incr obs_counter))
+
+let test_obs_gauge_on =
+  let clock = ref 0.0 in
+  Test.make ~name:"obs.metric.set gauge (recording on)"
+    (Staged.stage (fun () ->
+         clock := !clock +. 0.01;
+         Obs_metric.set_enabled true;
+         Obs_metric.set obs_gauge !clock;
+         Obs_metric.set_enabled false))
+
+let test_obs_observe_on =
+  let clock = ref 0.0 in
+  Test.make ~name:"obs.metric.observe histogram (recording on)"
+    (Staged.stage (fun () ->
+         clock := !clock +. 1e-6;
+         Obs_metric.set_enabled true;
+         Obs_metric.observe obs_hist !clock;
+         Obs_metric.set_enabled false))
+
+let test_obs_trace_on =
+  let clock = ref 0.0 in
+  Test.make ~name:"obs.trace.record (recording on)"
+    (Staged.stage (fun () ->
+         clock := !clock +. 0.01;
+         Obs_metric.set_enabled true;
+         Obs_trace.record obs_ring ~now:!clock ~kind:obs_kind 7 11;
+         Obs_metric.set_enabled false))
+
+let test_tracker_instrumented =
+  let tracker = Tango_dataplane.Seq_tracker.create () in
+  let seq = ref 0L in
+  Test.make ~name:"seq_tracker.observe (recording on)"
+    (Staged.stage (fun () ->
+         Obs_metric.set_enabled true;
+         Tango_dataplane.Seq_tracker.observe tracker !seq;
+         Obs_metric.set_enabled false;
+         seq := Int64.add !seq 1L))
+
 let test_decision =
   let route i =
     Tango_bgp.Route.make
@@ -187,6 +256,12 @@ let all_tests =
       test_policy_uncached;
       test_flow_cache_hit;
       test_decision;
+      test_obs_incr_on;
+      test_obs_incr_off;
+      test_obs_gauge_on;
+      test_obs_observe_on;
+      test_obs_trace_on;
+      test_tracker_instrumented;
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -2,15 +2,73 @@
 
    Subcommands:
      tango discover  — run the Fig. 3 path-discovery procedure
+     tango fig3      — both discovery directions (= experiment E1)
      tango measure   — run the measurement plane and print per-path OWD
      tango simulate  — full scenario with application traffic and a policy
-     tango overlay   — plan a Tango-of-N overlay on the triangle topology *)
+     tango overlay   — plan a Tango-of-N overlay on the triangle topology
+
+   Every subcommand takes --metrics FILE (JSON-lines snapshot: manifest,
+   counters/gauges/histograms, trace events) and --prom FILE (Prometheus
+   text format); schema in EXPERIMENTS.md. *)
 
 open Cmdliner
 open Tango
 module Series = Tango_telemetry.Series
 module Stats = Tango_sim.Stats
 module Vultr = Tango_topo.Vultr
+module Obs_metric = Tango_obs.Metric
+module Obs_trace = Tango_obs.Trace
+module Obs_manifest = Tango_obs.Manifest
+module Obs_export = Tango_obs.Export
+
+(* ------------------------------------------------------------------ *)
+(* Observability plumbing                                              *)
+
+let metrics_arg =
+  let doc =
+    "Write an observability snapshot to $(docv) as JSON-lines: one manifest \
+     line, one line per counter/gauge/histogram, one line per trace event \
+     (schema in EXPERIMENTS.md). Also turns metric recording on for the run."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let prom_arg =
+  let doc =
+    "Write the metric snapshot to $(docv) in Prometheus text format. Also \
+     turns metric recording on for the run."
+  in
+  Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"FILE" ~doc)
+
+(* Run [f] with recording on when an export was requested, then write
+   the snapshot plus a per-run manifest. Handles are recovered from the
+   registry by name — registration is idempotent. *)
+let with_obs ~experiment ~seed ~config metrics prom f =
+  match (metrics, prom) with
+  | None, None -> f ()
+  | _ ->
+      Obs_metric.reset_values ();
+      Obs_trace.clear Obs_trace.default;
+      Obs_metric.set_enabled true;
+      let session = Obs_manifest.start ~experiment ~seed ~config () in
+      f ();
+      Obs_metric.set_enabled false;
+      let manifest =
+        Obs_manifest.finish session
+          ~virtual_s:(Obs_metric.gauge_value (Obs_metric.gauge "sim_virtual_time_seconds"))
+          ~sim_events:(Obs_metric.counter_value (Obs_metric.counter "sim_events_total"))
+          Obs_trace.default
+      in
+      let snapshot = Obs_export.snapshot () in
+      Option.iter
+        (fun path ->
+          Obs_export.write_jsonl ~manifest path snapshot;
+          Printf.printf "wrote %s\n" path)
+        metrics;
+      Option.iter
+        (fun path ->
+          Obs_export.write_prometheus path snapshot;
+          Printf.printf "wrote %s\n" path)
+        prom
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -54,7 +112,7 @@ let policy_arg =
 (* ------------------------------------------------------------------ *)
 (* discover                                                            *)
 
-let discover seed reverse max_paths =
+let discover_run seed reverse max_paths =
   let topo = Vultr.build () in
   let engine = Tango_sim.Engine.create ~seed () in
   let configure (node : Tango_topo.Topology.node) =
@@ -88,21 +146,50 @@ let discover seed reverse max_paths =
               (Tango_bgp.Community.Set.elements p.Discovery.communities))))
     result.Discovery.paths
 
+let discover seed reverse max_paths metrics prom =
+  with_obs ~experiment:"discover" ~seed
+    ~config:
+      (Printf.sprintf "discover seed=%d reverse=%b max_paths=%d" seed reverse
+         max_paths)
+    metrics prom
+    (fun () -> discover_run seed reverse max_paths)
+
+let max_paths_arg =
+  Arg.(value & opt int 16 & info [ "max-paths" ] ~docv:"N" ~doc:"Stop after N paths.")
+
 let discover_cmd =
   let reverse =
     Arg.(value & flag & info [ "reverse" ] ~doc:"Discover NY -> LA instead.")
   in
-  let max_paths =
-    Arg.(value & opt int 16 & info [ "max-paths" ] ~docv:"N" ~doc:"Stop after N paths.")
-  in
   Cmd.v
     (Cmd.info "discover" ~doc:"Run the Fig. 3 iterative path discovery")
-    Term.(const discover $ seed_arg $ reverse $ max_paths)
+    Term.(const discover $ seed_arg $ reverse $ max_paths_arg $ metrics_arg $ prom_arg)
+
+(* Both discovery directions in one run — experiment E1 / Figure 3. *)
+let fig3 seed max_paths metrics prom =
+  with_obs ~experiment:"fig3" ~seed
+    ~config:(Printf.sprintf "fig3 seed=%d max_paths=%d" seed max_paths)
+    metrics prom
+    (fun () ->
+      discover_run seed false max_paths;
+      discover_run seed true max_paths)
+
+let fig3_cmd =
+  Cmd.v
+    (Cmd.info "fig3"
+       ~doc:"Run Fig. 3 path discovery in both directions (experiment E1)")
+    Term.(const fig3 $ seed_arg $ max_paths_arg $ metrics_arg $ prom_arg)
 
 (* ------------------------------------------------------------------ *)
 (* measure                                                             *)
 
-let measure seed duration probe_interval scenario csv config =
+let measure seed duration probe_interval scenario csv config metrics prom =
+  with_obs ~experiment:"measure" ~seed
+    ~config:
+      (Printf.sprintf "measure seed=%d duration=%g probe_interval=%g scenario=%b"
+         seed duration probe_interval scenario)
+    metrics prom
+  @@ fun () ->
   let scenario =
     if scenario then Some (Tango_workload.Fig4.create ~horizon_s:duration ())
     else None
@@ -181,12 +268,18 @@ let measure_cmd =
     (Cmd.info "measure" ~doc:"Run the one-way measurement plane")
     Term.(
       const measure $ seed_arg $ duration_arg 60.0 $ probe_arg $ scenario_arg
-      $ csv $ config)
+      $ csv $ config $ metrics_arg $ prom_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
 
-let simulate seed duration policy rate_hz =
+let simulate seed duration policy rate_hz metrics prom =
+  with_obs ~experiment:"simulate" ~seed
+    ~config:
+      (Printf.sprintf "simulate seed=%d duration=%g policy=%s rate=%g" seed
+         duration (Policy.spec_to_string policy) rate_hz)
+    metrics prom
+  @@ fun () ->
   let scenario = Tango_workload.Fig4.create ~horizon_s:duration () in
   let pair =
     Pair.setup_vultr ~seed ~scenario ~policy_ny:policy ~clock_offset_la_ns:0L
@@ -219,12 +312,18 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run the Fig. 4 scenario with application traffic and a policy")
-    Term.(const simulate $ seed_arg $ duration_arg 120.0 $ policy_arg $ rate)
+    Term.(
+      const simulate $ seed_arg $ duration_arg 120.0 $ policy_arg $ rate
+      $ metrics_arg $ prom_arg)
 
 (* ------------------------------------------------------------------ *)
 (* overlay                                                             *)
 
-let overlay seed =
+let overlay seed metrics prom =
+  with_obs ~experiment:"overlay" ~seed
+    ~config:(Printf.sprintf "overlay seed=%d" seed)
+    metrics prom
+  @@ fun () ->
   let topo = Overlay.Triangle.build () in
   let engine = Tango_sim.Engine.create ~seed () in
   let configure (node : Tango_topo.Topology.node) =
@@ -260,12 +359,16 @@ let overlay seed =
 let overlay_cmd =
   Cmd.v
     (Cmd.info "overlay" ~doc:"Plan a Tango-of-N overlay (triangle topology)")
-    Term.(const overlay $ seed_arg)
+    Term.(const overlay $ seed_arg $ metrics_arg $ prom_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mesh                                                                *)
 
-let mesh seed duration =
+let mesh seed duration metrics prom =
+  with_obs ~experiment:"mesh" ~seed
+    ~config:(Printf.sprintf "mesh seed=%d duration=%g" seed duration)
+    metrics prom
+  @@ fun () ->
   let m = Mesh.setup_triangle ~seed () in
   Printf.printf "three-site mesh up; measuring for %.0fs...\n%!" duration;
   Mesh.start_measurement m ~for_s:duration ();
@@ -300,7 +403,7 @@ let mesh seed duration =
 let mesh_cmd =
   Cmd.v
     (Cmd.info "mesh" ~doc:"Run the live three-site Tango-of-N overlay")
-    Term.(const mesh $ seed_arg $ duration_arg 20.0)
+    Term.(const mesh $ seed_arg $ duration_arg 20.0 $ metrics_arg $ prom_arg)
 
 let () =
   let info =
@@ -310,4 +413,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ discover_cmd; measure_cmd; simulate_cmd; overlay_cmd; mesh_cmd ]))
+          [ discover_cmd; fig3_cmd; measure_cmd; simulate_cmd; overlay_cmd; mesh_cmd ]))

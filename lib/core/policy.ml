@@ -1,3 +1,15 @@
+module Metric = Tango_obs.Metric
+module Trace = Tango_obs.Trace
+
+(* Process-wide observability (DESIGN.md §8): emergency evacuations are
+   the data-driven failovers of E9, distinct from ordinary switches. *)
+let m_evacuations =
+  Metric.counter
+    ~help:"Emergency path evacuations (current path unusable, hysteresis bypassed)"
+    "pop_failover_evacuations_total"
+
+let k_evacuation = Trace.kind "pop.evacuation"
+
 type path_stats = {
   path_id : int;
   owd_ewma_ms : float;
@@ -80,6 +92,10 @@ let adaptive t ~now_s ~beta ~hysteresis_ms ~min_dwell_s stats =
     && now_s -. t.last_switch_s >= min_dwell_s
   in
   if emergency || improvement then begin
+    if emergency then begin
+      Metric.incr m_evacuations;
+      Trace.record Trace.default ~now:now_s ~kind:k_evacuation t.current best_id
+    end;
     t.current <- best_id;
     t.last_switch_s <- now_s;
     t.switches <- t.switches + 1

@@ -13,6 +13,40 @@ module Ewma = Tango_telemetry.Ewma
 module Jitter = Tango_telemetry.Jitter
 module Detect = Tango_telemetry.Detect
 module Inorder = Tango_workload.Inorder
+module Metric = Tango_obs.Metric
+module Trace = Tango_obs.Trace
+
+(* Process-wide observability, aggregated across PoPs (DESIGN.md §8). *)
+let m_policy_evals =
+  Metric.counter ~help:"Full policy scoring passes" "pop_policy_evals_total"
+
+let m_path_switches =
+  Metric.counter ~help:"Preferred-path changes" "pop_path_switches_total"
+
+let m_cache_hits =
+  Metric.counter ~help:"Per-flow path-decision cache hits" "pop_flow_cache_hits_total"
+
+let m_cache_misses =
+  Metric.counter ~help:"Per-flow path-decision cache misses"
+    "pop_flow_cache_misses_total"
+
+let m_probes_sent = Metric.counter ~help:"Probe packets sent" "pop_probes_sent_total"
+
+let m_probes_received =
+  Metric.counter ~help:"Probe packets received" "pop_probes_received_total"
+
+let m_reports_received =
+  Metric.counter ~help:"Peer stat reports received" "pop_reports_received_total"
+
+let m_app_received =
+  Metric.counter ~help:"Application packets delivered to the host"
+    "pop_app_received_total"
+
+let m_transited =
+  Metric.counter ~help:"Packets relayed onward for the overlay"
+    "pop_transit_relayed_total"
+
+let k_path_switch = Trace.kind "pop.path_switch"
 
 let probe_port = 7
 
@@ -164,7 +198,7 @@ let[@hot] record_measurement t ~now (reception : Tunnel.reception) =
     Ewma.add t.owd_ewma.(path) reception.Tunnel.owd_ms;
     Jitter.add t.jitter.(path) ~time:now reception.Tunnel.owd_ms;
     ignore (Detect.add t.detectors.(path) ~time:now reception.Tunnel.owd_ms);
-    Seq_tracker.observe t.trackers.(path) reception.Tunnel.seq;
+    Seq_tracker.observe ~now_s:now t.trackers.(path) reception.Tunnel.seq;
     t.inbound_samples.(path) <- t.inbound_samples.(path) + 1;
     t.last_arrival.(path) <- now
   end
@@ -177,14 +211,18 @@ let deliver_to_host t ~now (packet : Packet.t) =
   then begin
     (* Not addressed to a host here: hand to the overlay for relaying. *)
     t.transited <- t.transited + 1;
+    Metric.incr m_transited;
     (Option.get t.transit_handler) ~now packet
   end
-  else if flow.Flow.dst_port = probe_port then
-    t.probes_received <- t.probes_received + 1
+  else if flow.Flow.dst_port = probe_port then begin
+    t.probes_received <- t.probes_received + 1;
+    Metric.incr m_probes_received
+  end
   else if flow.Flow.dst_port = report_port then begin
     match packet.Packet.content with
     | Some (Report stats) ->
         t.reports_received <- t.reports_received + 1;
+        Metric.incr m_reports_received;
         t.outbound_stats <- stats;
         t.outbound_stats_at <- now
     | Some _ | None -> ()
@@ -196,6 +234,7 @@ let deliver_to_host t ~now (packet : Packet.t) =
   end
   else if flow.Flow.dst_port = app_port then begin
     t.app_received <- t.app_received + 1;
+    Metric.incr m_app_received;
     let latency = now -. packet.Packet.created_at in
     Series.add t.app_latency ~time:now latency;
     match packet.Packet.content with
@@ -282,8 +321,11 @@ let[@hot] refresh_policy t ~now =
   if now -. t.last_choice_at > t.policy_refresh_s then begin
     let path = Policy.choose t.policy ~now_s:now (live_outbound_stats t) in
     t.policy_evals <- t.policy_evals + 1;
+    Metric.incr m_policy_evals;
     t.last_choice_at <- now;
     if path <> t.last_choice then begin
+      Metric.incr m_path_switches;
+      Trace.record Trace.default ~now ~kind:k_path_switch t.last_choice path;
       t.last_choice <- path;
       Flow_cache.invalidate t.path_cache
     end
@@ -292,8 +334,11 @@ let[@hot] refresh_policy t ~now =
 let[@hot] choose_path t ~now ~flow_hash =
   refresh_policy t ~now;
   match Flow_cache.find t.path_cache ~flow_hash with
-  | Some path -> path
+  | Some path ->
+      Metric.incr m_cache_hits;
+      path
   | None ->
+      Metric.incr m_cache_misses;
       Flow_cache.store t.path_cache ~flow_hash t.last_choice;
       t.last_choice
 
@@ -358,6 +403,7 @@ let send_stream t ?(payload_bytes = 1200) ~route ~content () =
 let send_probe t =
   for path = 0 to Array.length t.tunnels - 1 do
     t.probes_sent <- t.probes_sent + 1;
+    Metric.incr m_probes_sent;
     send_on_path t ~path ~src_port:probe_port ~dst_port:probe_port
       ~payload_bytes:64 ()
   done

@@ -1,12 +1,10 @@
 (* Declared contract-violation exception for the dataplane library —
    the dataplane counterpart of [Tango_net.Err]. tango_lint bans
-   undeclared failwith / Invalid_argument under lib/dataplane. *)
+   undeclared failwith / Invalid_argument under lib/dataplane. The
+   implementation is shared with lib/net via Tango_err; the functor
+   application is generative, so this [Invalid] stays a distinct
+   exception. *)
 
-exception Invalid of string
-
-let () =
-  Printexc.register_printer (function
-    | Invalid msg -> Some ("Tango_dataplane.Err.Invalid: " ^ msg)
-    | _ -> None)
-
-let invalid fmt = Printf.ksprintf (fun msg -> raise (Invalid msg)) fmt
+include Tango_err.Make (struct
+  let lib = "Tango_dataplane"
+end)

@@ -6,6 +6,50 @@ module Engine = Tango_sim.Engine
 module Rng = Tango_sim.Rng
 module Packet = Tango_net.Packet
 module Flow = Tango_net.Flow
+module Metric = Tango_obs.Metric
+module Trace = Tango_obs.Trace
+
+(* Process-wide observability (aggregated across fabrics; see DESIGN.md
+   §8). Drop counters are indexed by the same codes [send] passes to
+   the trace records. *)
+let m_sent = Metric.counter ~help:"Packets entering the fabric" "fabric_packets_sent_total"
+
+let m_delivered =
+  Metric.counter ~help:"Packets delivered to an edge node" "fabric_packets_delivered_total"
+
+let m_forwarded =
+  Metric.counter ~help:"Per-hop forwards scheduled" "fabric_packets_forwarded_total"
+
+let m_dropped =
+  Metric.counter ~help:"Packets dropped, any reason" "fabric_packets_dropped_total"
+
+let drop_ttl = 0
+
+let drop_unroutable = 1
+
+let drop_link_failure = 2
+
+let drop_loss = 3
+
+let drop_queue_overflow = 4
+
+let drop_counters =
+  [|
+    Metric.counter ~help:"Drops: hop limit exceeded" "fabric_drops_ttl_total";
+    Metric.counter ~help:"Drops: no route" "fabric_drops_unroutable_total";
+    Metric.counter ~help:"Drops: failed link" "fabric_drops_link_failure_total";
+    Metric.counter ~help:"Drops: random link loss" "fabric_drops_loss_total";
+    Metric.counter ~help:"Drops: queue-delay bound exceeded"
+      "fabric_drops_queue_overflow_total";
+  |]
+
+let h_queue_wait =
+  Metric.histogram ~help:"Per-link transmitter queueing delay (seconds)"
+    ~lo_exp:(-20) ~buckets:24 "fabric_queue_wait_seconds"
+
+let k_drop = Trace.kind "fabric.drop"
+
+let k_deliver = Trace.kind "fabric.deliver"
 
 type t = {
   net : Network.t;
@@ -72,43 +116,51 @@ let hop_limit = 64
 (* tango-lint: allow hot-alloc — no-op default: fast-path callers pass ~on_dropped explicitly *)
 let[@hot] send t ~from_node ?(on_dropped = fun ~reason:_ _ -> ()) ~on_delivered packet =
   t.sent <- t.sent + 1;
+  Metric.incr m_sent;
   let engine = Network.engine t.net in
   let topo = Network.topology t.net in
   (* tango-lint: allow hot-alloc — one drop-accounting closure per send, not per hop *)
-  let drop reason =
+  let drop reason code =
     t.dropped <- t.dropped + 1;
+    Metric.incr m_dropped;
+    Metric.incr drop_counters.(code);
+    Trace.record Trace.default ~now:(Engine.now engine) ~kind:k_drop
+      packet.Packet.id code;
     on_dropped ~reason packet
+  in
+  (* tango-lint: allow hot-alloc — delivery-accounting closure shared by both local-route branches, once per send *)
+  let deliver node =
+    t.delivered <- t.delivered + 1;
+    Metric.incr m_delivered;
+    Trace.record Trace.default ~now:(Engine.now engine) ~kind:k_deliver
+      packet.Packet.id node;
+    on_delivered ~node packet
   in
   (* tango-lint: allow hot-alloc — recursive forwarding loop captures the packet once per send *)
   let rec at_node node hops =
     Packet.record_hop packet (Topology.asn topo node);
-    if hops > hop_limit then drop "ttl"
+    if hops > hop_limit then drop "ttl" drop_ttl
     else begin
       let flow = Packet.forwarding_flow packet in
       match Network.route_for_addr t.net ~node flow.Flow.dst with
-      | None -> drop "unroutable"
+      | None -> drop "unroutable" drop_unroutable
       | Some route ->
-          if Route.local route then begin
-            t.delivered <- t.delivered + 1;
-            on_delivered ~node packet
-          end
+          if Route.local route then deliver node
           else begin
             match route.Route.learned_from with
-            | None ->
-                t.delivered <- t.delivered + 1;
-                on_delivered ~node packet
+            | None -> deliver node
             | Some next -> forward node next hops
           end
     end
   (* tango-lint: allow hot-alloc — part of the same per-send recursive loop *)
   and forward node next hops =
     match Topology.link topo node next with
-    | None -> drop "unroutable"
+    | None -> drop "unroutable" drop_unroutable
     | Some link ->
         if Bytes.get t.failed_links ((node * t.node_count) + next) <> '\000' then
-          drop "link-failure"
+          drop "link-failure" drop_link_failure
         else if link.Link.loss > 0.0 && Rng.float t.rng 1.0 < link.Link.loss then
-          drop "loss"
+          drop "loss" drop_loss
         else begin
           let flow = Packet.forwarding_flow packet in
           let jitter =
@@ -138,16 +190,18 @@ let[@hot] send t ~from_node ?(on_dropped = fun ~reason:_ _ -> ()) ~on_delivered 
                 if wait > bound then None
                 else begin
                   t.busy_until.(key) <- free_at +. transmission_s;
+                  Metric.observe h_queue_wait wait;
                   Some wait
                 end
           in
           match queueing_result with
-          | None -> drop "queue-overflow"
+          | None -> drop "queue-overflow" drop_queue_overflow
           | Some queueing_s ->
               let delay_s =
                 ((link.Link.delay_ms +. jitter +. lane +. dynamic) /. 1000.0)
                 +. transmission_s +. queueing_s
               in
+              Metric.incr m_forwarded;
               (* tango-lint: allow hot-alloc — event-engine continuation: one closure per scheduled hop *)
               Engine.schedule engine ~delay:(Float.max 0.0 delay_s) (fun _ ->
                   at_node next (hops + 1))

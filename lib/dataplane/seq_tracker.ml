@@ -6,6 +6,27 @@
    never reach 2^62 in a simulation, and an int set avoids boxing an
    Int64 on every comparison of the per-packet path. *)
 module Int_set = Set.Make (Int)
+module Metric = Tango_obs.Metric
+module Trace = Tango_obs.Trace
+
+(* Process-wide observability, aggregated across trackers (one tracker
+   per inbound path per PoP; see DESIGN.md §8). *)
+let m_loss =
+  Metric.counter ~help:"Sequence numbers provisionally declared lost"
+    "seq_loss_total"
+
+let m_reorder =
+  Metric.counter ~help:"Provisional losses that arrived late (reordering)"
+    "seq_reorder_total"
+
+let m_duplicate =
+  Metric.counter ~help:"Duplicate sequence numbers received" "seq_duplicate_total"
+
+let k_loss = Trace.kind "seq.loss"
+
+let k_reorder = Trace.kind "seq.reorder"
+
+let k_duplicate = Trace.kind "seq.duplicate"
 
 type t = {
   mutable next_expected : int;
@@ -31,7 +52,9 @@ let create () =
 let[@hot] bump_recent t indicator =
   t.recent <- (recent_alpha *. indicator) +. ((1.0 -. recent_alpha) *. t.recent)
 
-let[@hot] observe t seq64 =
+(* [now_s] only stamps the emitted trace records (the tracker itself is
+   clockless); callers without a clock may omit it. *)
+let[@hot] observe ?(now_s = 0.0) t seq64 =
   if Int64.compare seq64 (Int64.of_int max_int) > 0 || Int64.compare seq64 0L < 0
   then Err.invalid "Seq_tracker.observe: sequence outside [0, max_int]";
   let seq = Int64.to_int seq64 in
@@ -39,6 +62,8 @@ let[@hot] observe t seq64 =
     (* Every number skipped over becomes provisionally missing. *)
     for skipped = t.next_expected to seq - 1 do
       t.missing <- Int_set.add skipped t.missing;
+      Metric.incr m_loss;
+      Trace.record Trace.default ~now:now_s ~kind:k_loss skipped 0;
       bump_recent t 1.0
     done;
     t.next_expected <- seq + 1;
@@ -49,11 +74,17 @@ let[@hot] observe t seq64 =
     t.missing <- Int_set.remove seq t.missing;
     t.received <- t.received + 1;
     t.reordered <- t.reordered + 1;
+    Metric.incr m_reorder;
+    Trace.record Trace.default ~now:now_s ~kind:k_reorder seq 0;
     (* The provisional loss turned out to be reordering. *)
     bump_recent t (-1.0);
     if t.recent < 0.0 then t.recent <- 0.0
   end
-  else t.duplicates <- t.duplicates + 1
+  else begin
+    t.duplicates <- t.duplicates + 1;
+    Metric.incr m_duplicate;
+    Trace.record Trace.default ~now:now_s ~kind:k_duplicate seq 0
+  end
 
 let received t = t.received
 

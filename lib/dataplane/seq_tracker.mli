@@ -6,11 +6,13 @@ type t
 
 val create : unit -> t
 
-val observe : t -> int64 -> unit
+val observe : ?now_s:float -> t -> int64 -> unit
 (** Feed the sequence number of an arriving packet. A gap is counted as
     provisional loss; a late arrival of a previously-missing number
     converts the loss into a reordering; a second arrival of a delivered
-    number counts as a duplicate. *)
+    number counts as a duplicate. Each event also feeds the obs layer
+    (counters plus trace records stamped [now_s]; the tracker itself is
+    clockless, so callers without a clock may omit it). *)
 
 val received : t -> int
 val lost : t -> int

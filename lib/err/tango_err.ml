@@ -1,0 +1,26 @@
+(* The one shared declared-exception helper behind the per-library
+   [Err] modules. tango_lint bans anonymous failwith / Invalid_argument
+   under lib/net and lib/dataplane (rule no-failwith); each of those
+   libraries applies [Make] once, getting its own generative [Invalid]
+   exception — so a raise from one library is still distinguishable
+   from the other's — with the registered printer and the ksprintf
+   raise helper implemented in exactly one place. *)
+
+module type S = sig
+  exception Invalid of string
+
+  val invalid : ('a, unit, string, 'b) format4 -> 'a
+end
+
+module Make (Lib : sig
+  val lib : string
+end) : S = struct
+  exception Invalid of string
+
+  let () =
+    Printexc.register_printer (function
+      | Invalid msg -> Some (Lib.lib ^ ".Err.Invalid: " ^ msg)
+      | _ -> None)
+
+  let invalid fmt = Printf.ksprintf (fun msg -> raise (Invalid msg)) fmt
+end

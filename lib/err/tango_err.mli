@@ -1,0 +1,22 @@
+(** Shared declared-exception helper behind the per-library [Err]
+    modules of the per-packet libraries (lib/net, lib/dataplane).
+
+    Each library applies {!Make} once at its own [Err] module, getting
+    a {e generative} [Invalid] exception — raises stay distinguishable
+    per library — while the printer registration and the ksprintf raise
+    helper live in one place. *)
+
+module type S = sig
+  exception Invalid of string
+
+  val invalid : ('a, unit, string, 'b) format4 -> 'a
+  (** [invalid fmt ...] raises [Invalid] with the formatted message.
+      Formatting only happens on the raise path, so callers stay
+      allocation-free when the check passes. *)
+end
+
+module Make (_ : sig
+  val lib : string
+  (** Library name used as the printer prefix, e.g. ["Tango_net"]:
+      exceptions print as ["<lib>.Err.Invalid: <msg>"]. *)
+end) : S

@@ -22,6 +22,8 @@ let default =
         "dataplane/seq_tracker.ml";
         "dataplane/flow_cache.ml";
         "core/pop.ml";
+        "obs/metric.ml";
+        "obs/trace.ml";
       ];
     exn_ban_paths = [ "lib/dataplane/"; "lib/net/" ];
     require_mli = true;

@@ -1,13 +1,10 @@
 (* The one declared exception for contract violations in the per-packet
    net library. tango_lint bans undeclared failwith / Invalid_argument
    under lib/net, so a raise from here is always distinguishable from a
-   stdlib failure leaking out of the dataplane. *)
+   stdlib failure leaking out of the dataplane. The implementation is
+   shared with lib/dataplane via Tango_err; the functor application is
+   generative, so this [Invalid] stays a distinct exception. *)
 
-exception Invalid of string
-
-let () =
-  Printexc.register_printer (function
-    | Invalid msg -> Some ("Tango_net.Err.Invalid: " ^ msg)
-    | _ -> None)
-
-let invalid fmt = Printf.ksprintf (fun msg -> raise (Invalid msg)) fmt
+include Tango_err.Make (struct
+  let lib = "Tango_net"
+end)

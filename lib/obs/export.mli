@@ -1,0 +1,34 @@
+(** Snapshot renderers for the obs registry: JSON-lines (one
+    self-contained object per line, manifest first) and Prometheus text
+    exposition format. Cold path — runs once per exported run. The
+    line-level schema is documented in EXPERIMENTS.md. *)
+
+type event = { time : float; kind : string; a : int; b : int }
+
+type snapshot = { metrics : Metric.view list; events : event list }
+
+val snapshot : ?trace:Trace.t -> unit -> snapshot
+(** Capture every registered metric plus the live trace records
+    (oldest-first) from [trace] (default {!Trace.default}). *)
+
+val schema_version : int
+(** Version stamped into the manifest line; bumped on any incompatible
+    shape change. *)
+
+val to_jsonl : ?manifest:Manifest.t -> snapshot -> string
+(** JSON-lines rendering: the manifest line (when given), then one line
+    per counter/gauge/histogram, then one line per trace event.
+    Non-finite floats render as [null]. *)
+
+val to_prometheus : snapshot -> string
+(** Prometheus text format: metric names prefixed [tango_], histograms
+    as cumulative [_bucket{le="..."}] series plus [_sum]/[_count].
+    Trace events and the manifest have no Prometheus representation and
+    are omitted. *)
+
+val write_jsonl : ?manifest:Manifest.t -> string -> snapshot -> unit
+(** [write_jsonl path snap] writes {!to_jsonl} output to [path]. *)
+
+val write_prometheus : string -> snapshot -> unit
+(** [write_prometheus path snap] writes {!to_prometheus} output to
+    [path]. *)

@@ -1,0 +1,31 @@
+(** Minimal strict JSON reader for machine-written artifacts
+    (BENCH.json, --metrics JSON-lines). Cold path: the regression gate
+    and the schema validator parse with it; nothing in the simulator
+    does. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Carries ["<reason> at byte <offset>"]. *)
+
+val parse : string -> t
+(** Parse one complete JSON value; trailing garbage is an error.
+    [\uXXXX] escapes outside ASCII decode as ['?']. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] when absent or not an object. *)
+
+val number_opt : t option -> float option
+
+val string_opt : t option -> string option
+
+val int_opt : t option -> int option
+(** [Some] only for numbers with no fractional part. *)

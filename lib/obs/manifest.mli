@@ -1,0 +1,46 @@
+(** Per-run metadata emitted with every snapshot, so a metrics file is
+    self-describing: which experiment ran, under which seed and config,
+    how long it took (wall and virtual), and how much the flight
+    recorder saw. Schema documented in EXPERIMENTS.md. *)
+
+type t = {
+  experiment : string;  (** experiment id(s), e.g. ["fig3"] *)
+  seed : int;  (** the deterministic simulation seed *)
+  config_digest : string;  (** MD5 hex of the run configuration, [""] if none *)
+  started_unix_s : float;  (** wall-clock start, Unix seconds *)
+  wall_s : float;  (** wall-clock duration of the run *)
+  virtual_s : float;  (** simulated time reached *)
+  sim_events : int;  (** events the sim engine executed *)
+  trace_recorded : int;  (** trace records ever written *)
+  trace_dropped : int;  (** trace records lost to wraparound *)
+}
+
+val v :
+  experiment:string ->
+  seed:int ->
+  ?config_digest:string ->
+  started_unix_s:float ->
+  wall_s:float ->
+  virtual_s:float ->
+  sim_events:int ->
+  trace_recorded:int ->
+  trace_dropped:int ->
+  unit ->
+  t
+(** Assemble a manifest from explicit fields (tests and replays). *)
+
+val digest_of_string : string -> string
+(** MD5 hex digest of a canonical configuration string. *)
+
+val now_unix_s : unit -> float
+(** [Unix.gettimeofday]. *)
+
+type session
+
+val start : experiment:string -> seed:int -> ?config:string -> unit -> session
+(** Pin the wall clock at run start; [config] is the raw configuration
+    text to digest (the file contents, a CLI summary — anything
+    canonical). *)
+
+val finish : session -> virtual_s:float -> sim_events:int -> Trace.t -> t
+(** Close the session into a manifest, reading the trace counters. *)

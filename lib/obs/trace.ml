@@ -1,0 +1,104 @@
+(* Fixed-capacity ring buffer of packed event records: virtual time, an
+   event-kind tag and two integer payloads, striped across four flat
+   arrays so recording writes four slots and never allocates. When the
+   ring is full the newest event overwrites the oldest and the drop
+   counter advances — a bounded-memory flight recorder, not a log.
+
+   Kinds are small dense ints minted by [kind] at module-init time;
+   the name table exists only for export. Recording shares the
+   process-wide switch in [Metric]. *)
+
+type t = {
+  capacity : int;
+  times : floatarray;
+  kinds : int array;
+  payload_a : int array;
+  payload_b : int array;
+  mutable next : int;  (* slot the next record lands in *)
+  mutable length : int;  (* live records, <= capacity *)
+  mutable dropped : int;  (* records overwritten after wraparound *)
+}
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    capacity;
+    times = Float.Array.make capacity 0.0;
+    kinds = Array.make capacity 0;
+    payload_a = Array.make capacity 0;
+    payload_b = Array.make capacity 0;
+    next = 0;
+    length = 0;
+    dropped = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Kind registry (cold path)                                           *)
+
+let kind_names : string list ref = ref []
+
+let kind_count = ref 0
+
+let kind name =
+  if String.length name = 0 then invalid_arg "Trace.kind: empty kind name";
+  let rec find i = function
+    | [] -> None
+    | n :: rest -> if String.equal n name then Some (i - 1) else find (i - 1) rest
+  in
+  (* [kind_names] is newest-first: index of the head is [count - 1]. *)
+  match find !kind_count !kind_names with
+  | Some tag -> tag
+  | None ->
+      let tag = !kind_count in
+      kind_names := name :: !kind_names;
+      kind_count := tag + 1;
+      tag
+
+let kind_name tag =
+  if tag < 0 || tag >= !kind_count then
+    invalid_arg (Printf.sprintf "Trace.kind_name: unknown kind tag %d" tag)
+  else List.nth !kind_names (!kind_count - 1 - tag)
+
+(* ------------------------------------------------------------------ *)
+(* Recording (hot path)                                                *)
+
+let[@hot] record t ~now ~kind a b =
+  if Metric.enabled () then begin
+    let slot = t.next in
+    Float.Array.set t.times slot now;
+    t.kinds.(slot) <- kind;
+    t.payload_a.(slot) <- a;
+    t.payload_b.(slot) <- b;
+    t.next <- (if slot + 1 >= t.capacity then 0 else slot + 1);
+    if t.length < t.capacity then t.length <- t.length + 1
+    else t.dropped <- t.dropped + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Read side (cold path)                                               *)
+
+let capacity t = t.capacity
+
+let length t = t.length
+
+let dropped t = t.dropped
+
+let recorded t = t.length + t.dropped
+
+let iter t f =
+  (* Oldest record first: when wrapped, the oldest lives at [next]. *)
+  let start = if t.length < t.capacity then 0 else t.next in
+  for i = 0 to t.length - 1 do
+    let slot = (start + i) mod t.capacity in
+    f ~time:(Float.Array.get t.times slot) ~kind:t.kinds.(slot)
+      ~a:t.payload_a.(slot) ~b:t.payload_b.(slot)
+  done
+
+let clear t =
+  t.next <- 0;
+  t.length <- 0;
+  t.dropped <- 0
+
+(* The process-wide flight recorder the instrumented subsystems write
+   into; exporters snapshot it alongside the metric registry. *)
+let default = create ()

@@ -1,3 +1,13 @@
+module Metric = Tango_obs.Metric
+
+(* Process-wide observability: every engine in the process aggregates
+   into the same counters (see DESIGN.md §8). *)
+let m_events = Metric.counter ~help:"Simulation events executed" "sim_events_total"
+
+let g_now =
+  Metric.gauge ~help:"Virtual time reached by the most recent engine run"
+    "sim_virtual_time_seconds"
+
 type event = { time : float; seq : int; callback : t -> unit }
 
 and t = {
@@ -54,6 +64,8 @@ let step t =
   | None -> false
   | Some ev ->
       t.clock <- ev.time;
+      Metric.incr m_events;
+      Metric.set g_now t.clock;
       ev.callback t;
       true
 
@@ -68,7 +80,9 @@ let run ?until ?max_events t =
       | None -> ()
       | Some ev -> (
           match until with
-          | Some stop when ev.time > stop -> t.clock <- stop
+          | Some stop when ev.time > stop ->
+              t.clock <- stop;
+              Metric.set g_now t.clock
           | Some _ | None ->
               ignore (step t);
               incr executed;

@@ -1,0 +1,13 @@
+(* Must-pass fixture: lib/obs record calls are plain applications, so
+   instrumenting a [@hot] body stays within the hot-alloc rule. *)
+
+let[@hot] count_drop counter = Metric.incr counter
+
+let[@hot] note_wait hist wait = Metric.observe hist wait
+
+let[@hot] mark ring now kind pkt code = Trace.record ring ~now ~kind pkt code
+
+let[@hot] forward counter ring now kind pkt hop =
+  Metric.incr counter;
+  Trace.record ring ~now ~kind pkt hop;
+  pkt + hop

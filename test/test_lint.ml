@@ -51,6 +51,10 @@ let test_hot_bad () =
 
 let test_hot_ok () = check_findings "hot_ok.ml" []
 
+(* Metric.incr / Trace.record are applications, not allocations: an
+   instrumented hot body must stay clean. *)
+let test_hot_obs_ok () = check_findings "hot_obs_ok.ml" []
+
 let test_hot_waived () =
   let findings, waived = lint "hot_waived.ml" in
   Alcotest.check pair_t "no unwaived findings" [] (pairs findings);
@@ -134,6 +138,7 @@ let () =
         [
           Alcotest.test_case "hot-alloc must-flag" `Quick test_hot_bad;
           Alcotest.test_case "hot-alloc must-pass" `Quick test_hot_ok;
+          Alcotest.test_case "hot-alloc obs instrumentation" `Quick test_hot_obs_ok;
           Alcotest.test_case "hot-alloc waived" `Quick test_hot_waived;
           Alcotest.test_case "poly-compare must-flag" `Quick test_poly_bad;
           Alcotest.test_case "float-equal must-flag" `Quick test_float_bad;

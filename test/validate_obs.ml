@@ -1,0 +1,214 @@
+(* Schema validator for --metrics JSON-lines snapshots (EXPERIMENTS.md).
+
+   Usage: dune exec test/validate_obs.exe -- FILE.jsonl
+
+   Checks, line by line:
+     - every line parses as one self-contained JSON object with a
+       recognised "type" (manifest / counter / gauge / histogram /
+       event);
+     - the first line is the manifest, with schema_version 1 and every
+       required field well-typed;
+     - counters carry non-negative integer values;
+     - histogram "le" bounds are finite and strictly ascending, there is
+       exactly one more count than bound (the overflow bucket), and the
+       counts sum to "count";
+     - metric names match [A-Za-z0-9_:]+ and are unique;
+     - event lines carry int payloads and a known shape.
+
+   Exit 0 when the file is valid, 1 with a per-line report otherwise.
+   `make obs-smoke` runs one instrumented experiment through this. *)
+
+module Json = Tango_obs.Json
+
+let errors = ref 0
+
+let errf line fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr errors;
+      Printf.eprintf "line %d: %s\n" line msg)
+    fmt
+
+let valid_name name =
+  String.length name > 0
+  && String.for_all
+       (function 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       name
+
+let require_string lineno obj field =
+  match Json.string_opt (Json.member field obj) with
+  | Some s -> Some s
+  | None ->
+      errf lineno "missing or non-string %S" field;
+      None
+
+let require_int lineno obj field =
+  match Json.int_opt (Json.member field obj) with
+  | Some v -> Some v
+  | None ->
+      errf lineno "missing or non-integer %S" field;
+      None
+
+(* Numeric fields that may legitimately be null (non-finite floats). *)
+let require_number_or_null lineno obj field =
+  match Json.member field obj with
+  | Some (Json.Num _) | Some Json.Null -> ()
+  | _ -> errf lineno "missing or non-numeric %S" field
+
+let check_metric_name lineno seen obj =
+  match require_string lineno obj "name" with
+  | None -> ()
+  | Some name ->
+      if not (valid_name name) then errf lineno "invalid metric name %S" name;
+      if Hashtbl.mem seen name then errf lineno "duplicate metric %S" name;
+      Hashtbl.replace seen name ()
+
+let check_manifest lineno obj =
+  (match Json.int_opt (Json.member "schema_version" obj) with
+  | Some v when v = Tango_obs.Export.schema_version -> ()
+  | Some v -> errf lineno "schema_version %d, expected %d" v Tango_obs.Export.schema_version
+  | None -> errf lineno "missing schema_version");
+  ignore (require_string lineno obj "tool");
+  ignore (require_string lineno obj "experiment");
+  ignore (require_int lineno obj "seed");
+  ignore (require_string lineno obj "config_digest");
+  require_number_or_null lineno obj "started_unix_s";
+  require_number_or_null lineno obj "wall_s";
+  require_number_or_null lineno obj "virtual_s";
+  List.iter
+    (fun field ->
+      match require_int lineno obj field with
+      | Some v when v < 0 -> errf lineno "negative %S" field
+      | _ -> ())
+    [ "sim_events"; "trace_recorded"; "trace_dropped" ]
+
+let check_counter lineno seen obj =
+  check_metric_name lineno seen obj;
+  ignore (require_string lineno obj "help");
+  match require_int lineno obj "value" with
+  | Some v when v < 0 -> errf lineno "negative counter value %d" v
+  | _ -> ()
+
+let check_gauge lineno seen obj =
+  check_metric_name lineno seen obj;
+  ignore (require_string lineno obj "help");
+  require_number_or_null lineno obj "value"
+
+let check_histogram lineno seen obj =
+  check_metric_name lineno seen obj;
+  ignore (require_string lineno obj "help");
+  require_number_or_null lineno obj "sum";
+  let bounds =
+    match Json.member "le" obj with
+    | Some (Json.List l) ->
+        let rec ascending prev = function
+          | [] -> ()
+          | Json.Num v :: rest ->
+              if not (Float.is_finite v) then errf lineno "non-finite bucket bound";
+              if v <= prev then errf lineno "bucket bounds not ascending";
+              ascending v rest
+          | _ :: _ -> errf lineno "non-numeric bucket bound"
+        in
+        ascending neg_infinity l;
+        Some (List.length l)
+    | _ ->
+        errf lineno "missing \"le\" array";
+        None
+  in
+  let counts =
+    match Json.member "counts" obj with
+    | Some (Json.List l) ->
+        let total = ref 0 in
+        List.iter
+          (fun c ->
+            match Json.int_opt (Some c) with
+            | Some v when v >= 0 -> total := !total + v
+            | _ -> errf lineno "bucket count not a non-negative integer")
+          l;
+        Some (List.length l, !total)
+    | _ ->
+        errf lineno "missing \"counts\" array";
+        None
+  in
+  (match (bounds, counts) with
+  | Some n_bounds, Some (n_counts, _) when n_counts <> n_bounds + 1 ->
+      errf lineno "%d counts for %d bounds (want bounds+1 incl. overflow)"
+        n_counts n_bounds
+  | _ -> ());
+  match (counts, require_int lineno obj "count") with
+  | Some (_, total), Some count when total <> count ->
+      errf lineno "counts sum to %d but count=%d" total count
+  | _ -> ()
+
+let check_event lineno obj =
+  require_number_or_null lineno obj "t";
+  (match require_string lineno obj "kind" with
+  | Some "" -> errf lineno "empty event kind"
+  | _ -> ());
+  ignore (require_int lineno obj "a");
+  ignore (require_int lineno obj "b")
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        prerr_endline "usage: validate_obs.exe FILE.jsonl";
+        exit 2
+  in
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      prerr_endline msg;
+      exit 2
+  in
+  let seen = Hashtbl.create 64 in
+  let manifests = ref 0 in
+  let metrics = ref 0 in
+  let events = ref 0 in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.length (String.trim line) > 0 then begin
+         match Json.parse line with
+         | exception Json.Parse_error msg -> errf !lineno "%s" msg
+         | obj -> (
+             match Json.string_opt (Json.member "type" obj) with
+             | Some "manifest" ->
+                 incr manifests;
+                 if !lineno <> 1 then errf !lineno "manifest must be line 1";
+                 check_manifest !lineno obj
+             | Some "counter" ->
+                 incr metrics;
+                 check_counter !lineno seen obj
+             | Some "gauge" ->
+                 incr metrics;
+                 check_gauge !lineno seen obj
+             | Some "histogram" ->
+                 incr metrics;
+                 check_histogram !lineno seen obj
+             | Some "event" ->
+                 incr events;
+                 check_event !lineno obj
+             | Some other -> errf !lineno "unknown line type %S" other
+             | None -> errf !lineno "missing \"type\"")
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  if !manifests <> 1 then begin
+    incr errors;
+    Printf.eprintf "expected exactly one manifest line, found %d\n" !manifests
+  end;
+  if !metrics = 0 then begin
+    incr errors;
+    prerr_endline "no metric lines found"
+  end;
+  if !errors > 0 then begin
+    Printf.eprintf "%s: INVALID (%d error(s))\n" path !errors;
+    exit 1
+  end
+  else
+    Printf.printf "%s: valid (%d metrics, %d events)\n" path !metrics !events
