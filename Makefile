@@ -2,7 +2,7 @@
 # formatting, the full test suite, then a fast end-to-end smoke of the
 # experiment harness (fig3 takes well under a second).
 
-.PHONY: all build fmt test lint lint-json smoke obs-smoke bench bench-json bench-compare check clean
+.PHONY: all build fmt test lint lint-json smoke obs-smoke faults-smoke bench bench-json bench-compare check clean
 
 all: build
 
@@ -44,7 +44,13 @@ obs-smoke:
 	dune exec bin/tango_cli.exe -- fig3 --metrics _build/obs_smoke.jsonl --prom _build/obs_smoke.prom > /dev/null
 	dune exec test/validate_obs.exe -- _build/obs_smoke.jsonl
 
-check: build fmt test lint smoke obs-smoke
+# Fault-injection smoke: list the scenario library, then drive a short
+# blackhole run end to end (lib/faults -> Sim.Engine -> Pop/Policy).
+faults-smoke:
+	dune exec bin/tango_cli.exe -- faults --list > /dev/null
+	dune exec bin/tango_cli.exe -- faults --scenario blackhole --duration 12 > /dev/null
+
+check: build fmt test lint smoke obs-smoke faults-smoke
 
 clean:
 	dune clean

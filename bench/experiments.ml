@@ -31,9 +31,14 @@ let vultr_overrides (node : Tango_topo.Topology.node) =
     { Network.no_overrides with neighbor_weight = Some Vultr.vultr_neighbor_weight }
   else Network.no_overrides
 
+(* Run seed for every experiment that owns an engine (--seed). The
+   default (42) matches the engine default, so default output is
+   unchanged. *)
+let exp_seed = ref 42
+
 let vultr_net () =
   let topo = Vultr.build () in
-  let engine = Engine.create () in
+  let engine = Engine.create ~seed:!exp_seed () in
   Network.create ~configure:vultr_overrides topo engine
 
 (* ------------------------------------------------------------------ *)
@@ -111,7 +116,7 @@ let get_fig4_run () =
   | None ->
       let scenario = Fig4.create ~horizon_s:!horizon () in
       let pair =
-        Pair.setup_vultr ~seed:42 ~scenario ~clock_offset_la_ns:0L
+        Pair.setup_vultr ~seed:!exp_seed ~scenario ~clock_offset_la_ns:0L
           ~clock_offset_ny_ns:0L ()
       in
       let start_s = Engine.now (Pair.engine pair) in
@@ -308,7 +313,7 @@ let policy_ablation () =
       (fun (name, spec) ->
         let scenario = Fig4.create ~horizon_s () in
         let pair =
-          Pair.setup_vultr ~seed:42 ~scenario ~policy_ny:spec
+          Pair.setup_vultr ~seed:!exp_seed ~scenario ~policy_ny:spec
             ~clock_offset_la_ns:0L ~clock_offset_ny_ns:0L ()
         in
         let engine = Pair.engine pair in
@@ -422,7 +427,7 @@ let measurement_ablation () =
 let tango_of_n () =
   section "E8 / §6 — Tango of N: one-hop relaying over pairwise Tango";
   let topo = Overlay.Triangle.build () in
-  let engine = Engine.create () in
+  let engine = Engine.create ~seed:!exp_seed () in
   let net = Network.create ~configure:vultr_overrides topo engine in
   Overlay.Triangle.announce_hosts net;
   let servers = [| Vultr.server_la; Vultr.server_ny; Overlay.Triangle.server_chi |] in
@@ -477,7 +482,7 @@ let tango_of_n () =
     (Overlay.gain_ms chi_la);
   (* And live: a full three-site mesh with relaying in the data plane
      (synchronized site clocks, per the paper's footnote 1). *)
-  let mesh = Mesh.setup_triangle ~seed:42 () in
+  let mesh = Mesh.setup_triangle ~seed:!exp_seed () in
   Mesh.start_measurement mesh ~for_s:15.0 ();
   Mesh.run_for mesh 3.0;
   Mesh.plan_routes mesh;
@@ -512,7 +517,7 @@ let throughput () =
     List.map
       (fun (name, route, policy) ->
         let pair =
-          Pair.setup_vultr ~seed:42 ~policy_ny:policy ~clock_offset_la_ns:0L
+          Pair.setup_vultr ~seed:!exp_seed ~policy_ny:policy ~clock_offset_la_ns:0L
             ~clock_offset_ny_ns:0L ()
         in
         let engine = Pair.engine pair in
@@ -553,7 +558,7 @@ let mrai_sweep () =
   List.iter
     (fun mrai_s ->
       let topo = Vultr.build () in
-      let engine = Engine.create () in
+      let engine = Engine.create ~seed:!exp_seed () in
       let net = Network.create ~mrai_s ~configure:vultr_overrides topo engine in
       let result =
         Discovery.run ~net ~origin:Vultr.server_ny ~observer:Vultr.server_la
@@ -588,7 +593,7 @@ let failover () =
   List.iter
     (fun (name, spec, failing_transit) ->
       let pair =
-        Pair.setup_vultr ~seed:42 ~policy_ny:spec ~clock_offset_la_ns:0L
+        Pair.setup_vultr ~seed:!exp_seed ~policy_ny:spec ~clock_offset_la_ns:0L
           ~clock_offset_ny_ns:0L ()
       in
       let engine = Pair.engine pair in
@@ -645,7 +650,7 @@ let discovery_cost () =
   in
   List.iter
     (fun (name, topo, configure, origin, observer) ->
-      let engine = Engine.create () in
+      let engine = Engine.create ~seed:!exp_seed () in
       let net = Network.create ~configure topo engine in
       let result =
         Discovery.run ~net ~origin ~observer
@@ -665,3 +670,59 @@ let discovery_cost () =
         Tango_topo.Builders.random_hierarchy ~seed:5 ~tier1:3 ~tier2:6 ~stubs:10,
         all_interpret, 18, 9 );
     ]
+
+(* ------------------------------------------------------------------ *)
+(* E12 — failover under injected faults (lib/faults)                    *)
+
+module F_scenario = Tango_faults.Scenario
+module F_inject = Tango_faults.Inject
+module F_spec = Tango_faults.Spec
+
+let failover_under_fault () =
+  section "E12: failover under injected faults";
+  row "  %-14s %8s %9s %9s %9s %11s %10s\n" "scenario" "faults" "switches"
+    "in-fault" "degraded" "delivered" "detect";
+  List.iter
+    (fun name ->
+      let sc = F_scenario.get name in
+      let pair = Pair.setup_vultr ~seed:!exp_seed ~readmit_backoff_s:0.5 () in
+      let engine = Pair.engine pair in
+      let la = Pair.pop_la pair and ny = Pair.pop_ny pair in
+      let t0 = Engine.now engine in
+      let inj = F_inject.arm ~pair ~seed:!exp_seed sc.F_scenario.specs in
+      let window = Float.min 30.0 !horizon in
+      let sent = ref 0 in
+      Pair.start_measurement pair ~probe_interval_s:0.01 ~dead_after_probes:10
+        ~for_s:window ();
+      Tango_workload.Traffic.periodic engine ~interval_s:0.02
+        ~until_s:(t0 +. window) (fun _ ->
+          incr sent;
+          ignore (Pop.send_app la ()));
+      Pair.run_for pair (window +. 1.0);
+      (* Detection latency: first preferred-path change after the
+         earliest fault onset, read off the chosen-path series. *)
+      let onset =
+        t0
+        +. List.fold_left
+             (fun m (s : F_spec.t) -> Float.min m s.F_spec.start_s)
+             infinity sc.F_scenario.specs
+      in
+      let _, detect =
+        Series.fold (Pop.chosen_path_series la) ~init:(None, None)
+          ~f:(fun (before, det) ~time ~value ->
+            if time < onset then (Some value, det)
+            else
+              match (det, before) with
+              | Some _, _ -> (before, det)
+              | None, Some b when value <> b -> (before, Some (time -. onset))
+              | None, _ -> (before, det))
+      in
+      row "  %-14s %8d %9d %9d %9d %5d/%-5d %9s\n" name (F_inject.injected inj)
+        (Pop.policy_switches la)
+        (F_inject.switches_during inj)
+        (Policy.degraded_episodes (Pop.policy la))
+        (Pop.app_received ny) !sent
+        (match detect with
+        | Some d -> Printf.sprintf "%.0f ms" (d *. 1000.0)
+        | None -> "-"))
+    [ "blackhole"; "flap"; "brownout"; "bgp-withdraw"; "meltdown" ]

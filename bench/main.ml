@@ -30,6 +30,7 @@ let experiments =
     ("mrai", Experiments.mrai_sweep);
     ("throughput", Experiments.throughput);
     ("discovery-cost", Experiments.discovery_cost);
+    ("failover-under-fault", Experiments.failover_under_fault);
   ]
 
 let () =
@@ -48,6 +49,9 @@ let () =
       ( "--horizon",
         Arg.Float (fun h -> Experiments.horizon := h),
         "SECONDS  measurement-study horizon (default 600)" );
+      ( "--seed",
+        Arg.Int (fun s -> Experiments.exp_seed := s),
+        "N  run seed for every experiment that owns an engine (default 42)" );
       ( "--probe-interval",
         Arg.Float (fun i -> Experiments.probe_interval := i),
         "SECONDS  probe spacing (default 0.01, as in the paper)" );

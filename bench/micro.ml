@@ -237,6 +237,44 @@ let test_decision =
   Test.make ~name:"bgp decision (8 candidates)"
     (Staged.stage (fun () -> ignore (Tango_bgp.Decision.best candidates)))
 
+(* The per-packet fault hook (lib/faults): fault-free fabrics must pay
+   exactly one load and one branch, and even the active case stays
+   allocation-free. A two-node toy topology keeps the flat link arrays
+   tiny without changing what is measured. *)
+let fault_fabric =
+  let engine = Tango_sim.Engine.create ~seed:7 () in
+  let topo = Tango_topo.Topology.create () in
+  Tango_topo.Topology.add_node topo ~id:0 ~asn:64512 "a";
+  Tango_topo.Topology.add_node topo ~id:1 ~asn:64513 "b";
+  Tango_topo.Topology.connect topo ~provider:0 ~customer:1 ();
+  Tango_dataplane.Fabric.create (Tango_bgp.Network.create topo engine)
+
+let constant_fault_extra ~time_s:_ = 2.5
+
+let test_fault_check_inactive =
+  Test.make ~name:"fabric.fault_check (inactive)"
+    (Staged.stage (fun () ->
+         ignore
+           (Tango_dataplane.Fabric.link_fault_extra_ms fault_fabric
+              ~from_node:0 ~to_node:1 ~time_s:1.0)))
+
+let test_fault_check_active =
+  let fabric =
+    let engine = Tango_sim.Engine.create ~seed:7 () in
+    let topo = Tango_topo.Topology.create () in
+    Tango_topo.Topology.add_node topo ~id:0 ~asn:64512 "a";
+    Tango_topo.Topology.add_node topo ~id:1 ~asn:64513 "b";
+    Tango_topo.Topology.connect topo ~provider:0 ~customer:1 ();
+    Tango_dataplane.Fabric.create (Tango_bgp.Network.create topo engine)
+  in
+  Tango_dataplane.Fabric.set_link_fault fabric ~from_node:0 ~to_node:1
+    ~loss:0.1 ~extra_delay_ms:constant_fault_extra ();
+  Test.make ~name:"fabric.fault_check (active)"
+    (Staged.stage (fun () ->
+         ignore
+           (Tango_dataplane.Fabric.link_fault_extra_ms fabric ~from_node:0
+              ~to_node:1 ~time_s:1.0)))
+
 let all_tests =
   Test.make_grouped ~name:"tango"
     [
@@ -262,6 +300,8 @@ let all_tests =
       test_obs_observe_on;
       test_obs_trace_on;
       test_tracker_instrumented;
+      test_fault_check_inactive;
+      test_fault_check_active;
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -6,6 +6,7 @@
      tango measure   — run the measurement plane and print per-path OWD
      tango simulate  — full scenario with application traffic and a policy
      tango overlay   — plan a Tango-of-N overlay on the triangle topology
+     tango faults    — run a named fault-injection scenario (lib/faults)
 
    Every subcommand takes --metrics FILE (JSON-lines snapshot: manifest,
    counters/gauges/histograms, trace events) and --prom FILE (Prometheus
@@ -362,6 +363,126 @@ let overlay_cmd =
     Term.(const overlay $ seed_arg $ metrics_arg $ prom_arg)
 
 (* ------------------------------------------------------------------ *)
+(* faults                                                              *)
+
+module F_spec = Tango_faults.Spec
+module F_scenario = Tango_faults.Scenario
+module F_inject = Tango_faults.Inject
+
+let faults_list () =
+  Printf.printf "available fault scenarios:\n";
+  List.iter
+    (fun (s : F_scenario.t) ->
+      Printf.printf "  %-15s %s\n" s.F_scenario.name s.F_scenario.description)
+    F_scenario.all
+
+let faults_run scenario_name seed duration backoff rate_hz =
+  let sc = F_scenario.get scenario_name in
+  let pair =
+    Pair.setup_vultr ~seed
+      ~readmit_backoff_s:(if backoff > 0.0 then backoff else 0.0)
+      ()
+  in
+  let engine = Pair.engine pair in
+  let la = Pair.pop_la pair and ny = Pair.pop_ny pair in
+  let t0 = Tango_sim.Engine.now engine in
+  Printf.printf "scenario %s: %s\n" sc.F_scenario.name sc.F_scenario.description;
+  List.iter
+    (fun spec -> Printf.printf "  armed: %s\n" (F_spec.to_string spec))
+    sc.F_scenario.specs;
+  let inj = F_inject.arm ~pair ~seed sc.F_scenario.specs in
+  let app_sent = ref 0 in
+  Pair.start_measurement pair ~probe_interval_s:0.01 ~dead_after_probes:10
+    ~for_s:duration ();
+  Tango_workload.Traffic.periodic engine ~interval_s:(1.0 /. rate_hz)
+    ~until_s:(t0 +. duration) (fun _ ->
+      incr app_sent;
+      ignore (Pop.send_app la ()));
+  Pair.run_for pair (duration +. 1.0);
+  Printf.printf "timeline (t relative to arming):\n";
+  List.iter
+    (fun (at, what) -> Printf.printf "  t=%7.3f %s\n" (at -. t0) what)
+    (F_inject.timeline inj);
+  let app = Series.stats (Pop.app_latency_series ny) in
+  Printf.printf "summary:\n";
+  Printf.printf "  faults injected %d, path switches inside fault windows %d\n"
+    (F_inject.injected inj)
+    (F_inject.switches_during inj);
+  Printf.printf "  LA policy: switches %d, degraded episodes %d%s\n"
+    (Pop.policy_switches la)
+    (Policy.degraded_episodes (Pop.policy la))
+    (if Pop.policy_degraded la then " (still degraded)" else "");
+  Printf.printf "  NY policy: switches %d, degraded episodes %d\n"
+    (Pop.policy_switches ny)
+    (Policy.degraded_episodes (Pop.policy ny));
+  Printf.printf "  app LA->NY: sent %d received %d  mean %.2f ms  p99 %.2f ms\n"
+    !app_sent (Pop.app_received ny)
+    (app.Stats.mean *. 1000.0)
+    (app.Stats.p99 *. 1000.0);
+  let fabric = Pair.fabric pair in
+  Printf.printf "  fabric: sent %d delivered %d dropped %d\n"
+    (Tango_dataplane.Fabric.sent fabric)
+    (Tango_dataplane.Fabric.delivered fabric)
+    (Tango_dataplane.Fabric.dropped fabric);
+  Printf.printf "  LA outbound paths (peer-reported):\n";
+  let labels =
+    List.map (fun p -> p.Discovery.label) (Pair.paths_to_ny pair)
+  in
+  Array.iteri
+    (fun i (s : Policy.path_stats) ->
+      let label = try List.nth labels i with _ -> "?" in
+      Printf.printf
+        "    %d %-7s owd %8.2f ms  loss %.3f  age %6.2f s  samples %d%s\n" i
+        label s.Policy.owd_ewma_ms s.Policy.loss_rate s.Policy.age_s
+        s.Policy.samples
+        (if
+           Policy.readmit_banned (Pop.policy la) ~path:i
+             ~now_s:(Tango_sim.Engine.now engine)
+         then "  [banned]"
+         else ""))
+    (Pop.outbound_stats la)
+
+let faults scenario_name seed duration backoff rate_hz list_flag metrics prom =
+  if list_flag then faults_list ()
+  else
+    with_obs ~experiment:"faults" ~seed
+      ~config:
+        (Printf.sprintf "faults scenario=%s seed=%d duration=%g backoff=%g"
+           scenario_name seed duration backoff)
+      metrics prom
+      (fun () -> faults_run scenario_name seed duration backoff rate_hz)
+
+let faults_cmd =
+  let scenario =
+    Arg.(
+      value & opt string "blackhole"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Named fault scenario (see --list).")
+  in
+  let backoff =
+    Arg.(
+      value & opt float 0.5
+      & info [ "backoff" ] ~docv:"SECONDS"
+          ~doc:
+            "Base re-admission backoff for flap damping (0 disables; \
+             doubles per failure, capped at 30 s).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 50.0
+      & info [ "rate" ] ~docv:"HZ" ~doc:"Application packet rate LA -> NY.")
+  in
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the scenarios and exit.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Run a named fault-injection scenario against the two-site pair")
+    Term.(
+      const faults $ scenario $ seed_arg $ duration_arg 30.0 $ backoff $ rate
+      $ list_flag $ metrics_arg $ prom_arg)
+
+(* ------------------------------------------------------------------ *)
 (* mesh                                                                *)
 
 let mesh seed duration metrics prom =
@@ -413,4 +534,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ discover_cmd; fig3_cmd; measure_cmd; simulate_cmd; overlay_cmd; mesh_cmd ]))
+          [
+            discover_cmd;
+            fig3_cmd;
+            measure_cmd;
+            simulate_cmd;
+            overlay_cmd;
+            mesh_cmd;
+            faults_cmd;
+          ]))

@@ -26,9 +26,9 @@ let default_policy =
   Policy.Lowest_owd { hysteresis_ms = 1.0; min_dwell_s = 1.0 }
 
 let setup ?(seed = 11) ?(policy_a = default_policy) ?(policy_b = default_policy)
-    ?extra_delay_ms ?lanes_of ?(clock_offset_a_ns = 0L) ?(clock_offset_b_ns = 0L)
-    ?(configure = fun _ -> Network.no_overrides) ?(name_a = "A") ?(name_b = "B")
-    ~topo ~server_a ~server_b () =
+    ?readmit_backoff_s ?extra_delay_ms ?lanes_of ?(clock_offset_a_ns = 0L)
+    ?(clock_offset_b_ns = 0L) ?(configure = fun _ -> Network.no_overrides)
+    ?(name_a = "A") ?(name_b = "B") ~topo ~server_a ~server_b () =
   let engine = Engine.create ~seed () in
   let net = Network.create ~configure topo engine in
   let block = Addressing.default_block in
@@ -65,13 +65,15 @@ let setup ?(seed = 11) ?(policy_a = default_policy) ?(policy_b = default_policy)
   let fabric = Fabric.create ~seed:(seed + 1) ?lanes_of ?extra_delay_ms net in
   let pop_a =
     Pop.create ~name:name_a ~node:server_a ~fabric
-      ~clock_offset_ns:clock_offset_a_ns ~plan:plan_a ~remote_plan:plan_b
-      ~outbound_paths:discovery_to_b.Discovery.paths ~policy:policy_a ()
+      ~clock_offset_ns:clock_offset_a_ns ?readmit_backoff_s ~plan:plan_a
+      ~remote_plan:plan_b ~outbound_paths:discovery_to_b.Discovery.paths
+      ~policy:policy_a ()
   in
   let pop_b =
     Pop.create ~name:name_b ~node:server_b ~fabric
-      ~clock_offset_ns:clock_offset_b_ns ~plan:plan_b ~remote_plan:plan_a
-      ~outbound_paths:discovery_to_a.Discovery.paths ~policy:policy_b ()
+      ~clock_offset_ns:clock_offset_b_ns ?readmit_backoff_s ~plan:plan_b
+      ~remote_plan:plan_a ~outbound_paths:discovery_to_a.Discovery.paths
+      ~policy:policy_b ()
   in
   Pop.wire ~a:pop_a ~b:pop_b;
   {
@@ -86,12 +88,12 @@ let setup ?(seed = 11) ?(policy_a = default_policy) ?(policy_b = default_policy)
   }
 
 let setup_vultr ?(seed = 11) ?(policy_la = default_policy)
-    ?(policy_ny = default_policy) ?scenario ?lanes_of
+    ?(policy_ny = default_policy) ?readmit_backoff_s ?scenario ?lanes_of
     ?(clock_offset_la_ns = 37_000_000L) ?(clock_offset_ny_ns = -12_000_000L) () =
   let extra_delay_ms = Option.map Fig4.extra_delay_ms scenario in
   let pair =
-    setup ~seed ~policy_a:policy_la ~policy_b:policy_ny ?extra_delay_ms
-      ?lanes_of ~clock_offset_a_ns:clock_offset_la_ns
+    setup ~seed ~policy_a:policy_la ~policy_b:policy_ny ?readmit_backoff_s
+      ?extra_delay_ms ?lanes_of ~clock_offset_a_ns:clock_offset_la_ns
       ~clock_offset_b_ns:clock_offset_ny_ns ~configure:vultr_overrides
       ~name_a:"LA" ~name_b:"NY" ~topo:(Vultr.build ())
       ~server_a:Vultr.server_la ~server_b:Vultr.server_ny ()
@@ -118,11 +120,14 @@ let discovery_to_ny t = t.discovery_to_ny
 
 let discovery_to_la t = t.discovery_to_la
 
-let start_measurement t ?probe_interval_s ?report_interval_s ~for_s () =
+let start_measurement t ?probe_interval_s ?report_interval_s ?dead_after_probes
+    ~for_s () =
   (* Durations are relative to now: BGP bring-up and discovery already
      consumed virtual time. *)
   let until_s = Engine.now t.engine +. for_s in
-  Pop.start t.pop_la ?probe_interval_s ?report_interval_s ~until_s ();
-  Pop.start t.pop_ny ?probe_interval_s ?report_interval_s ~until_s ()
+  Pop.start t.pop_la ?probe_interval_s ?report_interval_s ?dead_after_probes
+    ~until_s ();
+  Pop.start t.pop_ny ?probe_interval_s ?report_interval_s ?dead_after_probes
+    ~until_s ()
 
 let run_for t duration = Engine.run ~until:(Engine.now t.engine +. duration) t.engine

@@ -16,6 +16,7 @@ val setup :
   ?seed:int ->
   ?policy_a:Policy.spec ->
   ?policy_b:Policy.spec ->
+  ?readmit_backoff_s:float ->
   ?extra_delay_ms:(from_node:int -> to_node:int -> time_s:float -> float) ->
   ?lanes_of:(int -> Tango_dataplane.Ecmp.lanes) ->
   ?clock_offset_a_ns:int64 ->
@@ -38,6 +39,7 @@ val setup_vultr :
   ?seed:int ->
   ?policy_la:Policy.spec ->
   ?policy_ny:Policy.spec ->
+  ?readmit_backoff_s:float ->
   ?scenario:Tango_workload.Fig4.t ->
   ?lanes_of:(int -> Tango_dataplane.Ecmp.lanes) ->
   ?clock_offset_la_ns:int64 ->
@@ -46,7 +48,8 @@ val setup_vultr :
   t
 (** Defaults: both policies [Lowest_owd] (hysteresis 1 ms, dwell 1 s); no
     scenario dynamics; single-lane transits; clock offsets +37 ms (LA)
-    and −12 ms (NY). *)
+    and −12 ms (NY). [readmit_backoff_s] arms both policies' flap
+    damping (see {!Policy.create}; default off). *)
 
 val engine : t -> Tango_sim.Engine.t
 val network : t -> Tango_bgp.Network.t
@@ -68,12 +71,14 @@ val start_measurement :
   t ->
   ?probe_interval_s:float ->
   ?report_interval_s:float ->
+  ?dead_after_probes:int ->
   for_s:float ->
   unit ->
   unit
 (** Begin the probe trains and peer reports on both PoPs, running for
     [for_s] seconds of virtual time from now (BGP bring-up and discovery
-    already consumed some of the clock). *)
+    already consumed some of the clock). [dead_after_probes] arms
+    probe-timeout dead-path detection on both PoPs (see {!Pop.start}). *)
 
 val run_for : t -> float -> unit
 (** Advance the simulation by the given duration. *)

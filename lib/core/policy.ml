@@ -8,7 +8,28 @@ let m_evacuations =
     ~help:"Emergency path evacuations (current path unusable, hysteresis bypassed)"
     "pop_failover_evacuations_total"
 
+let m_all_degraded =
+  Metric.counter
+    ~help:"Episodes in which every path was unusable and the policy pinned \
+           the best-known path"
+    "pop_all_paths_degraded_total"
+
+let m_readmit_bans =
+  Metric.counter
+    ~help:"Re-admission bans applied to flapping paths (exponential backoff)"
+    "pop_readmit_bans_total"
+
+let h_detection =
+  Metric.histogram
+    ~help:"Staleness of the abandoned path's statistics at emergency \
+           failover (seconds) — how long the dead path went undetected"
+    ~lo_exp:(-10) ~buckets:24 "pop_failover_detection_seconds"
+
 let k_evacuation = Trace.kind "pop.evacuation"
+
+let k_degraded = Trace.kind "pop.all_degraded"
+
+let k_readmit_ban = Trace.kind "pop.readmit_ban"
 
 type path_stats = {
   path_id : int;
@@ -34,20 +55,73 @@ let spec_to_string = function
   | Lowest_owd _ -> "lowest-owd"
   | Jitter_aware _ -> "jitter-aware"
 
+(* Per-path flap-damping state. [was_usable] tracks the raw measurement
+   verdict (bans excluded), so a ban cannot re-trigger itself. *)
+type path_state = {
+  mutable was_usable : bool;
+  mutable fails : int;
+  mutable banned_until : float;
+  mutable last_down : float;
+}
+
+let fresh_path_state () =
+  { was_usable = false; fails = 0; banned_until = neg_infinity; last_down = neg_infinity }
+
 type t = {
   spec : spec;
   max_loss : float;
-  max_staleness_s : float;
+  mutable max_staleness_s : float;
+  (* Exponential backoff on re-admitting a path that keeps failing:
+     after its [n]th failure a recovered path must wait
+     [readmit_backoff_s * 2^(n-1)] (capped at [backoff_max_s]) before it
+     is eligible again. 0 disables the mechanism entirely. *)
+  readmit_backoff_s : float;
+  backoff_max_s : float;
+  mutable paths : path_state array;
   mutable current : int;
   mutable last_switch_s : float;
   mutable switches : int;
+  mutable degraded : bool;
+  mutable degraded_episodes : int;
 }
 
-let create ?(max_loss = 0.25) ?(max_staleness_s = 1.0) spec =
+let create ?(max_loss = 0.25) ?(max_staleness_s = 1.0) ?(readmit_backoff_s = 0.0)
+    ?(backoff_max_s = 30.0) spec =
+  if readmit_backoff_s < 0.0 then
+    invalid_arg "Policy.create: negative readmit backoff";
+  if backoff_max_s <= 0.0 then invalid_arg "Policy.create: non-positive backoff cap";
   let current = match spec with Static i -> i | _ -> 0 in
-  { spec; max_loss; max_staleness_s; current; last_switch_s = neg_infinity; switches = 0 }
+  {
+    spec;
+    max_loss;
+    max_staleness_s;
+    readmit_backoff_s;
+    backoff_max_s;
+    paths = [||];
+    current;
+    last_switch_s = neg_infinity;
+    switches = 0;
+    degraded = false;
+    degraded_episodes = 0;
+  }
 
 let spec t = t.spec
+
+let set_max_staleness_s t s =
+  if s <= 0.0 then invalid_arg "Policy.set_max_staleness_s: non-positive";
+  t.max_staleness_s <- s
+
+let max_staleness_s t = t.max_staleness_s
+
+let path_state t id =
+  let n = Array.length t.paths in
+  if id >= n then begin
+    let grown = Array.init (id + 1) (fun i ->
+        if i < n then t.paths.(i) else fresh_path_state ())
+    in
+    t.paths <- grown
+  end;
+  t.paths.(id)
 
 let usable t stats =
   stats.samples > 0
@@ -62,43 +136,121 @@ let score t ~beta stats =
     stats.owd_ewma_ms +. (beta *. jitter)
   end
 
+(* One bookkeeping pass per path per scoring pass: track up/down
+   transitions of the raw measurement verdict and maintain the
+   re-admission ban. Returns whether the path is eligible as a switch
+   target (measurably usable and not serving a ban). *)
+let update_damping t ~now_s ~meas stats =
+  let st = path_state t stats.path_id in
+  if st.was_usable && not meas then begin
+    (* Down transition. An isolated failure long after the previous one
+       restarts the doubling rather than continuing it. *)
+    st.fails <-
+      (if now_s -. st.last_down > t.backoff_max_s *. 4.0 then 1 else st.fails + 1);
+    st.last_down <- now_s
+  end
+  else if (not st.was_usable) && meas && st.fails > 0 then begin
+    (* Up transition of a path with a failure history: it must hold for
+       the (exponentially growing, capped) backoff window before it is
+       eligible again. *)
+    let backoff =
+      Float.min t.backoff_max_s
+        (t.readmit_backoff_s *. (2.0 ** float_of_int (st.fails - 1)))
+    in
+    st.banned_until <- now_s +. backoff;
+    Metric.incr m_readmit_bans;
+    Trace.record Trace.default ~now:now_s ~kind:k_readmit_ban stats.path_id st.fails
+  end;
+  st.was_usable <- meas;
+  meas && now_s >= st.banned_until
+
+let update_path_state t ~now_s stats =
+  let meas = usable t stats in
+  (* With re-admission backoff disabled (the default) the damping state
+     machine is never consulted, so skip its bookkeeping entirely and
+     keep the scoring pass at the pre-damping cost. *)
+  if t.readmit_backoff_s > 0.0 then update_damping t ~now_s ~meas stats
+  else meas
+
+let observe_detection stats =
+  match stats with
+  | Some s when Float.is_finite s.age_s -> Metric.observe h_detection s.age_s
+  | Some _ | None -> ()
+
 let adaptive t ~now_s ~beta ~hysteresis_ms ~min_dwell_s stats =
-  let current_stats =
-    Array.fold_left
-      (fun acc s -> if s.path_id = t.current then Some s else acc)
-      None stats
-  in
+  let current_stats = ref None in
+  (* Best switch target over eligible paths; best-known path by smoothed
+     OWD alone, for the all-degraded fallback (bans and staleness
+     deliberately ignored — when everything is dead, the least-bad
+     history wins). *)
+  let best_id = ref t.current and best_score = ref infinity in
+  let best_known_id = ref t.current and best_known_owd = ref infinity in
+  Array.iter
+    (fun s ->
+      let eligible = update_path_state t ~now_s s in
+      if s.path_id = t.current then current_stats := Some s;
+      let sc = if eligible then score t ~beta s else infinity in
+      if sc < !best_score then begin
+        best_id := s.path_id;
+        best_score := sc
+      end;
+      if
+        s.samples > 0
+        && (not (Float.is_nan s.owd_ewma_ms))
+        && s.owd_ewma_ms < !best_known_owd
+      then begin
+        best_known_id := s.path_id;
+        best_known_owd := s.owd_ewma_ms
+      end)
+    stats;
   let current_usable =
-    match current_stats with Some s -> usable t s | None -> false
+    match !current_stats with Some s -> usable t s | None -> false
   in
   let current_score =
-    match current_stats with Some s -> score t ~beta s | None -> infinity
+    match !current_stats with Some s -> score t ~beta s | None -> infinity
   in
-  let best_id, best_score =
-    Array.fold_left
-      (fun (best_id, best_score) s ->
-        let sc = score t ~beta s in
-        if sc < best_score then (s.path_id, sc) else (best_id, best_score))
-      (t.current, current_score) stats
-  in
-  let emergency =
-    (* The path under our feet went bad: leave at once, ignoring
-       hysteresis and dwell — but only toward a usable alternative. *)
-    (not current_usable) && best_id <> t.current && best_score < infinity
-  in
-  let improvement =
-    best_id <> t.current
-    && best_score < current_score -. hysteresis_ms
-    && now_s -. t.last_switch_s >= min_dwell_s
-  in
-  if emergency || improvement then begin
-    if emergency then begin
-      Metric.incr m_evacuations;
-      Trace.record Trace.default ~now:now_s ~kind:k_evacuation t.current best_id
-    end;
-    t.current <- best_id;
-    t.last_switch_s <- now_s;
-    t.switches <- t.switches + 1
+  if (not current_usable) && not (Float.is_finite !best_score) then begin
+    (* Every path is unusable or banned: pin the best-known path and
+       hold, raising one observability event per episode. Before any
+       path has ever been measured there is nothing to degrade {e from}
+       — hold the starting path silently instead. *)
+    if !best_known_owd < infinity && not t.degraded then begin
+      t.degraded <- true;
+      t.degraded_episodes <- t.degraded_episodes + 1;
+      Metric.incr m_all_degraded;
+      Trace.record Trace.default ~now:now_s ~kind:k_degraded t.current !best_known_id;
+      observe_detection !current_stats;
+      if !best_known_id <> t.current then begin
+        t.current <- !best_known_id;
+        t.last_switch_s <- now_s;
+        t.switches <- t.switches + 1
+      end
+    end
+  end
+  else begin
+    (* At least one eligible target (or the current path recovered):
+       any degraded episode is over. *)
+    if t.degraded then t.degraded <- false;
+    let emergency =
+      (* The path under our feet went bad: leave at once, ignoring
+         hysteresis and dwell — but only toward a usable alternative. *)
+      (not current_usable) && !best_id <> t.current && !best_score < infinity
+    in
+    let improvement =
+      !best_id <> t.current
+      && !best_score < current_score -. hysteresis_ms
+      && now_s -. t.last_switch_s >= min_dwell_s
+    in
+    if emergency || improvement then begin
+      if emergency then begin
+        Metric.incr m_evacuations;
+        Trace.record Trace.default ~now:now_s ~kind:k_evacuation t.current !best_id;
+        observe_detection !current_stats
+      end;
+      t.current <- !best_id;
+      t.last_switch_s <- now_s;
+      t.switches <- t.switches + 1
+    end
   end;
   t.current
 
@@ -115,3 +267,13 @@ let choose t ~now_s stats =
 let current t = t.current
 
 let switches t = t.switches
+
+let degraded t = t.degraded
+
+let degraded_episodes t = t.degraded_episodes
+
+let readmit_banned t ~path ~now_s =
+  path >= 0 && path < Array.length t.paths && now_s < t.paths.(path).banned_until
+
+let fail_count t ~path =
+  if path >= 0 && path < Array.length t.paths then t.paths.(path).fails else 0

@@ -11,7 +11,16 @@
     recent loss rate exceeds [max_loss] or its statistics are staler
     than [max_staleness_s] (a silent blackhole produces no fresh
     samples at all). An unusable current path is evacuated immediately,
-    bypassing hysteresis and dwell. *)
+    bypassing hysteresis and dwell.
+
+    Flap damping: with [readmit_backoff_s] > 0, a path that recovers
+    after its [n]th failure is banned as a switch target for
+    [readmit_backoff_s * 2^(n-1)] seconds (capped at [backoff_max_s]),
+    so a flapping path cannot drag the policy into oscillation. When
+    {e every} path is unusable or banned, the policy enters a degraded
+    mode: it pins the best-known path (lowest smoothed OWD ever
+    reported, bans ignored) and holds it, raising one observability
+    event per episode, until some path becomes usable again. *)
 
 type path_stats = {
   path_id : int;
@@ -43,10 +52,26 @@ val spec_to_string : spec -> string
 
 type t
 
-val create : ?max_loss:float -> ?max_staleness_s:float -> spec -> t
-(** Defaults: [max_loss] 0.25, [max_staleness_s] 1.0. *)
+val create :
+  ?max_loss:float ->
+  ?max_staleness_s:float ->
+  ?readmit_backoff_s:float ->
+  ?backoff_max_s:float ->
+  spec ->
+  t
+(** Defaults: [max_loss] 0.25, [max_staleness_s] 1.0,
+    [readmit_backoff_s] 0.0 (flap damping off), [backoff_max_s] 30.0.
+    Raises [Invalid_argument] on a negative backoff or non-positive cap. *)
 
 val spec : t -> spec
+
+val set_max_staleness_s : t -> float -> unit
+(** Tune dead-path detection: statistics older than this are treated as
+    a silent blackhole. {!Pop.start} derives it from the probe interval
+    ([dead_after_probes] missed probes). Raises [Invalid_argument] on a
+    non-positive value. *)
+
+val max_staleness_s : t -> float
 
 val choose : t -> now_s:float -> path_stats array -> int
 (** Select a path id for the next packet. Raises [Invalid_argument] on an
@@ -55,3 +80,16 @@ val choose : t -> now_s:float -> path_stats array -> int
 val current : t -> int
 val switches : t -> int
 (** Number of path changes so far (control-plane churn metric). *)
+
+val degraded : t -> bool
+(** Whether the policy is currently in the all-paths-degraded mode
+    (pinned to the best-known path, waiting for any path to recover). *)
+
+val degraded_episodes : t -> int
+(** Number of distinct all-paths-degraded episodes entered so far. *)
+
+val readmit_banned : t -> path:int -> now_s:float -> bool
+(** Whether [path] is currently serving a re-admission ban. *)
+
+val fail_count : t -> path:int -> int
+(** Consecutive-failure count backing [path]'s exponential backoff. *)

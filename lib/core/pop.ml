@@ -64,7 +64,9 @@ type t = {
   name : string;
   node : int;
   fabric : Fabric.t;
-  clock : Clock.t;
+  (* Mutable so the fault engine can apply NTP-style clock steps
+     mid-run ({!step_clock}); [Clock.t] itself stays immutable. *)
+  mutable clock : Clock.t;
   ewma_alpha : float;
   plan : Addressing.plan;
   remote_plan : Addressing.plan;
@@ -100,6 +102,10 @@ type t = {
   chosen_paths : Series.t;
   mutable app_seq : int;
   mutable next_packet_id : int;
+  (* Probe starvation (lib/faults): while set, periodic probes are
+     silently skipped, so the peer's inbound stats go stale and its
+     policy must detect the dead-path condition by staleness alone. *)
+  mutable probes_suppressed : bool;
   mutable probes_sent : int;
   mutable probes_received : int;
   mutable app_received : int;
@@ -118,8 +124,8 @@ let engine t = Tango_bgp.Network.engine (Fabric.network t.fabric)
 let engine_of = engine
 
 let create ~name ~node ~fabric ?(clock_offset_ns = 0L) ?(ewma_alpha = 0.1)
-    ?(jitter_window_s = 1.0) ?(policy_refresh_s = 0.01) ~plan ~remote_plan
-    ~outbound_paths ~policy () =
+    ?(jitter_window_s = 1.0) ?(policy_refresh_s = 0.01) ?readmit_backoff_s
+    ~plan ~remote_plan ~outbound_paths ~policy () =
   if policy_refresh_s < 0.0 then
     invalid_arg "Pop.create: negative policy refresh interval";
   let tunnels =
@@ -145,7 +151,7 @@ let create ~name ~node ~fabric ?(clock_offset_ns = 0L) ?(ewma_alpha = 0.1)
     tunnels;
     path_labels =
       Array.of_list (List.map (fun (p : Discovery.path) -> p.Discovery.label) outbound_paths);
-    policy = Policy.create policy;
+    policy = Policy.create ?readmit_backoff_s policy;
     policy_refresh_s;
     path_cache = Flow_cache.create ();
     last_choice = (match policy with Policy.Static i -> i | _ -> 0);
@@ -172,6 +178,7 @@ let create ~name ~node ~fabric ?(clock_offset_ns = 0L) ?(ewma_alpha = 0.1)
     app_received = 0;
     reports_received = 0;
     peer = None;
+    probes_suppressed = false;
     stream_handler = None;
     transit_handler = None;
     transited = 0;
@@ -401,12 +408,17 @@ let send_stream t ?(payload_bytes = 1200) ~route ~content () =
   path
 
 let send_probe t =
-  for path = 0 to Array.length t.tunnels - 1 do
-    t.probes_sent <- t.probes_sent + 1;
-    Metric.incr m_probes_sent;
-    send_on_path t ~path ~src_port:probe_port ~dst_port:probe_port
-      ~payload_bytes:64 ()
-  done
+  if not t.probes_suppressed then
+    for path = 0 to Array.length t.tunnels - 1 do
+      t.probes_sent <- t.probes_sent + 1;
+      Metric.incr m_probes_sent;
+      send_on_path t ~path ~src_port:probe_port ~dst_port:probe_port
+        ~payload_bytes:64 ()
+    done
+
+let set_probe_suppression t suppressed = t.probes_suppressed <- suppressed
+
+let probes_suppressed t = t.probes_suppressed
 
 (* Inbound path ids are the peer's tunnel indices, which target this
    site's announced tunnel prefixes — so the count comes from our own
@@ -437,7 +449,13 @@ let send_report t =
       ()
   end
 
-let start t ?(probe_interval_s = 0.01) ?(report_interval_s = 0.1) ~until_s () =
+let start t ?(probe_interval_s = 0.01) ?(report_interval_s = 0.1)
+    ?dead_after_probes ~until_s () =
+  (match dead_after_probes with
+  | Some n ->
+      if n <= 0 then invalid_arg "Pop.start: non-positive dead_after_probes";
+      Policy.set_max_staleness_s t.policy (float_of_int n *. probe_interval_s)
+  | None -> ());
   let e = engine t in
   Tango_workload.Traffic.periodic e ~interval_s:probe_interval_s ~until_s
     (fun _ -> send_probe t);
@@ -476,6 +494,18 @@ let app_latency_series t = t.app_latency
 let app_inorder_extra t = t.inorder_extra
 
 let chosen_path_series t = t.chosen_paths
+
+let plan t = t.plan
+
+let remote_plan t = t.remote_plan
+
+let clock t = t.clock
+
+let step_clock t ~step_ns = t.clock <- Clock.step t.clock ~step_ns
+
+let policy t = t.policy
+
+let policy_degraded t = Policy.degraded t.policy
 
 let policy_switches t = Policy.switches t.policy
 

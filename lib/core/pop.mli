@@ -19,6 +19,7 @@ val create :
   ?ewma_alpha:float ->
   ?jitter_window_s:float ->
   ?policy_refresh_s:float ->
+  ?readmit_backoff_s:float ->
   plan:Addressing.plan ->
   remote_plan:Addressing.plan ->
   outbound_paths:Discovery.path list ->
@@ -33,7 +34,10 @@ val create :
     refresh interval, packets take the per-flow decision cache instead
     — one int-keyed lookup, no stats rebase, no policy scan. When a
     re-evaluation flips the preferred path the cache is invalidated in
-    O(1) and every flow migrates on its next packet. *)
+    O(1) and every flow migrates on its next packet.
+
+    [readmit_backoff_s] enables the policy's exponential flap damping
+    (see {!Policy.create}); default off. *)
 
 val wire : a:t -> b:t -> unit
 (** Connect two PoPs so each delivers the other's packets. Must be called
@@ -69,17 +73,33 @@ val transited : t -> int
 
 val send_probe : t -> unit
 (** Send one measurement probe on {e every} outbound path (the paper's
-    per-10 ms probe train). *)
+    per-10 ms probe train). A no-op while probe suppression is active. *)
+
+val set_probe_suppression : t -> bool -> unit
+(** Starve (or resume) the probe train without unscheduling it — the
+    {!Tango_faults} probe-starvation fault. While suppressed, the peer's
+    inbound statistics age out and its policy must detect this PoP's
+    paths as dead by staleness alone. *)
+
+val probes_suppressed : t -> bool
 
 val start :
   t ->
   ?probe_interval_s:float ->
   ?report_interval_s:float ->
+  ?dead_after_probes:int ->
   until_s:float ->
   unit ->
   unit
 (** Schedule periodic probing (default 10 ms, as in §5) and peer
-    reporting (default 100 ms) until [until_s]. *)
+    reporting (default 100 ms) until [until_s].
+
+    [dead_after_probes] arms probe-timeout dead-path detection: the
+    policy's staleness bound becomes that many probe intervals, so a
+    path whose measurements stop refreshing is declared dead after
+    missing that many consecutive probes. Omitted, the policy keeps its
+    default 1 s bound. Raises [Invalid_argument] on a non-positive
+    count. *)
 
 (** {1 Transport hooks}
 
@@ -131,6 +151,22 @@ val app_inorder_extra : t -> Tango_sim.Stats.t
 
 val chosen_path_series : t -> Tango_telemetry.Series.t
 (** Path id chosen for each outgoing app packet over time. *)
+
+val plan : t -> Addressing.plan
+val remote_plan : t -> Addressing.plan
+
+val clock : t -> Tango_dataplane.Clock.t
+
+val step_clock : t -> step_ns:int64 -> unit
+(** Apply an NTP-style step to this PoP's receive clock mid-run (the
+    {!Tango_faults} clock fault). Relative OWD comparison across paths
+    is supposed to survive it — every inbound path shifts equally. *)
+
+val policy : t -> Policy.t
+
+val policy_degraded : t -> bool
+(** Whether the path-selection policy is in its all-paths-degraded
+    pinned mode (see {!Policy.degraded}). *)
 
 val policy_switches : t -> int
 

@@ -18,3 +18,11 @@ val now_ns : t -> sim_time_s:float -> int64
 (** Clock reading when the simulation clock shows [sim_time_s]. *)
 
 val offset_ns : t -> int64
+
+val drift_ppm : t -> float
+
+val step : t -> step_ns:int64 -> t
+(** [step t ~step_ns] is [t] with its constant offset shifted by
+    [step_ns] — an NTP-style clock step. Relative OWD comparison is
+    supposed to survive these; the fault engine uses them to prove it
+    (and to stress {!Seq_tracker}'s clockless design). *)

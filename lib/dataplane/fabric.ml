@@ -33,6 +33,8 @@ let drop_loss = 3
 
 let drop_queue_overflow = 4
 
+let drop_fault = 5
+
 let drop_counters =
   [|
     Metric.counter ~help:"Drops: hop limit exceeded" "fabric_drops_ttl_total";
@@ -41,6 +43,8 @@ let drop_counters =
     Metric.counter ~help:"Drops: random link loss" "fabric_drops_loss_total";
     Metric.counter ~help:"Drops: queue-delay bound exceeded"
       "fabric_drops_queue_overflow_total";
+    Metric.counter ~help:"Drops: injected fault loss (lib/faults brownout)"
+      "fabric_drops_fault_total";
   |]
 
 let h_queue_wait =
@@ -63,15 +67,29 @@ type t = {
   node_count : int;
   failed_links : Bytes.t;
   (* Bandwidth contention (optional): per directed link, when its
-     transmitter frees up. *)
+     transmitter frees up. Allocated only when [max_queue_s] is set —
+     node ids reach into the thousands (transit ids are ASNs), so a
+     node_count^2 array is tens of MB. *)
   max_queue_s : float option;
   busy_until : float array;
+  (* Fault-injection hooks (lib/faults): per-directed-link extra drop
+     probability and extra one-way delay, both dynamic. All per-packet
+     checks are gated behind [fault_count > 0], so the fault-free fast
+     path pays exactly one load and one branch — and the arrays stay
+     unallocated (zero-length) until the first [set_link_fault], so a
+     fault-free fabric costs nothing at all. *)
+  mutable fault_count : int;
+  mutable fault_set : Bytes.t;
+  mutable fault_loss : float array;
+  mutable fault_extra : (time_s:float -> float) array;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
 }
 
 let no_lanes = [| 0.0 |]
+
+let no_fault_extra_ms ~time_s:_ = 0.0
 
 let create ?(seed = 4242) ?(lanes_of = fun _ -> no_lanes)
     ?(extra_delay_ms = fun ~from_node:_ ~to_node:_ ~time_s:_ -> 0.0)
@@ -94,7 +112,14 @@ let create ?(seed = 4242) ?(lanes_of = fun _ -> no_lanes)
     node_count;
     failed_links = Bytes.make (node_count * node_count) '\000';
     max_queue_s;
-    busy_until = Array.make (node_count * node_count) neg_infinity;
+    busy_until =
+      (match max_queue_s with
+      | Some _ -> Array.make (node_count * node_count) neg_infinity
+      | None -> [||]);
+    fault_count = 0;
+    fault_set = Bytes.empty;
+    fault_loss = [||];
+    fault_extra = [||];
     sent = 0;
     delivered = 0;
     dropped = 0;
@@ -157,10 +182,16 @@ let[@hot] send t ~from_node ?(on_dropped = fun ~reason:_ _ -> ()) ~on_delivered 
     match Topology.link topo node next with
     | None -> drop "unroutable" drop_unroutable
     | Some link ->
-        if Bytes.get t.failed_links ((node * t.node_count) + next) <> '\000' then
+        let key = (node * t.node_count) + next in
+        if Bytes.get t.failed_links key <> '\000' then
           drop "link-failure" drop_link_failure
         else if link.Link.loss > 0.0 && Rng.float t.rng 1.0 < link.Link.loss then
           drop "loss" drop_loss
+        else if
+          t.fault_count > 0
+          && t.fault_loss.(key) > 0.0
+          && Rng.float t.rng 1.0 < t.fault_loss.(key)
+        then drop "fault-loss" drop_fault
         else begin
           let flow = Packet.forwarding_flow packet in
           let jitter =
@@ -169,9 +200,12 @@ let[@hot] send t ~from_node ?(on_dropped = fun ~reason:_ _ -> ()) ~on_delivered 
             else 0.0
           in
           let lane = Ecmp.lane_delay_ms (t.lanes_of next) ~salt:next flow in
+          let now_s = Engine.now engine in
           let dynamic =
-            t.extra_delay_ms ~from_node:node ~to_node:next
-              ~time_s:(Engine.now engine)
+            t.extra_delay_ms ~from_node:node ~to_node:next ~time_s:now_s
+          in
+          let fault_ms =
+            if t.fault_count > 0 then t.fault_extra.(key) ~time_s:now_s else 0.0
           in
           let transmission_s =
             Link.transmission_delay_ms link ~bytes:(Packet.wire_size packet)
@@ -183,8 +217,7 @@ let[@hot] send t ~from_node ?(on_dropped = fun ~reason:_ _ -> ()) ~on_delivered 
             match t.max_queue_s with
             | None -> Some 0.0
             | Some bound ->
-                let now = Engine.now engine in
-                let key = (node * t.node_count) + next in
+                let now = now_s in
                 let free_at = Float.max now t.busy_until.(key) in
                 let wait = free_at -. now in
                 if wait > bound then None
@@ -198,7 +231,8 @@ let[@hot] send t ~from_node ?(on_dropped = fun ~reason:_ _ -> ()) ~on_delivered 
           | None -> drop "queue-overflow" drop_queue_overflow
           | Some queueing_s ->
               let delay_s =
-                ((link.Link.delay_ms +. jitter +. lane +. dynamic) /. 1000.0)
+                ((link.Link.delay_ms +. jitter +. lane +. dynamic +. fault_ms)
+                /. 1000.0)
                 +. transmission_s +. queueing_s
               in
               Metric.incr m_forwarded;
@@ -217,6 +251,56 @@ let heal_link t ~from_node ~to_node =
 
 let link_failed t ~from_node ~to_node =
   Bytes.get t.failed_links (link_key t ~from_node ~to_node) <> '\000'
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection hooks (driven by lib/faults).                        *)
+
+let ensure_fault_arrays t =
+  if Array.length t.fault_loss = 0 then begin
+    let n = t.node_count * t.node_count in
+    t.fault_set <- Bytes.make n '\000';
+    t.fault_loss <- Array.make n 0.0;
+    t.fault_extra <- Array.make n no_fault_extra_ms
+  end
+
+let set_link_fault t ~from_node ~to_node ?(loss = 0.0) ?extra_delay_ms () =
+  if loss < 0.0 || loss > 1.0 then
+    Err.invalid "Fabric.set_link_fault: loss %g outside [0,1]" loss;
+  ensure_fault_arrays t;
+  let key = link_key t ~from_node ~to_node in
+  if Bytes.get t.fault_set key = '\000' then begin
+    Bytes.set t.fault_set key '\001';
+    t.fault_count <- t.fault_count + 1
+  end;
+  t.fault_loss.(key) <- loss;
+  t.fault_extra.(key) <-
+    (match extra_delay_ms with Some f -> f | None -> no_fault_extra_ms)
+
+let clear_link_fault t ~from_node ~to_node =
+  let key = link_key t ~from_node ~to_node in
+  if Array.length t.fault_loss > 0 then begin
+    if Bytes.get t.fault_set key <> '\000' then begin
+      Bytes.set t.fault_set key '\000';
+      t.fault_count <- t.fault_count - 1
+    end;
+    t.fault_loss.(key) <- 0.0;
+    t.fault_extra.(key) <- no_fault_extra_ms
+  end
+
+let clear_faults t =
+  Bytes.fill t.fault_set 0 (Bytes.length t.fault_set) '\000';
+  Array.fill t.fault_loss 0 (Array.length t.fault_loss) 0.0;
+  Array.fill t.fault_extra 0 (Array.length t.fault_extra) no_fault_extra_ms;
+  t.fault_count <- 0
+
+let fault_count t = t.fault_count
+
+let link_fault_loss t ~from_node ~to_node =
+  if t.fault_count = 0 then 0.0 else t.fault_loss.(link_key t ~from_node ~to_node)
+
+let[@hot] link_fault_extra_ms t ~from_node ~to_node ~time_s =
+  if t.fault_count = 0 then 0.0
+  else t.fault_extra.(link_key t ~from_node ~to_node) ~time_s
 
 let sent t = t.sent
 

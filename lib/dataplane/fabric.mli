@@ -52,6 +52,39 @@ val fail_link : t -> from_node:int -> to_node:int -> unit
 val heal_link : t -> from_node:int -> to_node:int -> unit
 val link_failed : t -> from_node:int -> to_node:int -> bool
 
+val set_link_fault :
+  t ->
+  from_node:int ->
+  to_node:int ->
+  ?loss:float ->
+  ?extra_delay_ms:(time_s:float -> float) ->
+  unit ->
+  unit
+(** Attach a dynamic fault to a directed link (the brownout hook of
+    {!Tango_faults}): packets crossing it are additionally dropped with
+    probability [loss] (reason ["fault-loss"]) and delayed by
+    [extra_delay_ms ~time_s] milliseconds. Replaces any previous fault on
+    the link. The per-packet cost with no faults anywhere is a single
+    counter load and branch. Raises {!Err.Invalid} when [loss] is outside
+    [0,1] or a node id is outside the topology. *)
+
+val clear_link_fault : t -> from_node:int -> to_node:int -> unit
+(** Remove the fault on one directed link. Idempotent. *)
+
+val clear_faults : t -> unit
+(** Remove every link fault (does not heal {!fail_link} blackholes). *)
+
+val fault_count : t -> int
+(** Number of directed links currently carrying a fault. *)
+
+val link_fault_loss : t -> from_node:int -> to_node:int -> float
+
+val link_fault_extra_ms :
+  t -> from_node:int -> to_node:int -> time_s:float -> float
+(** The extra fault delay a packet crossing the link at [time_s] would
+    incur — the exact check the forwarding fast path performs, exposed
+    for tests and the microbenchmarks. *)
+
 val sent : t -> int
 val delivered : t -> int
 val dropped : t -> int

@@ -1,0 +1,5 @@
+(** Declared contract-violation exception for the fault-injection
+    library — bad fault specs, unknown scenario names, out-of-range
+    path ids. See {!Tango_err}. *)
+
+include Tango_err.S

@@ -1,0 +1,111 @@
+type t = {
+  name : string;
+  description : string;
+  specs : Spec.t list;
+}
+
+(* All onsets sit a few seconds into the run so policies have live
+   measurements before the fault lands, and every window closes before
+   the ~30 s harness horizon so recovery is observable too. *)
+let all =
+  [
+    {
+      name = "blackhole";
+      description =
+        "Gray failure: silently drop everything on the policy's favorite \
+         (lowest-OWD) path for 10 s; BGP never notices.";
+      specs = [ Spec.v ~path:2 ~start_s:5.0 ~duration_s:10.0 Spec.Blackhole ];
+    };
+    {
+      name = "flap";
+      description =
+        "The favorite path's transit link flaps every second for 20 s — \
+         the oscillation that re-admission backoff must damp.";
+      specs =
+        [
+          Spec.v ~path:2 ~start_s:5.0 ~duration_s:20.0
+            (Spec.Flap { period_s = 2.0 });
+        ];
+    };
+    {
+      name = "brownout";
+      description =
+        "The favorite path browns out for 10 s: 30% extra loss and a \
+         noisy ~25 ms extra delay, without ever going fully dark.";
+      specs =
+        [
+          Spec.v ~path:2 ~start_s:5.0 ~duration_s:10.0
+            (Spec.Brownout { loss = 0.3; extra_ms = 25.0 });
+        ];
+    };
+    {
+      name = "starvation";
+      description =
+        "The LA probe train is starved for 5 s: probe-only paths age \
+         out (staleness-based dead-path detection), while paths still \
+         carrying data or reports stay passively measured.";
+      specs = [ Spec.v ~start_s:5.0 ~duration_s:5.0 Spec.Probe_starvation ];
+    };
+    {
+      name = "clock-step";
+      description =
+        "The NY receive clock steps +50 ms for 10 s, then steps back. \
+         Absolute OWDs shift; relative path comparison must not.";
+      specs =
+        [
+          Spec.v ~start_s:5.0 ~duration_s:10.0
+            (Spec.Clock_step { step_ms = 50.0 });
+        ];
+    };
+    {
+      name = "bgp-withdraw";
+      description =
+        "NY withdraws the favorite path's tunnel prefix for 10 s — the \
+         control-plane failure BGP does see and re-propagates.";
+      specs = [ Spec.v ~path:2 ~start_s:5.0 ~duration_s:10.0 Spec.Bgp_withdraw ];
+    };
+    {
+      name = "bgp-flap";
+      description =
+        "The favorite path's tunnel prefix is withdrawn and re-announced \
+         every 2 s for 20 s, with full BGP propagation delays.";
+      specs =
+        [
+          Spec.v ~path:2 ~start_s:5.0 ~duration_s:20.0
+            (Spec.Bgp_flap { period_s = 4.0 });
+        ];
+    };
+    {
+      name = "community-drop";
+      description =
+        "Path 1's tunnel prefix loses its pinning community set for 10 s: \
+         still reachable, but collapsed onto the provider default route.";
+      specs =
+        [ Spec.v ~path:1 ~start_s:5.0 ~duration_s:10.0 Spec.Community_drop ];
+    };
+    {
+      name = "meltdown";
+      description =
+        "Everything at once: probes starved while every path blackholes \
+         — drives the policy into its all-paths-degraded pinned mode.";
+      specs =
+        [
+          Spec.v ~start_s:5.0 ~duration_s:10.0 Spec.Probe_starvation;
+          Spec.v ~path:0 ~start_s:5.0 ~duration_s:10.0 Spec.Blackhole;
+          Spec.v ~path:1 ~start_s:5.0 ~duration_s:10.0 Spec.Blackhole;
+          Spec.v ~path:2 ~start_s:5.0 ~duration_s:10.0 Spec.Blackhole;
+          Spec.v ~path:3 ~start_s:5.0 ~duration_s:10.0 Spec.Blackhole;
+        ];
+    };
+  ]
+
+let names () = List.map (fun s -> s.name) all
+
+let find name = List.find_opt (fun s -> s.name = name) all
+
+let get name =
+  match find name with
+  | Some s -> s
+  | None ->
+      Err.invalid "Scenario: unknown scenario %S (known: %s)" name
+        (String.concat ", " (names ()))

@@ -1,0 +1,24 @@
+(** Named, curated fault schedules.
+
+    A scenario is just a name, a sentence, and a {!Spec.t} list with
+    onsets relative to arming time — the unit the CLI exposes
+    ([tango_cli faults --scenario flap]) and E12 sweeps. Times assume
+    the harness default of a ~30 s measurement window. *)
+
+type t = {
+  name : string;
+  description : string;
+  specs : Spec.t list;
+}
+
+val all : t list
+(** Every built-in scenario, in documentation order. *)
+
+val names : unit -> string list
+
+val find : string -> t option
+(** Lookup by exact name. *)
+
+val get : string -> t
+(** Like {!find} but raises {!Err.Invalid} with the known names on a
+    miss — the CLI error path. *)

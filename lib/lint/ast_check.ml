@@ -24,6 +24,8 @@ let default =
         "core/pop.ml";
         "obs/metric.ml";
         "obs/trace.ml";
+        "faults/spec.ml";
+        "faults/inject.ml";
       ];
     exn_ban_paths = [ "lib/dataplane/"; "lib/net/" ];
     require_mli = true;

@@ -1,0 +1,11 @@
+(* Must-flag fixture for the faults hot-module scope: a fault-check
+   helper that allocates its verdict per packet. *)
+
+type verdict = { dropped : bool; extra_ms : float }
+
+let[@hot] fault_verdict_alloc loss extra = { dropped = loss > 0.5; extra_ms = extra }
+
+let[@hot] fault_pair_alloc loss extra = (loss, extra)
+
+(* Unmarked spec-building code may allocate freely: must NOT flag. *)
+let build_specs n = List.init n (fun i -> { dropped = false; extra_ms = float_of_int i })

@@ -1,0 +1,6 @@
+(* Waiver handling in the faults scope: the activation closure below is
+   built once per armed fault, not per packet. *)
+
+let[@hot] arm_fault schedule spec =
+  (* tango-lint: allow hot-alloc — activation closure built once per armed fault *)
+  schedule (fun () -> ignore spec)

@@ -65,6 +65,29 @@ let test_hot_waived () =
       Alcotest.(check string) "reason" "staging closure built once at init" reason
   | other -> Alcotest.failf "expected exactly one waived finding, got %d" (List.length other)
 
+(* Fault-injection code joined the hot-module set in the default config;
+   the fixtures mirror its shapes (per-packet verdicts vs staged
+   activation closures). *)
+let test_hot_faults_bad () =
+  check_findings "hot_faults_bad.ml" [ (6, "hot-alloc"); (8, "hot-alloc") ]
+
+let test_hot_faults_waived () =
+  let findings, waived = lint "hot_faults_waived.ml" in
+  Alcotest.check pair_t "no unwaived findings" [] (pairs findings);
+  match waived with
+  | [ (f, reason) ] ->
+      Alcotest.(check string) "waived rule" "hot-alloc" (Rules.id f.Rules.rule);
+      Alcotest.(check string) "reason" "activation closure built once per armed fault"
+        reason
+  | other -> Alcotest.failf "expected exactly one waived finding, got %d" (List.length other)
+
+let test_default_covers_faults () =
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) frag true
+        (List.mem frag Ast_check.default.Ast_check.hot_modules))
+    [ "faults/spec.ml"; "faults/inject.ml" ]
+
 let test_poly_bad () =
   check_findings "poly_bad.ml"
     [ (3, "poly-compare"); (5, "poly-compare"); (7, "poly-compare"); (9, "poly-compare") ]
@@ -140,6 +163,10 @@ let () =
           Alcotest.test_case "hot-alloc must-pass" `Quick test_hot_ok;
           Alcotest.test_case "hot-alloc obs instrumentation" `Quick test_hot_obs_ok;
           Alcotest.test_case "hot-alloc waived" `Quick test_hot_waived;
+          Alcotest.test_case "hot-alloc faults must-flag" `Quick test_hot_faults_bad;
+          Alcotest.test_case "hot-alloc faults waived" `Quick test_hot_faults_waived;
+          Alcotest.test_case "default hot modules cover faults" `Quick
+            test_default_covers_faults;
           Alcotest.test_case "poly-compare must-flag" `Quick test_poly_bad;
           Alcotest.test_case "float-equal must-flag" `Quick test_float_bad;
           Alcotest.test_case "poly-compare must-pass" `Quick test_poly_ok;

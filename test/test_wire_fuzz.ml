@@ -1,0 +1,139 @@
+(* Fuzz-shaped robustness test for the wire decoder: 10k seeded
+   mutations of valid tunnel frames must decode to [Ok] or [Error] —
+   never crash, never raise anything beyond the decoder's declared
+   {!Tango_net.Err.Invalid}. The corpus generator below is the
+   reference mutator: deterministic from its seed, so any failure
+   reproduces byte-for-byte from the printed iteration number. *)
+
+module Wire = Tango_net.Wire
+module Ipv6 = Tango_net.Ipv6
+module Packet = Tango_net.Packet
+module Siphash = Tango_net.Siphash
+module Rng = Tango_sim.Rng
+
+let src = Ipv6.of_string_exn "2001:db8:4000::1"
+
+let dst = Ipv6.of_string_exn "2001:db8:4010::2"
+
+let auth_key = Siphash.key 0x0123456789abcdefL 0xfedcba9876543210L
+
+let tango ~path_id ~seq =
+  { Packet.timestamp_ns = 123456789L; seq; path_id; flags = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Corpus generator                                                    *)
+
+(* Seed frames: every payload size class the encoder distinguishes,
+   authenticated and not. *)
+let corpus =
+  List.concat_map
+    (fun bytes ->
+      let payload = Bytes.init bytes (fun i -> Char.chr (i land 0xff)) in
+      let plain =
+        Wire.encode_tunnel ~outer_src:src ~outer_dst:dst ~udp_src:40000
+          ~udp_dst:4789 ~tango:(tango ~path_id:2 ~seq:42L) payload
+      in
+      let authed =
+        Wire.encode_tunnel ~auth_key ~outer_src:src ~outer_dst:dst ~udp_src:40000
+          ~udp_dst:4789 ~tango:(tango ~path_id:1 ~seq:7L) payload
+      in
+      [ plain; authed ])
+    [ 0; 1; 16; 512; 1400 ]
+
+let corpus_arr = Array.of_list corpus
+
+(* One mutation: pick a seed frame and damage it. Mutation classes are
+   chosen to cover every validation branch — truncation (length
+   checks), bit flips anywhere (checksum, version, flags, tag), field
+   garbage, extension, and pure noise. *)
+let mutate rng =
+  let base = corpus_arr.(Rng.int rng (Array.length corpus_arr)) in
+  let frame = Bytes.copy base in
+  let len = Bytes.length frame in
+  match Rng.int rng 6 with
+  | 0 ->
+      (* Truncate to a random prefix (possibly empty). *)
+      Bytes.sub frame 0 (Rng.int rng (len + 1))
+  | 1 ->
+      (* Flip one random byte. *)
+      let i = Rng.int rng len in
+      Bytes.set frame i (Char.chr (Char.code (Bytes.get frame i) lxor (1 + Rng.int rng 255)));
+      frame
+  | 2 ->
+      (* Garbage version nibble. *)
+      Bytes.set frame 0 (Char.chr (Rng.int rng 256));
+      frame
+  | 3 ->
+      (* Flip a burst of up to 8 bytes. *)
+      let start = Rng.int rng len in
+      let n = min (1 + Rng.int rng 8) (len - start) in
+      for i = start to start + n - 1 do
+        Bytes.set frame i (Char.chr (Rng.int rng 256))
+      done;
+      frame
+  | 4 ->
+      (* Extend with trailing noise: lengths no longer match. *)
+      let extra = 1 + Rng.int rng 64 in
+      let grown = Bytes.extend frame 0 extra in
+      for i = len to len + extra - 1 do
+        Bytes.set grown i (Char.chr (Rng.int rng 256))
+      done;
+      grown
+  | _ ->
+      (* Pure noise of a random plausible size. *)
+      Bytes.init (Rng.int rng 128) (fun _ -> Char.chr (Rng.int rng 256))
+
+(* ------------------------------------------------------------------ *)
+
+let iterations = 10_000
+
+let test_decode_never_crashes () =
+  let rng = Rng.create ~seed:0xf422 in
+  let payload = Bytes.create 4096 in
+  let ok = ref 0 and err = ref 0 and declared = ref 0 in
+  for i = 1 to iterations do
+    let frame = mutate rng in
+    let key = if Rng.bool rng then Some auth_key else None in
+    match Wire.decode_tunnel_into ?auth_key:key ~payload frame with
+    | Ok _ -> incr ok
+    | Error _ -> incr err
+    | exception Tango_net.Err.Invalid _ -> incr declared
+    | exception e ->
+        Alcotest.failf "iteration %d: decoder escaped with %s" i (Printexc.to_string e)
+  done;
+  (* Sanity on the mix: mutations must actually exercise both verdicts —
+     an all-Error corpus would mean the seeds never survive mutation,
+     an all-Ok corpus that the mutator does nothing. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "some mutants rejected (ok=%d err=%d declared=%d)" !ok !err !declared)
+    true
+    (!err > iterations / 2);
+  Alcotest.(check bool) "some mutants still decode" true (!ok > 0);
+  Alcotest.(check int) "every iteration accounted for" iterations (!ok + !err + !declared)
+
+(* The undamaged corpus must round-trip: Ok with the right key
+   discipline, Error when the key discipline is violated (stripped or
+   missing protection), never an exception. *)
+let test_corpus_roundtrip () =
+  let payload = Bytes.create 4096 in
+  List.iteri
+    (fun i frame ->
+      let plain = i mod 2 = 0 in
+      (match Wire.decode_tunnel_into ?auth_key:None ~payload frame with
+      | Ok _ -> Alcotest.(check bool) "plain frame decodes without key" true plain
+      | Error _ -> Alcotest.(check bool) "authed frame needs its key" false plain);
+      match Wire.decode_tunnel_into ~auth_key ~payload frame with
+      | Ok _ -> Alcotest.(check bool) "authed frame decodes with key" false plain
+      | Error _ -> Alcotest.(check bool) "key requires protection" true plain)
+    corpus
+
+let () =
+  Alcotest.run "tango_wire_fuzz"
+    [
+      ( "fuzz",
+        [
+          Alcotest.test_case "corpus round-trips" `Quick test_corpus_roundtrip;
+          Alcotest.test_case "10k mutants never crash the decoder" `Quick
+            test_decode_never_crashes;
+        ] );
+    ]
