@@ -2,7 +2,7 @@
 # formatting, the full test suite, then a fast end-to-end smoke of the
 # experiment harness (fig3 takes well under a second).
 
-.PHONY: all build fmt test lint lint-json smoke obs-smoke faults-smoke bench bench-json bench-compare check clean
+.PHONY: all build fmt test lint lint-json smoke obs-smoke faults-smoke reconcile-smoke bench bench-json bench-compare check clean
 
 all: build
 
@@ -50,7 +50,12 @@ faults-smoke:
 	dune exec bin/tango_cli.exe -- faults --list > /dev/null
 	dune exec bin/tango_cli.exe -- faults --scenario blackhole --duration 12 > /dev/null
 
-check: build fmt test lint smoke obs-smoke faults-smoke
+# Reconciliation smoke: BGP churn with the control-plane reconciler
+# armed (lib/ctrl -> churn watch, budgeted re-discovery, pair channel).
+reconcile-smoke:
+	dune exec bin/tango_cli.exe -- reconcile --scenario bgp-flap --duration 12 > /dev/null
+
+check: build fmt test lint smoke obs-smoke faults-smoke reconcile-smoke
 
 clean:
 	dune clean

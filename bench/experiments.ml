@@ -726,3 +726,56 @@ let failover_under_fault () =
         | Some d -> Printf.sprintf "%.0f ms" (d *. 1000.0)
         | None -> "-"))
     [ "blackhole"; "flap"; "brownout"; "bgp-withdraw"; "meltdown" ]
+
+(* ------------------------------------------------------------------ *)
+(* E13 — re-discovery under BGP churn (lib/ctrl)                        *)
+
+module Ctrl = Tango_ctrl.Reconcile
+
+let rediscovery_under_churn () =
+  section "E13: re-discovery under BGP churn (reconciler armed)";
+  row "  %-14s %7s %6s %6s %10s %11s %10s\n" "scenario" "epochs" "trunc"
+    "msgs" "budget-ok" "delivered" "recovery";
+  List.iter
+    (fun name ->
+      let sc = F_scenario.get name in
+      let pair = Pair.setup_vultr ~seed:!exp_seed ~readmit_backoff_s:0.5 () in
+      let engine = Pair.engine pair in
+      let la = Pair.pop_la pair and ny = Pair.pop_ny pair in
+      let t0 = Engine.now engine in
+      let inj = F_inject.arm ~pair ~seed:!exp_seed sc.F_scenario.specs in
+      let window = Float.min 30.0 !horizon in
+      let reconciler =
+        Ctrl.arm ~pair ~seed:!exp_seed ~until_s:(t0 +. window) ()
+      in
+      let sent = ref 0 in
+      Pair.start_measurement pair ~probe_interval_s:0.01 ~dead_after_probes:10
+        ~for_s:window ();
+      Tango_workload.Traffic.periodic engine ~interval_s:0.02
+        ~until_s:(t0 +. window) (fun _ ->
+          incr sent;
+          ignore (Pop.send_app la ()));
+      Pair.run_for pair (window +. 1.0);
+      let s = Ctrl.stats reconciler Ctrl.To_ny in
+      let budget = (Ctrl.config reconciler).Ctrl.budget_msgs in
+      (* Recovery: close of the last fault window to the first app
+         packet delivered at the receiver afterwards. *)
+      let last_off = F_inject.last_off_s inj in
+      let recovery =
+        if not (Float.is_finite last_off) then None
+        else
+          Series.fold (Pop.app_latency_series ny) ~init:None
+            ~f:(fun acc ~time ~value:_ ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  if time >= last_off then Some (time -. last_off) else None)
+      in
+      row "  %-14s %7d %6d %6d %10s %5d/%-5d %9s\n" name s.Ctrl.epochs
+        s.Ctrl.truncated s.Ctrl.last_msgs
+        (if s.Ctrl.last_msgs <= budget then "yes" else "OVER")
+        (Pop.app_received ny) !sent
+        (match recovery with
+        | Some d -> Printf.sprintf "%.0f ms" (d *. 1000.0)
+        | None -> "-"))
+    [ "bgp-withdraw"; "bgp-flap"; "community-drop" ]

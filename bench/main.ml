@@ -31,6 +31,7 @@ let experiments =
     ("throughput", Experiments.throughput);
     ("discovery-cost", Experiments.discovery_cost);
     ("failover-under-fault", Experiments.failover_under_fault);
+    ("rediscovery-under-churn", Experiments.rediscovery_under_churn);
   ]
 
 let () =

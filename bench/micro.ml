@@ -275,6 +275,37 @@ let test_fault_check_active =
            (Tango_dataplane.Fabric.link_fault_extra_ms fabric ~from_node:0
               ~to_node:1 ~time_s:1.0)))
 
+(* Control-plane reconciliation hot reads (lib/ctrl): the per-prefix
+   churn classification and the table digest a heartbeat carries. Both
+   run on every cadence tick / heartbeat, so they must stay cheap. *)
+
+let watch_baseline = Some (Tango_bgp.As_path.of_list [ 20473; 2914; 20473 ])
+
+let watch_current = Some (Tango_bgp.As_path.of_list [ 20473; 2914; 20473 ])
+
+let test_watch_verdict =
+  Test.make ~name:"ctrl.watch.verdict_of (live)"
+    (Staged.stage (fun () ->
+         ignore
+           (Tango_ctrl.Watch.verdict_of ~baseline:watch_baseline
+              ~current:watch_current)))
+
+let digest_table =
+  List.init 8 (fun i ->
+      {
+        Tango.Discovery.index = i;
+        label = "bench";
+        as_path = Tango_bgp.As_path.of_list [ 20473; 2914 + i; 20473 ];
+        communities = Tango_bgp.Community.Set.empty;
+        poisons = [];
+        transits = [ 2914 + i ];
+        floor_owd_ms = 28.0;
+      })
+
+let test_ctrl_digest =
+  Test.make ~name:"ctrl.channel.digest_paths (8 paths)"
+    (Staged.stage (fun () -> ignore (Tango_ctrl.Channel.digest_paths digest_table)))
+
 let all_tests =
   Test.make_grouped ~name:"tango"
     [
@@ -302,6 +333,8 @@ let all_tests =
       test_tracker_instrumented;
       test_fault_check_inactive;
       test_fault_check_active;
+      test_watch_verdict;
+      test_ctrl_digest;
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -7,6 +7,7 @@
      tango simulate  — full scenario with application traffic and a policy
      tango overlay   — plan a Tango-of-N overlay on the triangle topology
      tango faults    — run a named fault-injection scenario (lib/faults)
+     tango reconcile — fault scenario with the control-plane reconciler armed
 
    Every subcommand takes --metrics FILE (JSON-lines snapshot: manifest,
    counters/gauges/histograms, trace events) and --prom FILE (Prometheus
@@ -368,15 +369,98 @@ let overlay_cmd =
 module F_spec = Tango_faults.Spec
 module F_scenario = Tango_faults.Scenario
 module F_inject = Tango_faults.Inject
+module Ctrl = Tango_ctrl.Reconcile
+module Ctrl_channel = Tango_ctrl.Channel
+
+(* Whether the reconciler can repair what this fault breaks: it
+   re-derives BGP state (routes, communities), not links or clocks. *)
+let reconciler_repairs (spec : F_spec.t) =
+  match spec.F_spec.kind with
+  | F_spec.Bgp_withdraw | F_spec.Bgp_flap _ | F_spec.Community_drop -> true
+  | F_spec.Blackhole | F_spec.Flap _ | F_spec.Brownout _
+  | F_spec.Probe_starvation | F_spec.Clock_step _ ->
+      false
 
 let faults_list () =
   Printf.printf "available fault scenarios:\n";
+  Printf.printf "  %-15s %-12s %s\n" "name" "reconciler" "description";
   List.iter
     (fun (s : F_scenario.t) ->
-      Printf.printf "  %-15s %s\n" s.F_scenario.name s.F_scenario.description)
+      let reconciler =
+        if List.exists reconciler_repairs s.F_scenario.specs then "repairs"
+        else "no-op"
+      in
+      Printf.printf "  %-15s %-12s %s\n" s.F_scenario.name reconciler
+        s.F_scenario.description)
     F_scenario.all
 
-let faults_run scenario_name seed duration backoff rate_hz =
+(* Recovery time, as the faults summary defines it: from the close of
+   the last fault window ({!F_inject.last_off_s}) to the first app
+   packet delivered at the receiver afterwards. *)
+let print_recovery ~t0 ~receiver inj =
+  let last_off = F_inject.last_off_s inj in
+  if not (Float.is_finite last_off) then
+    Printf.printf "  recovery: n/a (no fault window closed)\n"
+  else
+    let restored =
+      Series.fold
+        (Pop.app_latency_series receiver)
+        ~init:None
+        ~f:(fun acc ~time ~value:_ ->
+          match acc with
+          | Some _ -> acc
+          | None -> if time >= last_off then Some (time -. last_off) else None)
+    in
+    match restored with
+    | Some dt ->
+        Printf.printf
+          "  recovery: delivery restored %.3f s after last fault window \
+           (t=%7.3f)\n"
+          dt
+          (last_off +. dt -. t0)
+    | None ->
+        Printf.printf
+          "  recovery: delivery NOT restored after last fault window \
+           (t=%7.3f)\n"
+          (last_off -. t0)
+
+let print_reconciler ~pair reconciler =
+  match reconciler with
+  | None -> Printf.printf "  reconciler: off\n"
+  | Some r ->
+      Printf.printf "  reconciler: armed (checks %d, budget %d msgs/epoch)\n"
+        (Ctrl.checks r) (Ctrl.config r).Ctrl.budget_msgs;
+      List.iter
+        (fun dir ->
+          let s = Ctrl.stats r dir in
+          Printf.printf
+            "    %-5s epochs %d (failed %d, truncated %d)  msgs last %d total \
+             %d  last re-discovery %s  paths %d\n"
+            (Ctrl.direction_to_string dir)
+            s.Ctrl.epochs s.Ctrl.failed s.Ctrl.truncated s.Ctrl.last_msgs
+            s.Ctrl.total_msgs
+            (if Float.is_finite s.Ctrl.last_recovery_s then
+               Printf.sprintf "%.3f s" s.Ctrl.last_recovery_s
+             else "n/a")
+            s.Ctrl.paths)
+        [ Ctrl.To_ny; Ctrl.To_la ];
+      (match Ctrl.channel r with
+      | None -> Printf.printf "    channel: off\n"
+      | Some ch ->
+          List.iter
+            (fun (name, pop) ->
+              Printf.printf
+                "    channel %-3s heartbeats sent %d received %d  peer %s  \
+                 losses %d recoveries %d\n"
+                name
+                (Ctrl_channel.heartbeats_sent ch pop)
+                (Ctrl_channel.heartbeats_received ch pop)
+                (if Ctrl_channel.peer_alive ch pop then "alive" else "lost")
+                (Ctrl_channel.losses ch pop)
+                (Ctrl_channel.recoveries ch pop))
+            [ ("LA", Pair.pop_la pair); ("NY", Pair.pop_ny pair) ])
+
+let faults_run scenario_name seed duration backoff rate_hz with_reconciler =
   let sc = F_scenario.get scenario_name in
   let pair =
     Pair.setup_vultr ~seed
@@ -391,6 +475,11 @@ let faults_run scenario_name seed duration backoff rate_hz =
     (fun spec -> Printf.printf "  armed: %s\n" (F_spec.to_string spec))
     sc.F_scenario.specs;
   let inj = F_inject.arm ~pair ~seed sc.F_scenario.specs in
+  let reconciler =
+    if with_reconciler then
+      Some (Ctrl.arm ~pair ~seed ~until_s:(t0 +. duration) ())
+    else None
+  in
   let app_sent = ref 0 in
   Pair.start_measurement pair ~probe_interval_s:0.01 ~dead_after_probes:10
     ~for_s:duration ();
@@ -415,6 +504,8 @@ let faults_run scenario_name seed duration backoff rate_hz =
   Printf.printf "  NY policy: switches %d, degraded episodes %d\n"
     (Pop.policy_switches ny)
     (Policy.degraded_episodes (Pop.policy ny));
+  print_reconciler ~pair reconciler;
+  print_recovery ~t0 ~receiver:ny inj;
   Printf.printf "  app LA->NY: sent %d received %d  mean %.2f ms  p99 %.2f ms\n"
     !app_sent (Pop.app_received ny)
     (app.Stats.mean *. 1000.0)
@@ -442,23 +533,30 @@ let faults_run scenario_name seed duration backoff rate_hz =
          else ""))
     (Pop.outbound_stats la)
 
-let faults scenario_name seed duration backoff rate_hz list_flag metrics prom =
+let faults scenario_name seed duration backoff rate_hz reconcile_flag list_flag
+    metrics prom =
   if list_flag then faults_list ()
   else
     with_obs ~experiment:"faults" ~seed
       ~config:
-        (Printf.sprintf "faults scenario=%s seed=%d duration=%g backoff=%g"
-           scenario_name seed duration backoff)
+        (Printf.sprintf
+           "faults scenario=%s seed=%d duration=%g backoff=%g reconcile=%b"
+           scenario_name seed duration backoff reconcile_flag)
       metrics prom
-      (fun () -> faults_run scenario_name seed duration backoff rate_hz)
+      (fun () ->
+        faults_run scenario_name seed duration backoff rate_hz reconcile_flag)
+
+let scenario_name_arg default =
+  Arg.(
+    value & opt string default
+    & info [ "scenario" ] ~docv:"NAME" ~doc:"Named fault scenario (see --list).")
+
+let rate_hz_arg =
+  Arg.(
+    value & opt float 50.0
+    & info [ "rate" ] ~docv:"HZ" ~doc:"Application packet rate LA -> NY.")
 
 let faults_cmd =
-  let scenario =
-    Arg.(
-      value & opt string "blackhole"
-      & info [ "scenario" ] ~docv:"NAME"
-          ~doc:"Named fault scenario (see --list).")
-  in
   let backoff =
     Arg.(
       value & opt float 0.5
@@ -467,10 +565,13 @@ let faults_cmd =
             "Base re-admission backoff for flap damping (0 disables; \
              doubles per failure, capped at 30 s).")
   in
-  let rate =
+  let reconcile_flag =
     Arg.(
-      value & opt float 50.0
-      & info [ "rate" ] ~docv:"HZ" ~doc:"Application packet rate LA -> NY.")
+      value & flag
+      & info [ "reconcile" ]
+          ~doc:
+            "Arm the control-plane reconciler (churn watch, budgeted \
+             re-discovery, in-band pair channel) alongside the faults.")
   in
   let list_flag =
     Arg.(value & flag & info [ "list" ] ~doc:"List the scenarios and exit.")
@@ -479,7 +580,106 @@ let faults_cmd =
     (Cmd.info "faults"
        ~doc:"Run a named fault-injection scenario against the two-site pair")
     Term.(
-      const faults $ scenario $ seed_arg $ duration_arg 30.0 $ backoff $ rate
+      const faults $ scenario_name_arg "blackhole" $ seed_arg
+      $ duration_arg 30.0 $ backoff $ rate_hz_arg $ reconcile_flag $ list_flag
+      $ metrics_arg $ prom_arg)
+
+(* ------------------------------------------------------------------ *)
+(* reconcile                                                           *)
+
+let reconcile_run scenario_name seed duration rate_hz budget cadence no_channel
+    =
+  let sc = F_scenario.get scenario_name in
+  let pair = Pair.setup_vultr ~seed ~readmit_backoff_s:0.5 () in
+  let engine = Pair.engine pair in
+  let la = Pair.pop_la pair and ny = Pair.pop_ny pair in
+  let t0 = Tango_sim.Engine.now engine in
+  Printf.printf "scenario %s: %s\n" sc.F_scenario.name sc.F_scenario.description;
+  List.iter
+    (fun spec -> Printf.printf "  armed: %s\n" (F_spec.to_string spec))
+    sc.F_scenario.specs;
+  let inj = F_inject.arm ~pair ~seed sc.F_scenario.specs in
+  let config =
+    { Ctrl.default_config with Ctrl.budget_msgs = budget; Ctrl.cadence_s = cadence }
+  in
+  let reconciler =
+    Ctrl.arm ~pair ~config ~seed ~with_channel:(not no_channel)
+      ~until_s:(t0 +. duration) ()
+  in
+  let app_sent = ref 0 in
+  Pair.start_measurement pair ~probe_interval_s:0.01 ~dead_after_probes:10
+    ~for_s:duration ();
+  Tango_workload.Traffic.periodic engine ~interval_s:(1.0 /. rate_hz)
+    ~until_s:(t0 +. duration) (fun _ ->
+      incr app_sent;
+      ignore (Pop.send_app la ()));
+  Pair.run_for pair (duration +. 1.0);
+  Printf.printf "timeline (t relative to arming):\n";
+  List.iter
+    (fun (at, what) -> Printf.printf "  t=%7.3f %s\n" (at -. t0) what)
+    (F_inject.timeline inj);
+  let app = Series.stats (Pop.app_latency_series ny) in
+  Printf.printf "summary:\n";
+  Printf.printf "  faults injected %d\n" (F_inject.injected inj);
+  print_reconciler ~pair (Some reconciler);
+  print_recovery ~t0 ~receiver:ny inj;
+  Printf.printf "  app LA->NY: sent %d received %d  mean %.2f ms  p99 %.2f ms\n"
+    !app_sent (Pop.app_received ny)
+    (app.Stats.mean *. 1000.0)
+    (app.Stats.p99 *. 1000.0);
+  Printf.printf "  path tables: LA->NY %d paths (epoch %d), NY->LA %d paths \
+                 (epoch %d)\n"
+    (List.length (Pair.paths_to_ny pair))
+    (Pop.table_epoch la)
+    (List.length (Pair.paths_to_la pair))
+    (Pop.table_epoch ny)
+
+let reconcile scenario_name seed duration rate_hz budget cadence no_channel
+    list_flag metrics prom =
+  if list_flag then faults_list ()
+  else
+    with_obs ~experiment:"reconcile" ~seed
+      ~config:
+        (Printf.sprintf
+           "reconcile scenario=%s seed=%d duration=%g budget=%d cadence=%g \
+            channel=%b"
+           scenario_name seed duration budget cadence (not no_channel))
+      metrics prom
+      (fun () ->
+        reconcile_run scenario_name seed duration rate_hz budget cadence
+          no_channel)
+
+let reconcile_cmd =
+  let budget =
+    Arg.(
+      value & opt int Ctrl.default_config.Ctrl.budget_msgs
+      & info [ "budget" ] ~docv:"MSGS"
+          ~doc:"Hard BGP-message budget per re-discovery epoch.")
+  in
+  let cadence =
+    Arg.(
+      value & opt float Ctrl.default_config.Ctrl.cadence_s
+      & info [ "cadence" ] ~docv:"SECONDS"
+          ~doc:"Periodic churn-check interval.")
+  in
+  let no_channel =
+    Arg.(
+      value & flag
+      & info [ "no-channel" ]
+          ~doc:"Run without the in-band pair control channel.")
+  in
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the scenarios and exit.")
+  in
+  Cmd.v
+    (Cmd.info "reconcile"
+       ~doc:
+         "Run a fault scenario with the control-plane reconciler armed: \
+          churn detection, budgeted re-discovery and the in-band pair \
+          channel")
+    Term.(
+      const reconcile $ scenario_name_arg "bgp-flap" $ seed_arg
+      $ duration_arg 30.0 $ rate_hz_arg $ budget $ cadence $ no_channel
       $ list_flag $ metrics_arg $ prom_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -542,4 +742,5 @@ let () =
             overlay_cmd;
             mesh_cmd;
             faults_cmd;
+            reconcile_cmd;
           ]))

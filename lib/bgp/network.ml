@@ -31,6 +31,11 @@ type t = {
   pending : (int * int, (Prefix.t, Update.t) Hashtbl.t) Hashtbl.t;
   flush_armed : (int * int, unit) Hashtbl.t;
   mutable messages : int;
+  (* Table-observation hooks: fired synchronously whenever a node
+     (re-)originates or withdraws a prefix — the event source behind
+     event-driven reconciliation checks. Empty by default, so the
+     origination path costs nothing extra. *)
+  mutable origin_listeners : (node:int -> Prefix.t -> unit) list;
 }
 
 let asn_shared topo asn =
@@ -58,6 +63,7 @@ let create ?(processing_delay_s = 0.05) ?(mrai_s = 0.0)
       pending = Hashtbl.create 64;
       flush_armed = Hashtbl.create 64;
       messages = 0;
+      origin_listeners = [];
     }
   in
   List.iter
@@ -160,14 +166,21 @@ and transmit t from_node to_node update =
       let next = Speaker.receive receiver ~from_node update in
       dispatch t ~from_node:to_node next)
 
+let notify_origin t ~node prefix =
+  List.iter (fun f -> f ~node prefix) t.origin_listeners
+
+let add_origin_listener t f = t.origin_listeners <- t.origin_listeners @ [ f ]
+
 let announce t ~node prefix ?communities ?poison () =
   let s = speaker t node in
   let emissions = Speaker.originate s prefix ?communities ?poison () in
-  dispatch t ~from_node:node emissions
+  dispatch t ~from_node:node emissions;
+  notify_origin t ~node prefix
 
 let withdraw t ~node prefix =
   let s = speaker t node in
-  dispatch t ~from_node:node (Speaker.withdraw_origin s prefix)
+  dispatch t ~from_node:node (Speaker.withdraw_origin s prefix);
+  notify_origin t ~node prefix
 
 let converge ?(timeout_s = 3600.0) t =
   let start = Engine.now t.engine in
@@ -210,3 +223,10 @@ let forwarding_path t ~from_node addr =
   walk from_node [] 0
 
 let messages_delivered t = t.messages
+
+let residual_nodes t prefix =
+  Hashtbl.fold
+    (fun node_id speaker acc ->
+      if Speaker.residual speaker prefix then node_id :: acc else acc)
+    t.speakers []
+  |> List.sort Int.compare

@@ -72,3 +72,21 @@ val forwarding_path : t -> from_node:int -> Tango_net.Addr.t -> int list option
 val messages_delivered : t -> int
 (** Total BGP updates delivered since creation (churn / convergence
     cost metric). *)
+
+(** {1 Table observation hooks}
+
+    Control-plane reconciliation ({!Tango_ctrl}) watches the network for
+    churn: a listener fires synchronously each time any node originates,
+    re-originates or withdraws a prefix (including the fault engine's
+    BGP faults), and {!residual_nodes} audits per-prefix table state. *)
+
+val add_origin_listener : t -> (node:int -> Tango_net.Prefix.t -> unit) -> unit
+(** Register a callback invoked on every {!announce}/{!withdraw}, with
+    the originating node and the prefix. Listeners run synchronously in
+    registration order; exceptions propagate to the caller of the
+    origination. *)
+
+val residual_nodes : t -> Tango_net.Prefix.t -> int list
+(** Sorted node ids whose speaker still holds {e any} state for
+    [prefix] (adj-RIB-in, loc-RIB, adj-RIB-out or an origination) — []
+    once the prefix has been fully withdrawn and propagated. *)

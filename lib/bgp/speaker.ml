@@ -254,4 +254,15 @@ let best t prefix = Hashtbl.find_opt t.loc_rib prefix
 
 let loc_rib t = Hashtbl.fold (fun p r acc -> (p, r) :: acc) t.loc_rib []
 
+(* Observation hook for control-plane reconciliation and leak tests:
+   does any of the four per-speaker tables still reference [prefix]? *)
+let residual t prefix =
+  Hashtbl.mem t.loc_rib prefix
+  || Hashtbl.mem t.originated prefix
+  || List.exists
+       (fun (n : neighbor) ->
+         Hashtbl.mem t.adj_in (prefix, n.node_id)
+         || Hashtbl.mem t.adj_out (prefix, n.node_id))
+       t.neighbor_list
+
 let updates_processed t = t.updates_processed

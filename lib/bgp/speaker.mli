@@ -76,5 +76,11 @@ val candidates : t -> Tango_net.Prefix.t -> Route.t list
 val loc_rib : t -> (Tango_net.Prefix.t * Route.t) list
 (** The full selected table, in unspecified order. *)
 
+val residual : t -> Tango_net.Prefix.t -> bool
+(** Whether {e any} of this speaker's tables (adj-RIB-in, loc-RIB,
+    adj-RIB-out, originations) still references [prefix] — the
+    observation hook behind the "no probe-prefix state survives
+    discovery" invariant and the reconciler's leak checks. *)
+
 val updates_processed : t -> int
 (** Number of updates this speaker has received (churn metric). *)

@@ -42,6 +42,9 @@ type result = {
   iterations : int;  (** BGP reconvergence rounds used (= paths + 1). *)
   convergence_time_s : float;  (** Total virtual time spent converging. *)
   messages : int;  (** BGP updates exchanged during discovery. *)
+  truncated : bool;
+      (** Exploration stopped early because the message budget would
+          have been exceeded (never set when no budget was given). *)
 }
 
 val run :
@@ -52,6 +55,9 @@ val run :
   ?mechanism:mechanism ->
   ?max_paths:int ->
   ?transit_namer:(int -> string) ->
+  ?resume:path list ->
+  ?message_budget:int ->
+  ?iteration_cost_hint:int ->
   unit ->
   result
 (** Discover the paths from [observer] toward [origin] (announcements
@@ -59,4 +65,59 @@ val run :
     and symmetrically, the same paths carry origin-bound traffic of the
     origin's own prefixes). The probe prefix is withdrawn before
     returning. [max_paths] (default 16) bounds the loop.
-    [transit_namer] renders labels (defaults to {!Tango_topo.Vultr.transit_name}). *)
+    [transit_namer] renders labels (defaults to {!Tango_topo.Vultr.transit_name}).
+
+    [resume] (incremental re-discovery) is a trusted prefix of
+    previously discovered paths: exploration starts from the
+    suppression set those paths imply ({!suppression_of}) instead of
+    from scratch, and the resumed paths are included in the result.
+    [message_budget] caps the BGP updates this run may cause: before
+    each announce the run stops — marking the result [truncated] — if
+    the messages already spent plus the cost of the most expensive
+    iteration seen so far (seeded by [iteration_cost_hint]) would
+    exceed the budget. *)
+
+(** {1 Per-iteration steps}
+
+    [run] composed from its parts, for callers that must interleave
+    exploration with a live simulation ({!Tango_ctrl}): announce, let
+    the network settle on the engine, observe, grow the suppression
+    set, repeat. These never call [Network.converge]. *)
+
+val announce_step :
+  net:Tango_bgp.Network.t ->
+  origin:int ->
+  probe_prefix:Tango_net.Prefix.t ->
+  mechanism:mechanism ->
+  suppressed:int list ->
+  unit ->
+  unit
+(** (Re-)announce the probe prefix with the suppression set rendered as
+    communities or poisons per [mechanism]. Propagation is scheduled on
+    the engine; the caller decides how long to let it settle. *)
+
+val observe_step :
+  net:Tango_bgp.Network.t ->
+  origin:int ->
+  observer:int ->
+  probe_prefix:Tango_net.Prefix.t ->
+  ?mechanism:mechanism ->
+  ?transit_namer:(int -> string) ->
+  suppressed:int list ->
+  index:int ->
+  unit ->
+  path option
+(** Read the observer's current best path for the probe prefix and
+    build the [path] record for iteration [index]; [None] when the
+    prefix is unreachable at the observer. *)
+
+val next_suppression :
+  mechanism:mechanism -> suppressed:int list -> path -> int list option
+(** The suppression set for the next iteration after observing [path],
+    or [None] when exploration is exhausted (no knob left, or the knob
+    is already suppressed). *)
+
+val suppression_of : mechanism:mechanism -> path list -> int list
+(** Replay {!next_suppression} over an ordered, trusted path list: the
+    suppression set a discovery run holds after finding exactly those
+    paths. *)

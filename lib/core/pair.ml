@@ -13,8 +13,11 @@ type t = {
   scenario : Fig4.t option;
   pop_la : Pop.t;
   pop_ny : Pop.t;
-  discovery_to_ny : Discovery.result;
-  discovery_to_la : Discovery.result;
+  (* Mutable so the reconciler can record re-discovered tables; the
+     PoPs' installed tunnels are updated separately via
+     {!Pop.install_outbound_paths}. *)
+  mutable discovery_to_ny : Discovery.result;
+  mutable discovery_to_la : Discovery.result;
 }
 
 let vultr_overrides (node : Topology.node) =
@@ -119,6 +122,12 @@ let paths_to_la t = t.discovery_to_la.Discovery.paths
 let discovery_to_ny t = t.discovery_to_ny
 
 let discovery_to_la t = t.discovery_to_la
+
+let update_paths_to_ny t paths =
+  t.discovery_to_ny <- { t.discovery_to_ny with Discovery.paths }
+
+let update_paths_to_la t paths =
+  t.discovery_to_la <- { t.discovery_to_la with Discovery.paths }
 
 let start_measurement t ?probe_interval_s ?report_interval_s ?dead_after_probes
     ~for_s () =

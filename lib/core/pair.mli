@@ -67,6 +67,14 @@ val paths_to_la : t -> Discovery.path list
 val discovery_to_ny : t -> Discovery.result
 val discovery_to_la : t -> Discovery.result
 
+val update_paths_to_ny : t -> Discovery.path list -> unit
+(** Record a reconciled LA→NY path table (discovery metadata other than
+    the path list is preserved). Reconciler hook — callers are expected
+    to install the same table into the sending PoP via
+    {!Pop.install_outbound_paths}. *)
+
+val update_paths_to_la : t -> Discovery.path list -> unit
+
 val start_measurement :
   t ->
   ?probe_interval_s:float ->

@@ -77,6 +77,10 @@ type t = {
      is eligible again. 0 disables the mechanism entirely. *)
   readmit_backoff_s : float;
   backoff_max_s : float;
+  (* Set the first time an external ban ({!ban}) is applied, so the
+     default (no reconciler, no backoff) scoring pass never has to
+     consult per-path ban state. *)
+  mutable external_bans : bool;
   mutable paths : path_state array;
   mutable current : int;
   mutable last_switch_s : float;
@@ -97,6 +101,7 @@ let create ?(max_loss = 0.25) ?(max_staleness_s = 1.0) ?(readmit_backoff_s = 0.0
     max_staleness_s;
     readmit_backoff_s;
     backoff_max_s;
+    external_bans = false;
     paths = [||];
     current;
     last_switch_s = neg_infinity;
@@ -168,8 +173,12 @@ let update_path_state t ~now_s stats =
   let meas = usable t stats in
   (* With re-admission backoff disabled (the default) the damping state
      machine is never consulted, so skip its bookkeeping entirely and
-     keep the scoring pass at the pre-damping cost. *)
+     keep the scoring pass at the pre-damping cost. External bans (the
+     reconciler's drain of removed paths) must still hold, but only
+     once one has actually been applied. *)
   if t.readmit_backoff_s > 0.0 then update_damping t ~now_s ~meas stats
+  else if t.external_bans then
+    meas && now_s >= (path_state t stats.path_id).banned_until
   else meas
 
 let observe_detection stats =
@@ -266,6 +275,10 @@ let choose t ~now_s stats =
 
 let current t = t.current
 
+let retarget t ~path =
+  if path < 0 then invalid_arg "Policy.retarget: negative path id";
+  t.current <- path
+
 let switches t = t.switches
 
 let degraded t = t.degraded
@@ -274,6 +287,17 @@ let degraded_episodes t = t.degraded_episodes
 
 let readmit_banned t ~path ~now_s =
   path >= 0 && path < Array.length t.paths && now_s < t.paths.(path).banned_until
+
+let ban t ~path ~now_s ~for_s =
+  if path < 0 then invalid_arg "Policy.ban: negative path id";
+  if for_s <= 0.0 then invalid_arg "Policy.ban: non-positive duration";
+  let st = path_state t path in
+  st.banned_until <- Float.max st.banned_until (now_s +. for_s);
+  t.external_bans <- true
+
+let unban t ~path =
+  if path >= 0 && path < Array.length t.paths then
+    t.paths.(path).banned_until <- neg_infinity
 
 let fail_count t ~path =
   if path >= 0 && path < Array.length t.paths then t.paths.(path).fails else 0

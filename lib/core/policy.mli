@@ -78,6 +78,12 @@ val choose : t -> now_s:float -> path_stats array -> int
     empty stats array. *)
 
 val current : t -> int
+
+val retarget : t -> path:int -> unit
+(** Force the current selection (not counted as a switch) — used when a
+    path-table swap shrinks the table under the policy's feet. Raises
+    [Invalid_argument] on a negative path id. *)
+
 val switches : t -> int
 (** Number of path changes so far (control-plane churn metric). *)
 
@@ -89,7 +95,20 @@ val degraded_episodes : t -> int
 (** Number of distinct all-paths-degraded episodes entered so far. *)
 
 val readmit_banned : t -> path:int -> now_s:float -> bool
-(** Whether [path] is currently serving a re-admission ban. *)
+(** Whether [path] is currently serving a ban (re-admission or
+    external). *)
+
+val ban : t -> path:int -> now_s:float -> for_s:float -> unit
+(** Externally ban [path] as a switch target for [for_s] seconds from
+    [now_s] — the reconciler's drain of a path that churn removed from
+    the table, reusing the flap-damping ban machinery. Never shortens an
+    existing ban. Honored even with [readmit_backoff_s = 0]; a policy
+    never banned this way pays nothing. Raises [Invalid_argument] on a
+    negative path id or non-positive duration. *)
+
+val unban : t -> path:int -> unit
+(** Lift any ban on [path] (no-op for unknown paths) — used when a
+    drained path is re-installed after recovery. *)
 
 val fail_count : t -> path:int -> int
 (** Consecutive-failure count backing [path]'s exponential backoff. *)

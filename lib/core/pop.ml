@@ -56,6 +56,8 @@ let app_port = 5000
 
 let stream_port = 5001
 
+let ctrl_port = 4791
+
 let max_paths = 16
 
 type Packet.content += App_seq of int | Report of Policy.path_stats array
@@ -70,8 +72,12 @@ type t = {
   ewma_alpha : float;
   plan : Addressing.plan;
   remote_plan : Addressing.plan;
-  tunnels : Tunnel.t array;
-  path_labels : string array;
+  (* Mutable so the reconciler can swap in a re-discovered path table
+     mid-run ({!install_outbound_paths}); [table_epoch] stamps each
+     installed generation. *)
+  mutable tunnels : Tunnel.t array;
+  mutable path_labels : string array;
+  mutable table_epoch : int;
   policy : Policy.t;
   (* Path-decision fast path: the policy is re-evaluated at most once
      per [policy_refresh_s] (one "flow epoch"); between evaluations,
@@ -112,6 +118,12 @@ type t = {
   mutable reports_received : int;
   mutable peer : t option;
   mutable stream_handler : (now:float -> Packet.t -> unit) option;
+  (* In-band pair control channel (lib/ctrl): heartbeats and digests
+     arrive on [ctrl_port]. While [pinned], the policy refresh is
+     frozen (peer loss: stat reports stopped, so adaptive decisions
+     would be driven by staleness noise). *)
+  mutable ctrl_handler : (now:float -> Packet.t -> unit) option;
+  mutable pinned : bool;
   (* Overlay hook: invoked for decapsulated packets whose inner
      destination is not in this site's host prefix (Tango-of-N
      relaying). *)
@@ -123,23 +135,24 @@ let engine t = Tango_bgp.Network.engine (Fabric.network t.fabric)
 
 let engine_of = engine
 
+let tunnels_of ~plan ~remote_plan outbound_paths =
+  Array.of_list
+    (List.map
+       (fun (p : Discovery.path) ->
+         Tunnel.create ~path_id:p.Discovery.index ~label:p.Discovery.label
+           ~local_endpoint:
+             (Addressing.host_address plan (Int64.of_int p.Discovery.index))
+           ~remote_endpoint:
+             (Addressing.tunnel_endpoint remote_plan ~path:p.Discovery.index)
+           ())
+       outbound_paths)
+
 let create ~name ~node ~fabric ?(clock_offset_ns = 0L) ?(ewma_alpha = 0.1)
     ?(jitter_window_s = 1.0) ?(policy_refresh_s = 0.01) ?readmit_backoff_s
     ~plan ~remote_plan ~outbound_paths ~policy () =
   if policy_refresh_s < 0.0 then
     invalid_arg "Pop.create: negative policy refresh interval";
-  let tunnels =
-    Array.of_list
-      (List.map
-         (fun (p : Discovery.path) ->
-           Tunnel.create ~path_id:p.Discovery.index ~label:p.Discovery.label
-             ~local_endpoint:
-               (Addressing.host_address plan (Int64.of_int p.Discovery.index))
-             ~remote_endpoint:
-               (Addressing.tunnel_endpoint remote_plan ~path:p.Discovery.index)
-             ())
-         outbound_paths)
-  in
+  let tunnels = tunnels_of ~plan ~remote_plan outbound_paths in
   {
     name;
     node;
@@ -151,6 +164,7 @@ let create ~name ~node ~fabric ?(clock_offset_ns = 0L) ?(ewma_alpha = 0.1)
     tunnels;
     path_labels =
       Array.of_list (List.map (fun (p : Discovery.path) -> p.Discovery.label) outbound_paths);
+    table_epoch = 0;
     policy = Policy.create ?readmit_backoff_s policy;
     policy_refresh_s;
     path_cache = Flow_cache.create ();
@@ -180,6 +194,8 @@ let create ~name ~node ~fabric ?(clock_offset_ns = 0L) ?(ewma_alpha = 0.1)
     peer = None;
     probes_suppressed = false;
     stream_handler = None;
+    ctrl_handler = None;
+    pinned = false;
     transit_handler = None;
     transited = 0;
   }
@@ -236,6 +252,11 @@ let deliver_to_host t ~now (packet : Packet.t) =
   end
   else if flow.Flow.dst_port = stream_port then begin
     match t.stream_handler with
+    | Some handler -> handler ~now packet
+    | None -> ()
+  end
+  else if flow.Flow.dst_port = ctrl_port then begin
+    match t.ctrl_handler with
     | Some handler -> handler ~now packet
     | None -> ()
   end
@@ -325,7 +346,7 @@ let live_outbound_stats t =
    of virtual time; a changed preference invalidates the per-flow cache
    so every flow migrates on its next packet. *)
 let[@hot] refresh_policy t ~now =
-  if now -. t.last_choice_at > t.policy_refresh_s then begin
+  if (not t.pinned) && now -. t.last_choice_at > t.policy_refresh_s then begin
     let path = Policy.choose t.policy ~now_s:now (live_outbound_stats t) in
     t.policy_evals <- t.policy_evals + 1;
     Metric.incr m_policy_evals;
@@ -386,6 +407,74 @@ let forward_transit t (packet : Packet.t) =
   dispatch t packet
 
 let set_stream_handler t handler = t.stream_handler <- Some handler
+
+(* ------------------------------------------------------------------ *)
+(* Control plane: epoch-versioned path-table swap and the in-band pair
+   control channel (lib/ctrl).                                          *)
+
+let install_outbound_paths t outbound_paths =
+  let n = List.length outbound_paths in
+  if n = 0 then invalid_arg "Pop.install_outbound_paths: empty path table";
+  if n > max_paths then
+    invalid_arg (Printf.sprintf "Pop.install_outbound_paths: %d paths (max %d)" n max_paths);
+  List.iteri
+    (fun i (p : Discovery.path) ->
+      if p.Discovery.index <> i then
+        invalid_arg
+          (Printf.sprintf
+             "Pop.install_outbound_paths: path at position %d has index %d" i
+             p.Discovery.index))
+    outbound_paths;
+  t.tunnels <- tunnels_of ~plan:t.plan ~remote_plan:t.remote_plan outbound_paths;
+  t.path_labels <-
+    Array.of_list
+      (List.map (fun (p : Discovery.path) -> p.Discovery.label) outbound_paths);
+  (* Retained indices keep their peer-reported stats; paths new in this
+     epoch start unmeasured, exactly like at creation. *)
+  let old = t.outbound_stats in
+  t.outbound_stats <-
+    Array.init n (fun i ->
+        if i < Array.length old then old.(i) else Policy.no_stats ~path_id:i);
+  if t.last_choice >= n then t.last_choice <- 0;
+  if Policy.current t.policy >= n then Policy.retarget t.policy ~path:0;
+  t.table_epoch <- t.table_epoch + 1;
+  (* Drop every cached per-flow decision and force a full policy pass on
+     the next packet: the swap is atomic from the data plane's view. *)
+  t.last_choice_at <- neg_infinity;
+  Flow_cache.invalidate t.path_cache
+
+let table_epoch t = t.table_epoch
+
+let set_ctrl_handler t handler = t.ctrl_handler <- Some handler
+
+(* Control traffic is in-band: it rides whatever path the live policy
+   currently prefers, fate-sharing with the data plane, and fails over
+   with it. *)
+let send_ctrl t ?path ~content () =
+  if Array.length t.tunnels = 0 then invalid_arg "Pop.send_ctrl: no tunnels";
+  let flow =
+    Flow.v
+      ~src:(Addressing.host_address t.plan 1L)
+      ~dst:(Addressing.host_address t.remote_plan 1L)
+      ~proto:17 ~src_port:ctrl_port ~dst_port:ctrl_port
+  in
+  let path =
+    match path with
+    | Some p -> p
+    | None ->
+        let now = Engine.now (engine t) in
+        choose_path t ~now ~flow_hash:(Flow.hash_5tuple flow)
+  in
+  send_flow t ~path ~flow ~payload_bytes:64 ~content ();
+  path
+
+let set_pinned t v =
+  t.pinned <- v;
+  (* On unpin, re-evaluate on the very next packet rather than waiting
+     out a refresh interval. *)
+  if not v then t.last_choice_at <- neg_infinity
+
+let pinned t = t.pinned
 
 (* Transport-layer segments: path selection via the live policy (like
    app traffic) or pinned to one tunnel, without polluting the

@@ -120,6 +120,44 @@ val send_stream :
     [`Policy] consults the live path-selection policy, [`Path p] pins a
     tunnel. *)
 
+(** {1 Control plane (lib/ctrl hooks)}
+
+    The reconciler swaps re-discovered path tables in atomically, and
+    the pair control channel rides a dedicated in-band port. *)
+
+val install_outbound_paths : t -> Discovery.path list -> unit
+(** Replace the outbound path table with a new generation: tunnels and
+    labels are rebuilt, peer-reported stats are kept for retained
+    indices (new paths start unmeasured), the per-flow decision cache is
+    invalidated and {!table_epoch} is bumped — from the data plane's
+    view the swap is atomic. Paths must be indexed densely from 0 in
+    list order. Raises [Invalid_argument] on an empty, oversized or
+    mis-indexed table. *)
+
+val table_epoch : t -> int
+(** Generation stamp of the installed path table; 0 at creation,
+    incremented by every {!install_outbound_paths}. *)
+
+val set_ctrl_handler : t -> (now:float -> Tango_net.Packet.t -> unit) -> unit
+(** Install the receiver for control-channel packets (at most one). *)
+
+val send_ctrl : t -> ?path:int -> content:Tango_net.Packet.content -> unit -> int
+(** Send one control packet toward the peer over the path the live
+    policy currently prefers (in-band: control fate-shares with data
+    and fails over with it); returns the path used. [path] pins a
+    tunnel instead — the channel's peer-loss probing rotates over every
+    tunnel this way, so any live tunnel can carry the recovery. Raises
+    [Invalid_argument] if the PoP has no tunnels. *)
+
+val set_pinned : t -> bool -> unit
+(** Freeze (or release) the path-selection refresh: while pinned, the
+    current preference is held and no policy re-evaluation runs — the
+    unilateral mode entered on peer loss, when stat reports have stopped
+    and staleness would drive the adaptive policy blind. Unpinning
+    forces a re-evaluation on the next packet. *)
+
+val pinned : t -> bool
+
 (** {1 Measurements} *)
 
 val inbound_owd_series : t -> path:int -> Tango_telemetry.Series.t

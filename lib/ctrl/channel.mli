@@ -1,0 +1,73 @@
+(** The in-band pair control channel: heartbeats and path-table digests
+    riding the pair's own tunnels (DESIGN.md §10).
+
+    Each endpoint sends a heartbeat every [heartbeat_interval_s] on the
+    path its live policy currently prefers — control fate-shares with
+    data and fails over with it. A heartbeat carries the sender's
+    path-table generation ({!Tango.Pop.table_epoch}) and a digest of its
+    outbound table, so the peer can tell when a reconciliation swapped
+    tables on the far side.
+
+    An endpoint that has heard nothing for [peer_timeout_s] declares
+    peer loss: its PoP is pinned ({!Tango.Pop.set_pinned}) into
+    unilateral mode — with the peer gone, stat reports have stopped too,
+    and the adaptive policy would be driven purely by staleness noise.
+    While lost, heartbeats rotate across {e every} tunnel, so one live
+    tunnel in either direction is enough to re-establish contact. The
+    first heartbeat that gets through ends the episode: the PoP is
+    unpinned and the [on_recover] hook (the reconciler's re-sync
+    trigger) fires. *)
+
+type Tango_net.Packet.content +=
+  | Heartbeat of { seq : int; epoch : int; digest : int }
+
+val digest_paths : Tango.Discovery.path list -> int
+(** Order-sensitive fingerprint of a path table (indices and AS paths),
+    as carried in heartbeats. *)
+
+type t
+
+val attach :
+  engine:Tango_sim.Engine.t ->
+  pop_a:Tango.Pop.t ->
+  pop_b:Tango.Pop.t ->
+  ?heartbeat_interval_s:float ->
+  ?peer_timeout_s:float ->
+  ?until_s:float ->
+  epoch_of:(Tango.Pop.t -> int) ->
+  digest_of:(Tango.Pop.t -> int) ->
+  unit ->
+  t
+(** Install ctrl-port handlers on both PoPs and schedule the heartbeat
+    tick. Defaults: heartbeat every 0.1 s, peer timeout 0.5 s.
+    [epoch_of]/[digest_of] supply what each endpoint advertises about
+    its own outbound table. Raises [Invalid_argument] unless
+    [0 < heartbeat_interval_s < peer_timeout_s]. *)
+
+val set_on_loss : t -> (Tango.Pop.t -> unit) -> unit
+(** Hook invoked (with the local PoP) when that endpoint declares peer
+    loss. *)
+
+val set_on_recover : t -> (Tango.Pop.t -> unit) -> unit
+(** Hook invoked (with the local PoP) when a lost peer is heard again —
+    the reconciler re-syncs on it. *)
+
+(** {1 Per-endpoint state} (all raise [Invalid_argument] for a PoP that
+    is not an endpoint of this channel) *)
+
+val peer_alive : t -> Tango.Pop.t -> bool
+val heartbeats_sent : t -> Tango.Pop.t -> int
+val heartbeats_received : t -> Tango.Pop.t -> int
+
+val losses : t -> Tango.Pop.t -> int
+(** Peer-loss episodes this endpoint entered. *)
+
+val recoveries : t -> Tango.Pop.t -> int
+
+val peer_epoch : t -> Tango.Pop.t -> int
+(** Table generation the peer last advertised. *)
+
+val peer_digest : t -> Tango.Pop.t -> int
+
+val heartbeat_interval_s : t -> float
+val peer_timeout_s : t -> float

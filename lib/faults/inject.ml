@@ -43,6 +43,7 @@ type t = {
   mutable injected : int;
   mutable switches_during : int;
   mutable events : (float * string) list;  (** Reverse chronological. *)
+  mutable last_off_s : float;  (** When the latest fault window closed. *)
   faults : armed array;
 }
 
@@ -203,6 +204,7 @@ let deactivate t (a : armed) engine =
     t.switches_during <- t.switches_during + switches;
     Metric.add m_switches_during switches;
     let now = Engine.now engine in
+    t.last_off_s <- Float.max t.last_off_s now;
     Trace.record Trace.default ~now ~kind:k_off a.spec.path
       (Spec.kind_code a.spec.kind);
     note t ~now "off" a.spec
@@ -224,6 +226,7 @@ let arm ~pair ?(seed = 42) spec_list =
       injected = 0;
       switches_during = 0;
       events = [];
+      last_off_s = neg_infinity;
       faults =
         Array.of_list
           (List.mapi
@@ -276,5 +279,7 @@ let active t = t.active_count
 let injected t = t.injected
 
 let switches_during t = t.switches_during
+
+let last_off_s t = t.last_off_s
 
 let timeline t = List.rev t.events

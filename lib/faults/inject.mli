@@ -55,6 +55,11 @@ val switches_during : t -> int
 (** Path switches the affected sender's policy made inside completed
     fault windows — the switches-per-fault numerator. *)
 
+val last_off_s : t -> float
+(** Virtual time the latest fault window closed (deactivation or final
+    {!clear}); [neg_infinity] before any window has closed. The faults
+    summary measures recovery time from here. *)
+
 val timeline : t -> (float * string) list
 (** Human-readable activation/deactivation log, in event order:
     [(virtual time, "on|off <spec>")]. *)

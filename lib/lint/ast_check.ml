@@ -26,6 +26,8 @@ let default =
         "obs/trace.ml";
         "faults/spec.ml";
         "faults/inject.ml";
+        "ctrl/watch.ml";
+        "ctrl/channel.ml";
       ];
     exn_ban_paths = [ "lib/dataplane/"; "lib/net/" ];
     require_mli = true;

@@ -1,0 +1,11 @@
+(* Must-flag fixture for the ctrl hot-module scope: churn classification
+   and heartbeat handling that allocate per check / per heartbeat. *)
+
+type verdict = Live | Moved | Gone
+
+let[@hot] verdict_pair_alloc baseline current = (baseline, current, Live)
+
+let[@hot] classify_list_alloc verdicts = Gone :: verdicts
+
+(* Unmarked epoch-setup code may allocate freely: must NOT flag. *)
+let snapshot_baselines prefixes = List.map (fun p -> (p, Moved)) prefixes

@@ -1,0 +1,17 @@
+(* Must-pass fixture for the ctrl hot-module scope: the shapes the real
+   watch / channel hot reads use — scalar compares, field loads, int
+   mixing — none of which allocate. *)
+
+type verdict = Live | Moved | Gone
+
+type entry = { mutable last_heard_s : float; mutable seq : int }
+
+let[@hot] verdict_code v = match v with Live -> 0 | Moved -> 1 | Gone -> 2
+
+let[@hot] digest_mix h v = (h lxor v) * 0x100000001b3
+
+let[@hot] heartbeat_due e ~now ~timeout_s = now -. e.last_heard_s > timeout_s
+
+let[@hot] bump_seq e =
+  e.seq <- e.seq + 1;
+  e.seq

@@ -88,6 +88,20 @@ let test_default_covers_faults () =
         (List.mem frag Ast_check.default.Ast_check.hot_modules))
     [ "faults/spec.ml"; "faults/inject.ml" ]
 
+(* Control-plane reconciliation watch/heartbeat reads joined the hot set
+   too (they run on every cadence tick and heartbeat). *)
+let test_hot_ctrl_bad () =
+  check_findings "hot_ctrl_bad.ml" [ (6, "hot-alloc"); (8, "hot-alloc") ]
+
+let test_hot_ctrl_ok () = check_findings "hot_ctrl_ok.ml" []
+
+let test_default_covers_ctrl () =
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) frag true
+        (List.mem frag Ast_check.default.Ast_check.hot_modules))
+    [ "ctrl/watch.ml"; "ctrl/channel.ml" ]
+
 let test_poly_bad () =
   check_findings "poly_bad.ml"
     [ (3, "poly-compare"); (5, "poly-compare"); (7, "poly-compare"); (9, "poly-compare") ]
@@ -167,6 +181,10 @@ let () =
           Alcotest.test_case "hot-alloc faults waived" `Quick test_hot_faults_waived;
           Alcotest.test_case "default hot modules cover faults" `Quick
             test_default_covers_faults;
+          Alcotest.test_case "hot-alloc ctrl must-flag" `Quick test_hot_ctrl_bad;
+          Alcotest.test_case "hot-alloc ctrl must-pass" `Quick test_hot_ctrl_ok;
+          Alcotest.test_case "default hot modules cover ctrl" `Quick
+            test_default_covers_ctrl;
           Alcotest.test_case "poly-compare must-flag" `Quick test_poly_bad;
           Alcotest.test_case "float-equal must-flag" `Quick test_float_bad;
           Alcotest.test_case "poly-compare must-pass" `Quick test_poly_ok;
