@@ -2,7 +2,7 @@
 # formatting, the full test suite, then a fast end-to-end smoke of the
 # experiment harness (fig3 takes well under a second).
 
-.PHONY: all build fmt test lint lint-json smoke obs-smoke faults-smoke reconcile-smoke bench bench-json bench-compare check clean
+.PHONY: all build fmt test lint lint-json smoke obs-smoke faults-smoke reconcile-smoke throughput-smoke bench bench-json bench-compare check clean
 
 all: build
 
@@ -55,7 +55,13 @@ faults-smoke:
 reconcile-smoke:
 	dune exec bin/tango_cli.exe -- reconcile --scenario bgp-flap --duration 12 > /dev/null
 
-check: build fmt test lint smoke obs-smoke faults-smoke reconcile-smoke
+# Multicore dataplane smoke: a tiny E14 run on 2 domain lanes (the
+# deterministic summary prints; wall-clock rows are the only noise).
+throughput-smoke:
+	dune exec bench/main.exe -- --experiment throughput-scaling --domains 2 --batch 64 > /dev/null
+	dune exec bin/tango_cli.exe -- throughput --domains 2 --generations 200 --fingerprint > /dev/null
+
+check: build fmt test lint smoke obs-smoke faults-smoke reconcile-smoke throughput-smoke
 
 clean:
 	dune clean

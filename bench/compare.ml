@@ -10,7 +10,9 @@
 
      - ns/op regressed by more than the tolerance (default 25%), or
      - major-heap words/op went from (effectively) zero in the baseline
-       to non-zero now — the zero-allocation fast path grew a leak.
+       to non-zero now — the zero-allocation fast path grew a leak, or
+     - pps (throughput pipeline rows; higher is better) dropped by more
+       than 15% against the baseline.
 
    Benchmarks present in only one file are reported but never fail the
    gate, so adding or retiring benchmarks does not require regenerating
@@ -18,7 +20,7 @@
 
 module Json = Tango_obs.Json
 
-type row = { ns : float option; major : float option }
+type row = { ns : float option; major : float option; pps : float option }
 
 let read_file path =
   let ic = open_in_bin path in
@@ -51,6 +53,7 @@ let rows_of_file path =
               {
                 ns = Json.number_opt (Json.member "ns_per_op" entry);
                 major = Json.number_opt (Json.member "major_words_per_op" entry);
+                pps = Json.number_opt (Json.member "pps" entry);
               } )
       | None -> None)
     results
@@ -63,6 +66,9 @@ let ns_floor = 0.5
 (* Noise floor for the major-words gate: a baseline at or under this is
    "zero-allocation", and staying under it is a pass. *)
 let major_epsilon = 0.01
+
+(* Allowed fractional pps drop for throughput rows (higher is better). *)
+let pps_tolerance = 0.15
 
 let () =
   let tolerance = ref 0.25 in
@@ -111,13 +117,28 @@ let () =
                   b c
                   ((ratio -. 1.0) *. 100.0)
           | _ -> Printf.printf "  ~ %-45s no ns/op estimate\n" name);
-          match (base.major, cur.major) with
+          (match (base.major, cur.major) with
           | Some b, Some c when Float.abs b <= major_epsilon && c > major_epsilon
             ->
               incr failures;
               Printf.printf
                 "  ! %-45s major words/op %.3f -> %.3f (was zero-alloc)\n" name
                 b c
+          | _ -> ());
+          (* Throughput rows: higher is better; gate on a >15% drop. *)
+          match (base.pps, cur.pps) with
+          | Some b, Some c when b > 0.0 ->
+              let ratio = c /. b in
+              if ratio < 1.0 -. pps_tolerance then begin
+                incr failures;
+                Printf.printf "  ! %-45s pps %11.0f -> %11.0f  (%+.0f%%)\n" name
+                  b c
+                  ((ratio -. 1.0) *. 100.0)
+              end
+              else
+                Printf.printf "  . %-45s pps %11.0f -> %11.0f  (%+.0f%%)\n" name
+                  b c
+                  ((ratio -. 1.0) *. 100.0)
           | _ -> ()))
     baseline;
   List.iter

@@ -32,7 +32,14 @@ let experiments =
     ("discovery-cost", Experiments.discovery_cost);
     ("failover-under-fault", Experiments.failover_under_fault);
     ("rediscovery-under-churn", Experiments.rediscovery_under_churn);
+    ("throughput-scaling", Experiments.throughput_scaling);
   ]
+
+(* E14 prints wall-clock rows, which are inherently nondeterministic, so
+   it only runs when selected explicitly — the default full run stays
+   byte-comparable across seeds (the determinism sweep in test/dune). *)
+let default_ids =
+  List.filter (fun id -> id <> "throughput-scaling") (List.map fst experiments)
 
 let () =
   let selected = ref [] in
@@ -56,6 +63,14 @@ let () =
       ( "--probe-interval",
         Arg.Float (fun i -> Experiments.probe_interval := i),
         "SECONDS  probe spacing (default 0.01, as in the paper)" );
+      ( "--domains",
+        Arg.Int (fun d -> Experiments.tp_domains := d),
+        "K  throughput-scaling (E14): run only K domain lanes (default: \
+         sweep 1, 2, 4)" );
+      ( "--batch",
+        Arg.Int (fun b -> Experiments.tp_batch := b),
+        "N  throughput-scaling (E14): flush batches at N packets (default: \
+         sweep 1, 64)" );
       ( "--csv",
         Arg.String (fun d -> Experiments.csv_dir := Some d),
         "DIR  also write figure series as CSV into DIR" );
@@ -79,7 +94,7 @@ let () =
     "tango benchmark harness";
   let to_run =
     match List.rev !selected with
-    | [] -> List.map fst experiments @ (if !run_micro then [ "micro" ] else [])
+    | [] -> default_ids @ (if !run_micro then [ "micro" ] else [])
     | l -> l
   in
   (* --json needs the micro rows even when the selection skips them. *)

@@ -275,6 +275,56 @@ let test_fault_check_active =
            (Tango_dataplane.Fabric.link_fault_extra_ms fabric ~from_node:0
               ~to_node:1 ~time_s:1.0)))
 
+(* The batched per-lane packet path (lib/dataplane batch + fabric): one
+   op = one 64-packet send_batch_direct over a converged plain route,
+   delivery continuation included. This is the path every lane executes
+   per flush in the throughput pipeline; the major-words column is its
+   zero-allocation gate. *)
+let batch_fabric, batch_packets =
+  let engine = Tango_sim.Engine.create ~seed:9 () in
+  let topo = Tango_topo.Topology.create () in
+  Tango_topo.Topology.add_node topo ~id:0 ~asn:64512 "sender";
+  Tango_topo.Topology.add_node topo ~id:1 ~asn:64513 "transit";
+  Tango_topo.Topology.add_node topo ~id:2 ~asn:64514 "receiver";
+  let plain = Tango_topo.Link.v ~jitter_ms:0.0 ~bandwidth_mbps:100_000.0 0.5 in
+  Tango_topo.Topology.connect topo ~provider:1 ~customer:0 ~link:plain ();
+  Tango_topo.Topology.connect topo ~provider:1 ~customer:2 ~link:plain ();
+  let net = Tango_bgp.Network.create topo engine in
+  Tango_bgp.Network.announce net ~node:2
+    (Tango_net.Prefix.of_string_exn "2001:db8:100::/48")
+    ();
+  ignore (Tango_bgp.Network.converge net);
+  let fabric = Tango_dataplane.Fabric.create net in
+  let dst = Tango_net.Addr.of_string_exn "2001:db8:100::1" in
+  assert (Tango_dataplane.Fabric.route_plain fabric ~from_node:0 ~dst);
+  let batch = Tango_dataplane.Batch.create () in
+  let bflow =
+    Tango_net.Flow.v
+      ~src:(Tango_net.Addr.V6 ipv6)
+      ~dst ~proto:17 ~src_port:40000 ~dst_port:4789
+  in
+  for i = 0 to Tango_dataplane.Batch.capacity - 1 do
+    Tango_dataplane.Batch.add batch
+      (Tango_net.Packet.create ~id:i ~flow:bflow ~payload_bytes:512
+         ~created_at:0.0 ())
+  done;
+  (fabric, batch)
+
+let test_send_batch_direct =
+  let now = ref 0.0 in
+  let on_delivered_at ~node:_ ~at_s:_ _ = () in
+  (* The same 64 packets go round every op; drop the previous round's
+     recorded hops so the conses die young instead of accreting on the
+     benchmark's long-lived packets (which would read as a promotion
+     leak the real pipeline — fresh packets per generation — never has). *)
+  let reset p = p.Tango_net.Packet.hops <- [] in
+  Test.make ~name:"fabric.send_batch_direct (64 pkts, plain)"
+    (Staged.stage (fun () ->
+         now := !now +. 1e-6;
+         Tango_dataplane.Batch.iter batch_packets ~f:reset;
+         Tango_dataplane.Fabric.send_batch_direct batch_fabric ~from_node:0
+           ~now_s:!now ~on_delivered_at batch_packets))
+
 (* Control-plane reconciliation hot reads (lib/ctrl): the per-prefix
    churn classification and the table digest a heartbeat carries. Both
    run on every cadence tick / heartbeat, so they must stay cheap. *)
@@ -333,6 +383,7 @@ let all_tests =
       test_tracker_instrumented;
       test_fault_check_inactive;
       test_fault_check_active;
+      test_send_batch_direct;
       test_watch_verdict;
       test_ctrl_digest;
     ]
@@ -346,6 +397,9 @@ type row = {
   ns_per_op : float option;
   minor_words_per_op : float option;
   major_words_per_op : float option;
+  pps : float option;
+      (* End-to-end packets/s for pipeline rows (higher is better);
+         None for bechamel ops. *)
 }
 
 let estimate results name =
@@ -378,28 +432,60 @@ let measure () =
         ns_per_op = estimate clock name;
         minor_words_per_op = estimate minor name;
         major_words_per_op = estimate major name;
+        pps = None;
       })
     (List.sort String.compare names)
 
+(* End-to-end pipeline rows: the multicore batched dataplane at a small,
+   fixed workload (E14 runs the full sweep; these rows exist so
+   BENCH.json carries a pps trajectory that compare.exe can gate,
+   higher-is-better). Best of two trials — single-trial wall clocks on a
+   shared box are too noisy to regress against. *)
+let pipeline_rows () =
+  List.map
+    (fun (name, domains, batch) ->
+      let trial () =
+        Tango.Throughput.run ~domains ~batch ~flows:512 ~generations:1000
+          ~seed:42 ()
+      in
+      let a = trial () and b = trial () in
+      let r = if a.Tango.Throughput.pps >= b.Tango.Throughput.pps then a else b in
+      {
+        name;
+        ns_per_op = Some (1e9 /. r.Tango.Throughput.pps);
+        minor_words_per_op = None;
+        major_words_per_op = Some r.Tango.Throughput.major_words_per_packet;
+        pps = Some r.Tango.Throughput.pps;
+      })
+    [
+      ("throughput.pipeline (1 domain, batch 1)", 1, 1);
+      ("throughput.pipeline (1 domain, batch 64)", 1, 64);
+      ("throughput.pipeline (2 domains, batch 64)", 2, 64);
+    ]
+
 let print_rows rows =
   Printf.printf "\n=== Microbenchmarks (OLS fit per op) ===\n%!";
-  Printf.printf "  %-42s %12s %13s %13s\n" "op" "ns/op" "minor w/op" "major w/op";
+  Printf.printf "  %-42s %12s %13s %13s %10s\n" "op" "ns/op" "minor w/op"
+    "major w/op" "Mpps";
   List.iter
     (fun r ->
       let cell = function
         | Some v -> Printf.sprintf "%13.1f" v
         | None -> Printf.sprintf "%13s" "-"
       in
-      Printf.printf "  %-42s %s %s %s\n" r.name
+      Printf.printf "  %-42s %s %s %s %s\n" r.name
         (match r.ns_per_op with
         | Some v -> Printf.sprintf "%12.1f" v
         | None -> Printf.sprintf "%12s" "-")
         (cell r.minor_words_per_op)
-        (cell r.major_words_per_op))
+        (cell r.major_words_per_op)
+        (match r.pps with
+        | Some v -> Printf.sprintf "%10.3f" (v /. 1e6)
+        | None -> Printf.sprintf "%10s" "-"))
     rows
 
 let run_measured () =
-  let rows = measure () in
+  let rows = measure () @ pipeline_rows () in
   print_rows rows;
   rows
 
@@ -436,10 +522,11 @@ let write_json path rows =
   List.iteri
     (fun i r ->
       Printf.fprintf oc
-        "    { \"name\": \"%s\", \"ns_per_op\": %s, \"minor_words_per_op\": %s, \"major_words_per_op\": %s }%s\n"
+        "    { \"name\": \"%s\", \"ns_per_op\": %s, \"minor_words_per_op\": %s, \"major_words_per_op\": %s, \"pps\": %s }%s\n"
         (json_escape r.name) (json_number r.ns_per_op)
         (json_number r.minor_words_per_op)
         (json_number r.major_words_per_op)
+        (json_number r.pps)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "  ]\n}\n";

@@ -8,6 +8,7 @@
      tango overlay   — plan a Tango-of-N overlay on the triangle topology
      tango faults    — run a named fault-injection scenario (lib/faults)
      tango reconcile — fault scenario with the control-plane reconciler armed
+     tango throughput — multicore batched dataplane (domain lanes + batches)
 
    Every subcommand takes --metrics FILE (JSON-lines snapshot: manifest,
    counters/gauges/histograms, trace events) and --prom FILE (Prometheus
@@ -683,6 +684,61 @@ let reconcile_cmd =
       $ list_flag $ metrics_arg $ prom_arg)
 
 (* ------------------------------------------------------------------ *)
+(* throughput                                                          *)
+
+let throughput domains batch flows generations seed fingerprint_only metrics
+    prom =
+  with_obs ~experiment:"throughput" ~seed
+    ~config:
+      (Printf.sprintf
+         "throughput domains=%d batch=%d flows=%d generations=%d seed=%d"
+         domains batch flows generations seed)
+    metrics prom
+  @@ fun () ->
+  let r = Throughput.run ~domains ~batch ~flows ~generations ~seed () in
+  Throughput.print_summary ~timing:(not fingerprint_only) r
+
+let throughput_cmd =
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Dataplane lanes, one OCaml domain each.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Packet-batch flush threshold, between 1 and 64.")
+  in
+  let flows =
+    Arg.(value & opt int 512 & info [ "flows" ] ~docv:"N" ~doc:"Concurrent flows.")
+  in
+  let generations =
+    Arg.(
+      value & opt int 2000
+      & info [ "generations" ] ~docv:"N"
+          ~doc:"Packets per flow (one per 1 ms virtual generation).")
+  in
+  let fingerprint_flag =
+    Arg.(
+      value & flag
+      & info [ "fingerprint" ]
+          ~doc:
+            "Print only the deterministic summary (no wall-clock/pps \
+             line), so runs at different --domains/--batch settings are \
+             byte-comparable.")
+  in
+  Cmd.v
+    (Cmd.info "throughput"
+       ~doc:
+         "Run the multicore batched dataplane: flow-sharded domain lanes, \
+          64-packet batches, deterministic merge")
+    Term.(
+      const throughput $ domains $ batch $ flows $ generations $ seed_arg
+      $ fingerprint_flag $ metrics_arg $ prom_arg)
+
+(* ------------------------------------------------------------------ *)
 (* mesh                                                                *)
 
 let mesh seed duration metrics prom =
@@ -743,4 +799,5 @@ let () =
             mesh_cmd;
             faults_cmd;
             reconcile_cmd;
+            throughput_cmd;
           ]))

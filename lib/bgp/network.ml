@@ -31,6 +31,12 @@ type t = {
   pending : (int * int, (Prefix.t, Update.t) Hashtbl.t) Hashtbl.t;
   flush_armed : (int * int, unit) Hashtbl.t;
   mutable messages : int;
+  (* Monotone table-state stamp: bumped on every origination, withdrawal
+     and delivered update, i.e. whenever any loc-RIB may have changed.
+     Derived read-side caches (the fabric's batched route cache) compare
+     it to decide whether their resolved routes are still current;
+     over-counting is harmless, missing a change is not. *)
+  mutable revision : int;
   (* Table-observation hooks: fired synchronously whenever a node
      (re-)originates or withdraws a prefix — the event source behind
      event-driven reconciliation checks. Empty by default, so the
@@ -63,6 +69,7 @@ let create ?(processing_delay_s = 0.05) ?(mrai_s = 0.0)
       pending = Hashtbl.create 64;
       flush_armed = Hashtbl.create 64;
       messages = 0;
+      revision = 0;
       origin_listeners = [];
     }
   in
@@ -162,6 +169,7 @@ and transmit t from_node to_node update =
   let delay = session_delay t from_node to_node in
   Engine.schedule t.engine ~delay (fun _engine ->
       t.messages <- t.messages + 1;
+      t.revision <- t.revision + 1;
       let receiver = speaker t to_node in
       let next = Speaker.receive receiver ~from_node update in
       dispatch t ~from_node:to_node next)
@@ -174,11 +182,13 @@ let add_origin_listener t f = t.origin_listeners <- t.origin_listeners @ [ f ]
 let announce t ~node prefix ?communities ?poison () =
   let s = speaker t node in
   let emissions = Speaker.originate s prefix ?communities ?poison () in
+  t.revision <- t.revision + 1;
   dispatch t ~from_node:node emissions;
   notify_origin t ~node prefix
 
 let withdraw t ~node prefix =
   let s = speaker t node in
+  t.revision <- t.revision + 1;
   dispatch t ~from_node:node (Speaker.withdraw_origin s prefix);
   notify_origin t ~node prefix
 
@@ -223,6 +233,8 @@ let forwarding_path t ~from_node addr =
   walk from_node [] 0
 
 let messages_delivered t = t.messages
+
+let revision t = t.revision
 
 let residual_nodes t prefix =
   Hashtbl.fold

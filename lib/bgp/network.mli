@@ -73,6 +73,14 @@ val messages_delivered : t -> int
 (** Total BGP updates delivered since creation (churn / convergence
     cost metric). *)
 
+val revision : t -> int
+(** Monotone stamp of loc-RIB state: bumped on every origination,
+    withdrawal and delivered update. Read-side route caches (the
+    fabric's batched fast path) revalidate against it — equal revision
+    means no table anywhere has changed since the cache was filled.
+    May over-count (bumps with no visible best-route change); it never
+    under-counts. *)
+
 (** {1 Table observation hooks}
 
     Control-plane reconciliation ({!Tango_ctrl}) watches the network for

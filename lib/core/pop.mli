@@ -73,7 +73,9 @@ val transited : t -> int
 
 val send_probe : t -> unit
 (** Send one measurement probe on {e every} outbound path (the paper's
-    per-10 ms probe train). A no-op while probe suppression is active. *)
+    per-10 ms probe train), dispatched as a single packet batch through
+    {!Tango_dataplane.Fabric.send_batch}. A no-op while probe
+    suppression is active. *)
 
 val set_probe_suppression : t -> bool -> unit
 (** Starve (or resume) the probe train without unscheduling it — the

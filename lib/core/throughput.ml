@@ -1,0 +1,511 @@
+(* Multicore batched dataplane throughput pipeline (DESIGN.md §11).
+
+   This is the end-to-end packet path — encap, fabric forwarding, decap,
+   per-flow measurement — run at maximum rate across flow-sharded domain
+   lanes. Flows are partitioned by 5-tuple hash onto N lanes
+   (Shard.lane_of_hash); every lane owns a full, independent copy of the
+   world (topology, converged BGP tables, fabric, flow cache, sequence
+   trackers), so the per-packet path takes no lock and shares no mutable
+   state. Lanes emit one flat record per delivered packet into their SPSC
+   ring; after all lanes are joined, a single reducer k-way-merges the
+   rings deterministically and folds an order-insensitive fingerprint.
+
+   Determinism at any domain count is by construction:
+
+   - a flow's packets all live on one lane, and that lane processes them
+     in (virtual-arrival-time, sequence) order via per-path FIFO rings —
+     the per-flow observation order Seq_tracker sees is therefore a pure
+     function of the workload, never of the lane count;
+   - every per-packet quantity (send time, path choice, synthetic drop,
+     arrival time, one-way delay) is computed from seeds, flow hashes
+     and generation indices alone;
+   - the reducer's fingerprint is commutative (sum + xor of per-record
+     hashes), so cross-flow interleaving — the only thing that differs
+     between lane counts — cannot affect it.
+
+   The virtual workload: [flows] flows each send one packet per
+   generation (generations are [gen_interval_s] apart); every
+   [epoch_gens] generations the flow cache is invalidated and the
+   per-flow path assignment rotates by one, putting fresh packets on a
+   path whose delay differs from the in-flight ones' (reordering);
+   a deterministic hash of (flow, generation) drops ~0.8% of packets
+   before they enter the fabric (loss). Paths have distinct delays, so
+   rotation genuinely overlaps old and new paths in flight.
+
+   On the packet path proper (Flow_cache hit -> encap -> batched fabric
+   send -> decap -> ring push -> Seq_tracker.observe) nothing is
+   allocated that survives a minor collection: packets die within the
+   generation that created them, and all carried state lives in
+   preallocated flat arrays. The process-wide Metric registry is frozen
+   during the parallel phase and the per-lane counts are published once,
+   at the quiesce point after every domain is joined. *)
+
+module Engine = Tango_sim.Engine
+module Shard = Tango_sim.Shard
+module Topology = Tango_topo.Topology
+module Link = Tango_topo.Link
+module Network = Tango_bgp.Network
+module Addr = Tango_net.Addr
+module Flow = Tango_net.Flow
+module Packet = Tango_net.Packet
+module Fabric = Tango_dataplane.Fabric
+module Batch = Tango_dataplane.Batch
+module Clock = Tango_dataplane.Clock
+module Flow_cache = Tango_dataplane.Flow_cache
+module Seq_tracker = Tango_dataplane.Seq_tracker
+module Metric = Tango_obs.Metric
+
+(* Process-wide observability, published only at quiesce points. *)
+let m_offered =
+  Metric.counter ~help:"Throughput pipeline: packets offered"
+    "throughput_packets_offered_total"
+
+let m_synthetic =
+  Metric.counter ~help:"Throughput pipeline: synthetic pre-fabric drops"
+    "throughput_synthetic_drops_total"
+
+let m_lost =
+  Metric.counter ~help:"Throughput pipeline: packets lost (tracker totals)"
+    "throughput_packets_lost_total"
+
+let m_reordered =
+  Metric.counter ~help:"Throughput pipeline: reordered arrivals"
+    "throughput_packets_reordered_total"
+
+let g_lanes =
+  Metric.gauge ~help:"Throughput pipeline: lanes of the last run"
+    "throughput_lanes"
+
+let paths = 4
+
+let payload_bytes = 512
+
+let gen_interval_s = 0.001
+
+let epoch_gens = 25
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic workload ingredients.                                  *)
+
+(* Pre-fabric loss: a splitmix-style hash of (flow hash, generation)
+   drops 8/1024 of offered packets, independent of lane count. *)
+let[@hot] synthetic_drop ~flow_hash ~gen =
+  let m = flow_hash lxor (gen * 0x2545F4914F6CDD1D) in
+  let m = m lxor (m lsr 29) in
+  m land 1023 < 8
+
+type flow_slot = { f_flow : Flow.t; f_hash : int }
+
+(* ------------------------------------------------------------------ *)
+(* Per-lane world: topology, converged BGP, fabric, measurement state.  *)
+
+(* Star topology with [paths] disjoint two-hop routes, every link
+   jitter-free and loss-free so all routes are "plain" (batched fast
+   path) and arrival times are closed-form. Distinct per-path delays
+   (1.0, 1.6, 2.2, 2.8 ms end to end) against a 1 ms generation interval
+   make epoch rotations overlap in flight — the reordering source. *)
+let build_topology () =
+  let topo = Topology.create () in
+  Topology.add_node topo ~id:0 ~asn:64500 "sender";
+  for i = 0 to paths - 1 do
+    let transit = 1 + i and receiver = 1 + paths + i in
+    Topology.add_node topo ~id:transit ~asn:(64600 + i)
+      (Printf.sprintf "transit-%d" i);
+    Topology.add_node topo ~id:receiver ~asn:(64700 + i)
+      (Printf.sprintf "receiver-%d" i);
+    Topology.connect topo ~provider:transit ~customer:0
+      ~link:
+        (Link.v ~jitter_ms:0.0 ~bandwidth_mbps:100_000.0
+           (0.7 +. (0.6 *. float_of_int i)))
+      ();
+    Topology.connect topo ~provider:transit ~customer:receiver
+      ~link:(Link.v ~jitter_ms:0.0 ~bandwidth_mbps:100_000.0 0.3) ()
+  done;
+  topo
+
+type lane_env = {
+  l_fabric : Fabric.t;
+  l_dsts : Addr.t array;  (* per-path tunnel endpoints at site 1 *)
+  l_outer_src : Addr.t;
+  l_clock : Clock.t;
+  l_cache : Flow_cache.t;
+  l_trackers : Seq_tracker.t array;  (* indexed by global flow id *)
+  l_path_rings : Shard.Ring.t array;  (* in-flight arrivals, per path *)
+  l_batch : Batch.t;
+  l_t0 : float;  (* virtual time of generation 0 (post-convergence) *)
+  mutable l_epoch : int;
+  mutable l_offered : int;
+  mutable l_synthetic : int;
+  mutable l_delivered : int;
+  mutable l_major_words : float;  (* major-heap words the lane allocated *)
+}
+
+let build_lane_env ~seed ~flows =
+  let topo = build_topology () in
+  let engine = Engine.create ~seed () in
+  let net = Network.create topo engine in
+  let plan1 =
+    Addressing.carve ~block:Addressing.default_block ~site_index:1
+      ~path_count:paths
+  in
+  List.iteri
+    (fun i prefix -> Network.announce net ~node:(1 + paths + i) prefix ())
+    plan1.Addressing.tunnel_prefixes;
+  ignore (Network.converge net);
+  let fabric = Fabric.create ~seed net in
+  let dsts =
+    Array.init paths (fun p -> Addressing.tunnel_endpoint plan1 ~path:p)
+  in
+  Array.iteri
+    (fun p dst ->
+      if not (Fabric.route_plain fabric ~from_node:0 ~dst) then
+        invalid_arg
+          (Printf.sprintf "Throughput: path %d is not plain-routable" p))
+    dsts;
+  let plan0 =
+    Addressing.carve ~block:Addressing.default_block ~site_index:0
+      ~path_count:paths
+  in
+  {
+    l_fabric = fabric;
+    l_dsts = dsts;
+    l_outer_src = Addressing.host_address plan0 1L;
+    l_clock = Clock.create ();
+    l_cache = Flow_cache.create ~expected_flows:flows ();
+    l_trackers = Array.init flows (fun _ -> Seq_tracker.create ());
+    l_path_rings =
+      (* In-flight bound: arrivals are drained every generation and the
+         slowest path holds under 4 generations of flight time. *)
+      Array.init paths (fun _ -> Shard.Ring.create ~capacity:((4 * flows) + 8));
+    l_batch = Batch.create ();
+    l_t0 = Engine.now engine;
+    l_epoch = 0;
+    l_offered = 0;
+    l_synthetic = 0;
+    l_delivered = 0;
+    l_major_words = 0.0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The lane body: the per-packet hot path.                              *)
+
+let lane_main env out_ring ~flows ~my_flows ~generations ~batch_limit =
+  (* Each domain has its own minor heap; widen it to 8 M words (64 MB)
+     so minor collections — stop-the-world across every domain — stay
+     rare during the run. Wider is not better: sizing each arena to the
+     lane's whole allocation budget (128 MB+) measured ~5x slower at
+     4 domains on one core, the arena-commit and rendezvous cost
+     swamping the collections it saved. Results are GC-independent, so
+     this knob only moves the wall clock. *)
+  let gc = Gc.get () in
+  Gc.set { gc with Gc.minor_heap_size = 1 lsl 23 };
+  let nflows = Array.length flows in
+  (* Delivery continuation: decap, compute the one-way delay from the
+     carried switch timestamp, and push the flat arrival record onto the
+     path's FIFO ring. Created once per lane run. *)
+  let[@hot] on_delivered ~node:_ ~at_s packet =
+    let e = Packet.decapsulate packet in
+    let owd_ns =
+      Int64.sub
+        (Clock.now_ns env.l_clock ~sim_time_s:at_s)
+        e.Packet.tango.Packet.timestamp_ns
+    in
+    Shard.Ring.push
+      env.l_path_rings.(e.Packet.tango.Packet.path_id)
+      ~time:at_s
+      ~a:(packet.Packet.id mod nflows)
+      ~b:(Int64.to_int e.Packet.tango.Packet.seq)
+      ~c:e.Packet.tango.Packet.path_id
+      ~v:(Int64.to_float owd_ns /. 1e6)
+  in
+  let flush ts =
+    if not (Batch.is_empty env.l_batch) then begin
+      Fabric.send_batch_direct env.l_fabric ~from_node:0 ~now_s:ts
+        ~on_delivered_at:on_delivered env.l_batch;
+      Batch.clear env.l_batch
+    end
+  in
+  (* Drain every arrival up to [upto] in (arrival-time, sequence) order
+     across the path rings: per-path arrival order equals send order
+     (constant per-path delay), so a 4-way merge reconstructs the true
+     arrival order; same-flow ties on time resolve by sequence, which is
+     what keeps per-flow observation order lane-count-invariant. *)
+  let scratch = Shard.scratch () in
+  let drain upto =
+    let continue = ref true in
+    while !continue do
+      let best = ref (-1) in
+      let best_t = ref infinity in
+      let best_seq = ref max_int in
+      for p = 0 to paths - 1 do
+        let ring = env.l_path_rings.(p) in
+        if not (Shard.Ring.is_empty ring) then begin
+          let tp = Shard.Ring.peek_time ring in
+          let c = Float.compare tp !best_t in
+          if c < 0 || (c = 0 && Shard.Ring.peek_b ring < !best_seq) then begin
+            best := p;
+            best_t := tp;
+            best_seq := Shard.Ring.peek_b ring
+          end
+        end
+      done;
+      if !best < 0 || !best_t > upto then continue := false
+      else begin
+        Shard.pop_into env.l_path_rings.(!best) scratch;
+        Seq_tracker.observe ~now_s:scratch.Shard.time
+          env.l_trackers.(scratch.Shard.a)
+          (Int64.of_int scratch.Shard.b);
+        env.l_delivered <- env.l_delivered + 1;
+        Shard.Ring.push out_ring ~time:scratch.Shard.time ~a:scratch.Shard.a
+          ~b:scratch.Shard.b ~c:scratch.Shard.c ~v:scratch.Shard.v
+      end
+    done
+  in
+  let stat0 = Gc.quick_stat () in
+  for gen = 0 to generations - 1 do
+    let ts = env.l_t0 +. (float_of_int gen *. gen_interval_s) in
+    drain ts;
+    let epoch = gen / epoch_gens in
+    if epoch <> env.l_epoch then begin
+      env.l_epoch <- epoch;
+      Flow_cache.invalidate env.l_cache
+    end;
+    (* Confirm losses older than the reordering horizon (the slowest
+       path holds under 4 generations of flight time; 8 is comfortable),
+       bounding each tracker's provisional-missing set the way a real
+       switch's fixed-size map would. One load per quiet tracker. *)
+    let confirm_bound = Int64.of_int (gen - 8) in
+    (* Per-generation constants, hoisted off the per-packet path (each
+       would otherwise box a fresh Int64 per packet). *)
+    let ts_ns = Clock.now_ns env.l_clock ~sim_time_s:ts in
+    let seq64 = Int64.of_int gen in
+    for fi = 0 to Array.length my_flows - 1 do
+      let f = Array.unsafe_get my_flows fi in
+      if gen > 8 then Seq_tracker.confirm_below env.l_trackers.(f) confirm_bound;
+      env.l_offered <- env.l_offered + 1;
+      let slot = Array.unsafe_get flows f in
+      let h = slot.f_hash in
+      let path =
+        match Flow_cache.find env.l_cache ~flow_hash:h with
+        | Some p -> p
+        | None ->
+            let p = (h + epoch) mod paths in
+            Flow_cache.store env.l_cache ~flow_hash:h p;
+            p
+      in
+      if synthetic_drop ~flow_hash:h ~gen then
+        env.l_synthetic <- env.l_synthetic + 1
+      else begin
+        let packet =
+          Packet.create
+            ~id:((gen * nflows) + f)
+            ~flow:slot.f_flow ~payload_bytes ~created_at:ts ()
+        in
+        Packet.encapsulate packet
+          {
+            Packet.outer_src = env.l_outer_src;
+            outer_dst = Array.unsafe_get env.l_dsts path;
+            udp_src = 40000 + path;
+            udp_dst = 4789;
+            tango =
+              { Packet.timestamp_ns = ts_ns; seq = seq64; path_id = path; flags = 0 };
+          };
+        Batch.add env.l_batch packet;
+        if Batch.length env.l_batch >= batch_limit then flush ts
+      end
+    done;
+    flush ts;
+    (* Drop the batch's stale slot references: if a minor collection
+       lands between generations it finds no transient packets live. *)
+    Batch.purge env.l_batch
+  done;
+  drain infinity;
+  let stat1 = Gc.quick_stat () in
+  env.l_major_words <- stat1.Gc.major_words -. stat0.Gc.major_words;
+  Gc.set gc
+
+(* ------------------------------------------------------------------ *)
+(* Reduction and results.                                               *)
+
+type result = {
+  domains : int;
+  batch : int;
+  flows : int;
+  generations : int;
+  offered : int;
+  delivered : int;
+  synthetic_drops : int;
+  lost : int;
+  reordered : int;
+  duplicates : int;
+  cache_hits : int;
+  cache_misses : int;
+  merged : int;
+  fingerprint_sum : int;
+  fingerprint_xor : int;
+  wall_s : float;
+  pps : float;
+  major_words_per_packet : float;
+}
+
+(* FNV-style fold of one delivered-packet record. Only record fields go
+   in — never lane ids or wall time — so the commutative (sum, xor)
+   aggregate is identical at every domain count and batch size. *)
+let record_hash (r : Shard.record) =
+  let mix h v = (h lxor v) * 0x100000001B3 land max_int in
+  let tb = Int64.to_int (Int64.bits_of_float r.Shard.time) land max_int in
+  let vb = Int64.to_int (Int64.bits_of_float r.Shard.v) land max_int in
+  mix (mix (mix (mix 0x811C9DC5 tb) r.Shard.a) ((r.Shard.b lsl 3) lxor r.Shard.c)) vb
+
+let run ?(domains = 1) ?(batch = Batch.capacity) ?(flows = 512)
+    ?(generations = 2000) ?(seed = 42) () =
+  if domains <= 0 then invalid_arg "Throughput.run: non-positive domains";
+  if batch <= 0 || batch > Batch.capacity then
+    invalid_arg "Throughput.run: batch outside [1, 64]";
+  if flows <= 0 then invalid_arg "Throughput.run: non-positive flows";
+  if generations <= 0 then
+    invalid_arg "Throughput.run: non-positive generations";
+  (* Shared immutable workload: flow records, hashes, lane assignment. *)
+  let plan0 =
+    Addressing.carve ~block:Addressing.default_block ~site_index:0
+      ~path_count:paths
+  in
+  let plan1 =
+    Addressing.carve ~block:Addressing.default_block ~site_index:1
+      ~path_count:paths
+  in
+  let src = Addressing.host_address plan0 1L in
+  let dst = Addressing.host_address plan1 2L in
+  let flow_slots =
+    Array.init flows (fun i ->
+        let f =
+          Flow.v ~src ~dst ~proto:17
+            ~src_port:(1024 + (i mod 60000))
+            ~dst_port:(5000 + (i / 60000))
+        in
+        { f_flow = f; f_hash = Flow.hash_5tuple f })
+  in
+  let flow_lane =
+    Array.init flows (fun f ->
+        Shard.lane_of_hash ~lanes:domains flow_slots.(f).f_hash)
+  in
+  let lane_flows = Array.make domains 0 in
+  Array.iter (fun l -> lane_flows.(l) <- lane_flows.(l) + 1) flow_lane;
+  (* Per-lane flow index lists (in increasing flow order, so each lane
+     visits its flows in the same order at any lane count): the lane
+     loop walks only its own flows instead of filtering all of them —
+     the filter scan was per-generation fixed cost scaling with the
+     lane count. *)
+  let lane_flow_idx =
+    let next = Array.make domains 0 in
+    let idx = Array.init domains (fun l -> Array.make (max 1 lane_flows.(l)) 0) in
+    Array.iteri
+      (fun f l ->
+        idx.(l).(next.(l)) <- f;
+        next.(l) <- next.(l) + 1)
+      flow_lane;
+    Array.init domains (fun l -> Array.sub idx.(l) 0 lane_flows.(l))
+  in
+  (* Every lane's world is built on the main domain, outside the timed
+     region (BGP convergence is setup, not dataplane). *)
+  let envs =
+    Array.init domains (fun _ -> build_lane_env ~seed ~flows)
+  in
+  (* Freeze the process-wide registry while lanes run: the direct path
+     never touches it, and freezing turns any accidental use into a
+     no-op instead of a cross-domain race. *)
+  let metrics_were_enabled = Metric.enabled () in
+  Metric.set_enabled false;
+  let fp_sum = ref 0 in
+  let fp_xor = ref 0 in
+  let merged = ref 0 in
+  let gc = Gc.get () in
+  Gc.set { gc with Gc.minor_heap_size = 1 lsl 22 };
+  (* Start the timed phase from a settled heap: setup garbage (BGP
+     convergence, env construction, any previous run in this process)
+     must not bill its collection work to this run's lanes. *)
+  Gc.full_major ();
+  let started = Unix.gettimeofday () in
+  Shard.run ~lanes:domains
+    ~capacity_of:(fun ~lane -> max 1 (lane_flows.(lane) * generations))
+    ~lane:(fun ~lane ring ->
+      lane_main envs.(lane) ring ~flows:flow_slots
+        ~my_flows:lane_flow_idx.(lane) ~generations ~batch_limit:batch)
+    ~consume:(fun ~lane:_ r ->
+      incr merged;
+      let h = record_hash r in
+      fp_sum := (!fp_sum + h) land max_int;
+      fp_xor := !fp_xor lxor h);
+  let wall_s = Unix.gettimeofday () -. started in
+  Gc.set gc;
+  Metric.set_enabled metrics_were_enabled;
+  (* Quiesce point: all lanes joined; publish per-lane counts. *)
+  let offered = ref 0 in
+  let delivered = ref 0 in
+  let synthetic = ref 0 in
+  let lost = ref 0 in
+  let reordered = ref 0 in
+  let duplicates = ref 0 in
+  let hits = ref 0 in
+  let misses = ref 0 in
+  let major_words = ref 0.0 in
+  Array.iter
+    (fun env ->
+      if Fabric.direct_fallbacks env.l_fabric <> 0 then
+        failwith
+          "Throughput.run: direct path fell back to the canonical send";
+      Fabric.quiesce_metrics env.l_fabric;
+      offered := !offered + env.l_offered;
+      delivered := !delivered + env.l_delivered;
+      synthetic := !synthetic + env.l_synthetic;
+      hits := !hits + Flow_cache.hits env.l_cache;
+      misses := !misses + Flow_cache.misses env.l_cache;
+      major_words := !major_words +. env.l_major_words;
+      Array.iter
+        (fun tr ->
+          lost := !lost + Seq_tracker.lost tr;
+          reordered := !reordered + Seq_tracker.reordered tr;
+          duplicates := !duplicates + Seq_tracker.duplicates tr)
+        env.l_trackers)
+    envs;
+  Metric.add m_offered !offered;
+  Metric.add m_synthetic !synthetic;
+  Metric.add m_lost !lost;
+  Metric.add m_reordered !reordered;
+  Metric.set g_lanes (float_of_int domains);
+  {
+    domains;
+    batch;
+    flows;
+    generations;
+    offered = !offered;
+    delivered = !delivered;
+    synthetic_drops = !synthetic;
+    lost = !lost;
+    reordered = !reordered;
+    duplicates = !duplicates;
+    cache_hits = !hits;
+    cache_misses = !misses;
+    merged = !merged;
+    fingerprint_sum = !fp_sum;
+    fingerprint_xor = !fp_xor;
+    wall_s;
+    pps = (if wall_s > 0.0 then float_of_int !offered /. wall_s else 0.0);
+    major_words_per_packet =
+      (if !offered > 0 then !major_words /. float_of_int !offered else 0.0);
+  }
+
+let fingerprint r = Printf.sprintf "%015x-%015x" r.fingerprint_sum r.fingerprint_xor
+
+let print_summary ?(timing = true) r =
+  Printf.printf "throughput: flows %d paths %d generations %d offered %d\n"
+    r.flows paths r.generations r.offered;
+  Printf.printf
+    "  delivered %d synthetic-drops %d lost %d reordered %d duplicates %d\n"
+    r.delivered r.synthetic_drops r.lost r.reordered r.duplicates;
+  Printf.printf "  flow-cache hits %d misses %d\n" r.cache_hits r.cache_misses;
+  Printf.printf "  fingerprint %s merged %d\n" (fingerprint r) r.merged;
+  if timing then
+    Printf.printf
+      "  domains %d batch %d wall %.3f s -> %.3f Mpps (%.4f major words/pkt)\n"
+      r.domains r.batch r.wall_s (r.pps /. 1e6) r.major_words_per_packet

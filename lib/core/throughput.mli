@@ -1,0 +1,63 @@
+(** Multicore batched dataplane throughput (DESIGN.md §11, experiment
+    E14).
+
+    Runs the full per-packet path — flow-cache path decision, Tango
+    encapsulation, batched fabric forwarding, decapsulation, sequence
+    tracking — over a deterministic multi-path workload, flow-sharded
+    across OCaml 5 domain lanes with a deterministic merge
+    ({!Tango_sim.Shard}). Seeded runs produce identical delivered-packet
+    fingerprints and identical loss/reorder totals at {e any} domain
+    count and batch size; only the wall-clock/pps figures vary. *)
+
+type result = {
+  domains : int;
+  batch : int;  (** Flush threshold used, in [1, Batch.capacity]. *)
+  flows : int;
+  generations : int;
+  offered : int;  (** flows x generations. *)
+  delivered : int;
+  synthetic_drops : int;  (** Deterministic pre-fabric loss. *)
+  lost : int;  (** Summed per-flow tracker losses. *)
+  reordered : int;
+  duplicates : int;
+  cache_hits : int;
+  cache_misses : int;
+  merged : int;  (** Records the reducer consumed (= delivered). *)
+  fingerprint_sum : int;
+  fingerprint_xor : int;
+  wall_s : float;  (** Wall time of the parallel phase only. *)
+  pps : float;  (** offered / wall_s. *)
+  major_words_per_packet : float;
+      (** Major-heap words allocated inside the lanes' generation loops,
+          per offered packet — the steady-path allocation gate (the
+          packet path itself allocates only minor words that die young;
+          residual promotions come from live bookkeeping state, bounded
+          by {!Tango_dataplane.Seq_tracker.confirm_below} pruning). *)
+}
+
+val run :
+  ?domains:int ->
+  ?batch:int ->
+  ?flows:int ->
+  ?generations:int ->
+  ?seed:int ->
+  unit ->
+  result
+(** Defaults: 1 domain, batch 64, 512 flows, 2000 generations, seed 42.
+    Builds one independent world (star topology, converged BGP tables,
+    fabric) per lane on the main domain, then runs the lanes in
+    parallel and reduces. Raises [Failure] if any packet left the
+    batched direct path (the pipeline's zero-fallback invariant), and
+    [Invalid_argument] for out-of-range parameters ([batch] must lie in
+    [1, 64]). *)
+
+val fingerprint : result -> string
+(** Printable order-insensitive digest of every delivered packet record
+    (identical across domain counts and batch sizes for a fixed seeded
+    workload). *)
+
+val print_summary : ?timing:bool -> result -> unit
+(** Print the run to stdout. The leading lines are deterministic for a
+    seeded workload; [timing] (default true) appends the
+    wall-clock/domains/pps line — pass [false] for byte-comparable
+    output (the CLI's [--fingerprint] mode). *)

@@ -55,11 +55,47 @@ let k_drop = Trace.kind "fabric.drop"
 
 let k_deliver = Trace.kind "fabric.deliver"
 
+(* Resolved end-to-end route, the unit of the batched fast path: the
+   full node walk for one (from, dst) pair with its delay terms
+   pre-summed. [plain] marks routes with no stochastic terms anywhere
+   (zero jitter, zero loss on every link) — only those can skip the
+   hop-by-hop machinery, because their delivery time is a closed-form
+   function of the send time and the packet size. *)
+type route_entry = {
+  mutable e_from : int;
+  mutable e_dst : Tango_net.Addr.t;
+  mutable e_dest : int;  (* delivering node; -1 when unresolvable *)
+  mutable e_links : int array;  (* packed directed-link keys, send order *)
+  mutable e_asns : int array;  (* ASNs of every node visited, from included *)
+  mutable e_delay_s : float;  (* sum of link propagation delays *)
+  mutable e_per_byte_s : float;  (* sum of per-byte transmission delays *)
+  mutable e_plain : bool;
+}
+
 type t = {
   net : Network.t;
   rng : Rng.t;
   lanes_of : int -> Ecmp.lanes;
   extra_delay_ms : from_node:int -> to_node:int -> time_s:float -> float;
+  (* Whether the caller supplied lanes_of/extra_delay_ms hooks: hooked
+     fabrics never take the batched fast path (the hooks are per-hop and
+     per-packet by contract). *)
+  custom_hooks : bool;
+  (* Batched-route cache, validated against Network.revision: filled
+     lazily per (from, dst), flushed whenever any BGP table may have
+     changed. A handful of slots suffices — a PoP talks to a handful of
+     tunnel endpoints. *)
+  route_cache : route_entry option array;
+  mutable route_rev : int;
+  mutable route_clock : int;
+  (* Counters for the synchronous direct path, which must not touch the
+     process-wide Metric registry (lanes run on their own domains):
+     published into the registry at quiesce points. *)
+  mutable direct_sent : int;
+  mutable direct_delivered : int;
+  mutable published_sent : int;
+  mutable published_delivered : int;
+  mutable direct_fallbacks : int;
   (* Per-directed-link state lives in flat arrays indexed by the packed
      key [from * node_count + to] — O(1) with no tuple allocation or
      polymorphic hashing on the per-packet path, sized once from the
@@ -91,12 +127,21 @@ let no_lanes = [| 0.0 |]
 
 let no_fault_extra_ms ~time_s:_ = 0.0
 
-let create ?(seed = 4242) ?(lanes_of = fun _ -> no_lanes)
-    ?(extra_delay_ms = fun ~from_node:_ ~to_node:_ ~time_s:_ -> 0.0)
-    ?max_queue_s net =
+let route_cache_slots = 16
+
+let create ?(seed = 4242) ?lanes_of ?extra_delay_ms ?max_queue_s net =
   (match max_queue_s with
   | Some q when q < 0.0 -> Err.invalid "Fabric.create: negative queue bound"
   | Some _ | None -> ());
+  let custom_hooks = Option.is_some lanes_of || Option.is_some extra_delay_ms in
+  let lanes_of =
+    match lanes_of with Some f -> f | None -> fun _ -> no_lanes
+  in
+  let extra_delay_ms =
+    match extra_delay_ms with
+    | Some f -> f
+    | None -> fun ~from_node:_ ~to_node:_ ~time_s:_ -> 0.0
+  in
   let node_count =
     1
     + List.fold_left
@@ -109,6 +154,15 @@ let create ?(seed = 4242) ?(lanes_of = fun _ -> no_lanes)
     rng = Rng.create ~seed;
     lanes_of;
     extra_delay_ms;
+    custom_hooks;
+    route_cache = Array.make route_cache_slots None;
+    route_rev = -1;
+    route_clock = 0;
+    direct_sent = 0;
+    direct_delivered = 0;
+    published_sent = 0;
+    published_delivered = 0;
+    direct_fallbacks = 0;
     node_count;
     failed_links = Bytes.make (node_count * node_count) '\000';
     max_queue_s;
@@ -242,6 +296,235 @@ let[@hot] send t ~from_node ?(on_dropped = fun ~reason:_ _ -> ()) ~on_delivered 
         end
   in
   at_node from_node 0
+
+(* ------------------------------------------------------------------ *)
+(* Batched sends (DESIGN.md §11).
+
+   [send] resolves the route hop by hop, on arrival, with one scheduled
+   engine event per hop — faithful, but ~5 closures and a full RIB
+   lookup per hop. The batched path instead snapshots the whole route
+   once per (from, dst) pair and reuses it for every packet of every
+   batch until the control plane changes ([Network.revision] moves).
+   That snapshot is only sound when nothing along the route is
+   stochastic or dynamic, so eligibility is checked at three levels:
+
+   - per fabric: no fault hooks installed, no queueing model, no custom
+     lanes_of/extra_delay_ms hooks;
+   - per route: every link has zero jitter and zero loss ([e_plain]);
+   - per batch: no failed link along the snapshot.
+
+   Anything else falls back to the canonical [send], packet by packet,
+   in order — so batching never changes observable behavior, it only
+   amortizes work when the route provably has one outcome. Batched
+   sends resolve the route at injection time (a FIB snapshot, like a
+   real batched fast path), whereas [send] re-resolves at each hop's
+   arrival; the two can differ only while BGP messages are in flight,
+   which the revision check turns into a cache flush. *)
+
+let no_addr = Tango_net.Addr.of_string_exn "::"
+
+let empty_route =
+  {
+    e_from = -1;
+    e_dst = no_addr;
+    e_dest = -1;
+    e_links = [||];
+    e_asns = [||];
+    e_delay_s = 0.0;
+    e_per_byte_s = 0.0;
+    e_plain = false;
+  }
+
+(* Walk the converged tables from [from_node] toward [dst], summing the
+   deterministic delay terms. Unroutable / over-limit walks yield a
+   non-plain entry, which routes every packet through the fallback (and
+   thus through [send]'s exact drop accounting). *)
+let resolve_route t ~from_node ~dst =
+  let topo = Network.topology t.net in
+  let links = ref [] in
+  let asns = ref [ Topology.asn topo from_node ] in
+  let delay_s = ref 0.0 in
+  let per_byte_s = ref 0.0 in
+  let plain = ref true in
+  let rec walk node hops =
+    if hops > hop_limit then None
+    else
+      match Network.route_for_addr t.net ~node dst with
+      | None -> None
+      | Some route ->
+          if Route.local route then Some node
+          else begin
+            match route.Route.learned_from with
+            | None -> Some node
+            | Some next -> (
+                match Topology.link topo node next with
+                | None -> None
+                | Some link ->
+                    links := ((node * t.node_count) + next) :: !links;
+                    asns := Topology.asn topo next :: !asns;
+                    delay_s := !delay_s +. (link.Link.delay_ms /. 1000.0);
+                    per_byte_s :=
+                      !per_byte_s +. (8.0 /. (link.Link.bandwidth_mbps *. 1e6));
+                    if link.Link.jitter_ms > 0.0 || link.Link.loss > 0.0 then
+                      plain := false;
+                    walk next (hops + 1))
+          end
+  in
+  match walk from_node 0 with
+  | None ->
+      {
+        empty_route with
+        e_from = from_node;
+        e_dst = dst;
+        e_links = [||];
+        e_asns = [||];
+      }
+  | Some dest ->
+      {
+        e_from = from_node;
+        e_dst = dst;
+        e_dest = dest;
+        e_links = Array.of_list (List.rev !links);
+        e_asns = Array.of_list (List.rev !asns);
+        e_delay_s = !delay_s;
+        e_per_byte_s = !per_byte_s;
+        e_plain = !plain;
+      }
+
+let[@hot] batch_eligible t =
+  t.fault_count = 0 && Option.is_none t.max_queue_s && not t.custom_hooks
+
+(* Flush the route cache whenever the control plane may have moved.
+   Called once per batch, not per packet. *)
+let[@hot] revalidate_routes t =
+  let rev = Network.revision t.net in
+  if rev <> t.route_rev then begin
+    Array.fill t.route_cache 0 route_cache_slots None;
+    t.route_rev <- rev
+  end
+
+let[@hot] rec lookup_route t ~from_node ~dst slot =
+  if slot >= route_cache_slots then begin
+    let entry = resolve_route t ~from_node ~dst in
+    t.route_cache.(t.route_clock) <- Some entry;
+    t.route_clock <- (t.route_clock + 1) mod route_cache_slots;
+    entry
+  end
+  else
+    match Array.unsafe_get t.route_cache slot with
+    | Some e when e.e_from = from_node && Tango_net.Addr.equal e.e_dst dst -> e
+    | Some _ | None -> lookup_route t ~from_node ~dst (slot + 1)
+
+let[@hot] rec links_ok_from t links i =
+  i >= Array.length links
+  || Bytes.unsafe_get t.failed_links (Array.unsafe_get links i) = '\000'
+     && links_ok_from t links (i + 1)
+
+let[@hot] record_route_hops packet (e : route_entry) =
+  for i = 0 to Array.length e.e_asns - 1 do
+    Packet.record_hop packet (Array.unsafe_get e.e_asns i)
+  done
+
+let drop_ignored ~reason:_ _ = ()
+
+let[@hot] send_batch t ~from_node ?(on_dropped = drop_ignored) ~on_delivered
+    batch =
+  let eligible = batch_eligible t in
+  if eligible then revalidate_routes t;
+  let engine = Network.engine t.net in
+  for i = 0 to Batch.length batch - 1 do
+    let packet = Batch.get batch i in
+    let fast =
+      if not eligible then false
+      else begin
+        let e =
+          lookup_route t ~from_node ~dst:(Packet.forwarding_dst packet) 0
+        in
+        if e.e_plain && links_ok_from t e.e_links 0 then begin
+          t.sent <- t.sent + 1;
+          Metric.incr m_sent;
+          record_route_hops packet e;
+          Metric.add m_forwarded (Array.length e.e_links);
+          let arrival =
+            Engine.now engine +. e.e_delay_s
+            +. (float_of_int (Packet.wire_size packet) *. e.e_per_byte_s)
+          in
+          let dest = e.e_dest in
+          (* tango-lint: allow hot-alloc — one delivery event closure per packet (vs ~5 closures + an event per hop on the canonical path) *)
+          Engine.schedule_at engine ~time:arrival (fun _ ->
+              t.delivered <- t.delivered + 1;
+              Metric.incr m_delivered;
+              Trace.record Trace.default ~now:(Engine.now engine)
+                ~kind:k_deliver packet.Packet.id dest;
+              on_delivered ~node:dest packet);
+          true
+        end
+        else false
+      end
+    in
+    if not fast then send t ~from_node ~on_dropped ~on_delivered packet
+  done
+
+let route_plain t ~from_node ~dst =
+  batch_eligible t
+  &&
+  begin
+    revalidate_routes t;
+    let e = lookup_route t ~from_node ~dst 0 in
+    e.e_plain && links_ok_from t e.e_links 0
+  end
+
+let[@hot] send_batch_direct t ~from_node ~now_s ?(on_dropped = drop_ignored)
+    ~on_delivered_at batch =
+  let eligible = batch_eligible t in
+  if eligible then revalidate_routes t;
+  let engine = Network.engine t.net in
+  (* tango-lint: allow hot-alloc — one fallback-wrapping closure per batch call, not per packet *)
+  let on_delivered ~node packet =
+    on_delivered_at ~node ~at_s:(Engine.now engine) packet
+  in
+  for i = 0 to Batch.length batch - 1 do
+    let packet = Batch.get batch i in
+    let fast =
+      if not eligible then false
+      else begin
+        let e =
+          lookup_route t ~from_node ~dst:(Packet.forwarding_dst packet) 0
+        in
+        if e.e_plain && links_ok_from t e.e_links 0 then begin
+          t.sent <- t.sent + 1;
+          t.direct_sent <- t.direct_sent + 1;
+          record_route_hops packet e;
+          let arrival =
+            now_s +. e.e_delay_s
+            +. (float_of_int (Packet.wire_size packet) *. e.e_per_byte_s)
+          in
+          t.delivered <- t.delivered + 1;
+          t.direct_delivered <- t.direct_delivered + 1;
+          on_delivered_at ~node:e.e_dest ~at_s:arrival packet;
+          true
+        end
+        else false
+      end
+    in
+    if not fast then begin
+      t.direct_fallbacks <- t.direct_fallbacks + 1;
+      send t ~from_node ~on_dropped ~on_delivered packet
+    end
+  done
+
+let direct_fallbacks t = t.direct_fallbacks
+
+(* Publish the direct-path deltas into the process-wide registry.
+   Idempotent; call only at quiesce points (after every lane domain has
+   been joined), never while lanes run. *)
+let quiesce_metrics t =
+  let ds = t.direct_sent - t.published_sent in
+  let dd = t.direct_delivered - t.published_delivered in
+  if ds > 0 then Metric.add m_sent ds;
+  if dd > 0 then Metric.add m_delivered dd;
+  t.published_sent <- t.direct_sent;
+  t.published_delivered <- t.direct_delivered
 
 let fail_link t ~from_node ~to_node =
   Bytes.set t.failed_links (link_key t ~from_node ~to_node) '\001'

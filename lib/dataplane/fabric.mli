@@ -40,6 +40,60 @@ val send :
     of the callbacks eventually fires (drop reasons: ["unroutable"],
     ["loss"], ["ttl"]). *)
 
+val send_batch :
+  t ->
+  from_node:int ->
+  ?on_dropped:(reason:string -> Tango_net.Packet.t -> unit) ->
+  on_delivered:(node:int -> Tango_net.Packet.t -> unit) ->
+  Batch.t ->
+  unit
+(** Inject every packet of a batch at [from_node], in batch order.
+    Behaviorally equivalent to calling {!send} per packet; the batched
+    fast path applies when the fabric carries no faults, no queueing
+    model and no custom hooks, {e and} the packet's route is "plain"
+    (zero jitter and zero loss on every link, none failed). Plain routes
+    are resolved once per (from, dst) pair — a FIB snapshot validated
+    against {!Tango_bgp.Network.revision} — and delivery is scheduled as
+    a single engine event at the closed-form arrival time, amortizing
+    the per-hop closures, RIB lookups and obs branches across the batch.
+    Everything else falls back to {!send}, packet by packet, in order. *)
+
+val send_batch_direct :
+  t ->
+  from_node:int ->
+  now_s:float ->
+  ?on_dropped:(reason:string -> Tango_net.Packet.t -> unit) ->
+  on_delivered_at:(node:int -> at_s:float -> Tango_net.Packet.t -> unit) ->
+  Batch.t ->
+  unit
+(** The multicore lane variant of {!send_batch}: synchronous, engine-free
+    and registry-free, safe to call from a non-main domain. Packets on
+    plain routes are "delivered" immediately with their computed virtual
+    arrival time [at_s] (measured from the caller-supplied virtual send
+    time [now_s]); the caller reorders by [at_s] (see
+    {!Tango_sim.Shard}). No process-wide metric or trace is touched —
+    per-fabric counts accumulate locally and are published by
+    {!quiesce_metrics}. Ineligible packets fall back to {!send} (which
+    does touch the registry and the engine — lane code must keep
+    {!direct_fallbacks} at zero, and the throughput pipeline asserts
+    that). *)
+
+val route_plain : t -> from_node:int -> dst:Tango_net.Addr.t -> bool
+(** Whether a batched send from [from_node] to [dst] would take the fast
+    path right now — fabric eligible, route resolvable, every link
+    jitter-free, loss-free and healthy. Setup-time probe for lane
+    pipelines that require [direct_fallbacks] to stay zero. *)
+
+val direct_fallbacks : t -> int
+(** Packets {!send_batch_direct} had to route through the canonical
+    {!send}. *)
+
+val quiesce_metrics : t -> unit
+(** Publish the direct-path packet counts into the process-wide metric
+    registry. Idempotent (publishes deltas since the last call). Only
+    call at quiesce points — after every lane domain using this fabric
+    has been joined. *)
+
 val fail_link : t -> from_node:int -> to_node:int -> unit
 (** Silently blackhole a directed link: packets crossing it are dropped
     with reason ["link-failure"], while BGP remains oblivious — the

@@ -12,6 +12,20 @@ let path_bits = 8
 
 let max_path = (1 lsl path_bits) - 1
 
+(* The generation stamp gets everything above the path byte except the
+   top bit (packed entries stay positive): int_size - 1 - path_bits
+   bits, i.e. 54 on 64-bit. The stamp wraps modulo 2^gen_bits; an
+   unmasked [generation lsl path_bits] would silently drop high bits
+   instead, letting a stale entry stamped g alias generation
+   g + 2^gen_bits and serve an orphaned decision. On wrap the table is
+   reset, because entries stamped in the stamp's previous life at the
+   same masked value would otherwise read as fresh. *)
+let gen_bits = Sys.int_size - 1 - path_bits
+
+let gen_mask = (1 lsl gen_bits) - 1
+
+let max_generation = gen_mask
+
 type t = {
   table : (int, int) Hashtbl.t;
   mutable generation : int;
@@ -44,10 +58,21 @@ let[@hot] store t ~flow_hash path =
   Hashtbl.replace t.table flow_hash ((t.generation lsl path_bits) lor path)
 
 let invalidate t =
-  t.generation <- t.generation + 1;
+  let next = (t.generation + 1) land gen_mask in
+  (* Wraparound: the new stamp value collides with stamps from the
+     previous trip around, so drop the stored entries outright — a
+     once-per-2^54-invalidations O(n) cost that buys an exact "a stale
+     generation is never served" guarantee. *)
+  if next = 0 then Hashtbl.reset t.table;
+  t.generation <- next;
   t.invalidations <- t.invalidations + 1
 
 let generation t = t.generation
+
+let set_generation t g =
+  if g < 0 || g > max_generation then
+    Err.invalid "Flow_cache.set_generation: %d outside [0, %d]" g max_generation;
+  t.generation <- g
 
 let hits t = t.hits
 

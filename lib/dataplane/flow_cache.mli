@@ -28,7 +28,18 @@ val store : t -> flow_hash:int -> int -> unit
     {!Err.Invalid} for path ids outside [0, 255]. *)
 
 val invalidate : t -> unit
-(** Orphan every cached decision (O(1) generation bump). *)
+(** Orphan every cached decision (O(1) generation bump). The stamp is a
+    packed-int field of [Sys.int_size - 9] bits (54 on 64-bit): it wraps
+    modulo [max_generation + 1], and on wrap the table is reset so an
+    entry stamped in the stamp's previous life can never read as fresh. *)
+
+val max_generation : int
+(** Largest generation stamp; {!invalidate} wraps past it to 0. *)
+
+val set_generation : t -> int -> unit
+(** Force the generation stamp — a test hook for exercising wraparound
+    without 2^54 {!invalidate} calls. Raises {!Err.Invalid} outside
+    [0, max_generation]. *)
 
 val generation : t -> int
 val hits : t -> int

@@ -31,6 +31,7 @@ let k_duplicate = Trace.kind "seq.duplicate"
 type t = {
   mutable next_expected : int;
   mutable missing : Int_set.t;
+  mutable confirmed_lost : int;  (* pruned from [missing] by confirm_below *)
   mutable received : int;
   mutable reordered : int;
   mutable duplicates : int;
@@ -43,6 +44,7 @@ let create () =
   {
     next_expected = 0;
     missing = Int_set.empty;
+    confirmed_lost = 0;
     received = 0;
     reordered = 0;
     duplicates = 0;
@@ -88,7 +90,32 @@ let[@hot] observe ?(now_s = 0.0) t seq64 =
 
 let received t = t.received
 
-let lost t = Int_set.cardinal t.missing
+(* Bound the missing set, like the fixed-size map a real switch would
+   keep: every still-provisional sequence below [bound] is declared
+   permanently lost and dropped from the set (it keeps counting in
+   [lost]). A late arrival of a confirmed sequence counts as a
+   duplicate, so only call with a bound the reordering horizon can no
+   longer reach. The empty-set check keeps the per-call cost of the
+   common case at one load. *)
+let confirm_below t bound64 =
+  if
+    Int64.compare bound64 (Int64.of_int max_int) > 0
+    || Int64.compare bound64 0L < 0
+  then Err.invalid "Seq_tracker.confirm_below: bound outside [0, max_int]";
+  if not (Int_set.is_empty t.missing) then begin
+    let bound = Int64.to_int bound64 in
+    let stale, present, fresh = Int_set.split bound t.missing in
+    (* [split] removes [bound] itself from both halves; it is not below
+       the bound, so it stays provisional. *)
+    let fresh = if present then Int_set.add bound fresh else fresh in
+    if not (Int_set.is_empty stale) then begin
+      t.confirmed_lost <- t.confirmed_lost + Int_set.cardinal stale;
+      t.missing <- fresh
+    end
+    else t.missing <- fresh
+  end
+
+let lost t = t.confirmed_lost + Int_set.cardinal t.missing
 
 let reordered t = t.reordered
 

@@ -16,7 +16,17 @@ val observe : ?now_s:float -> t -> int64 -> unit
 
 val received : t -> int
 val lost : t -> int
-(** Numbers still missing (gaps never filled). *)
+(** Numbers missing: gaps never filled, plus everything confirmed by
+    {!confirm_below}. *)
+
+val confirm_below : t -> int64 -> unit
+(** Declare every still-missing sequence strictly below the bound
+    permanently lost: pruned from the provisional set (bounding its
+    size, like the fixed-size map a real switch keeps) while still
+    counting in {!lost}. Only call with bounds the reordering horizon
+    can no longer reach — a late arrival of a confirmed sequence counts
+    as a duplicate. Cost is one load when nothing is provisionally
+    missing. Raises {!Err.Invalid} for bounds outside [0, max_int]. *)
 
 val reordered : t -> int
 val duplicates : t -> int

@@ -21,7 +21,10 @@ let default =
         "dataplane/fabric.ml";
         "dataplane/seq_tracker.ml";
         "dataplane/flow_cache.ml";
+        "dataplane/batch.ml";
+        "sim/shard.ml";
         "core/pop.ml";
+        "core/throughput.ml";
         "obs/metric.ml";
         "obs/trace.ml";
         "faults/spec.ml";
@@ -181,6 +184,35 @@ let hot_body_findings ~file body =
   let add ~loc message =
     findings := loc_finding ~file ~loc Rules.Hot_alloc message :: !findings
   in
+  let add_blocking ~loc message =
+    findings := loc_finding ~file ~loc Rules.No_mutex_hot message :: !findings
+  in
+  (* R1b: the packet path is lock-free — a blocking primitive inside a
+     [@hot] body stalls its whole domain (and, through the stop-the-world
+     rendezvous, every other lane too). Domain.cpu_relax is the one
+     permitted Domain call: it is the spin-wait hint, not a block. *)
+  let check_blocking ~loc lid =
+    match lid with
+    | Longident.Ldot (Longident.Lident (("Mutex" | "Condition" | "Semaphore") as m), _)
+      ->
+        add_blocking ~loc
+          (Printf.sprintf
+             "%s on the hot path can block the domain; the packet path is \
+              lock-free by design"
+             m)
+    | Longident.Ldot (Longident.Ldot (Longident.Lident "Semaphore", _), _) ->
+        add_blocking ~loc
+          "Semaphore on the hot path can block the domain; the packet path is \
+           lock-free by design"
+    | Longident.Ldot (Longident.Lident "Domain", fn)
+      when not (String.equal fn "cpu_relax") ->
+        add_blocking ~loc
+          (Printf.sprintf
+             "Domain.%s on the hot path blocks or forks the domain; only \
+              Domain.cpu_relax is allowed in [@hot] bodies"
+             fn)
+    | _ -> ()
+  in
   let super = Ast_iterator.default_iterator in
   (* One finding per closure, not per curried parameter: strip the whole
      lambda chain before recursing so [fun a b -> ...] reports once. *)
@@ -224,6 +256,7 @@ let hot_body_findings ~file body =
     (* Flag on the identifier, not the application, so recursing into
        the callee cannot report the same occurrence twice. *)
     | Pexp_ident { txt = lid; _ } -> begin
+        check_blocking ~loc:e.pexp_loc lid;
         match head_module lid with
         | Some (("Printf" | "Format") as m) ->
             add ~loc:e.pexp_loc

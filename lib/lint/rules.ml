@@ -1,5 +1,6 @@
 type rule =
   | Hot_alloc
+  | No_mutex_hot
   | Poly_compare
   | Float_equal
   | No_failwith
@@ -8,10 +9,20 @@ type rule =
   | Parse_error
 
 let all =
-  [ Hot_alloc; Poly_compare; Float_equal; No_failwith; Missing_mli; Waiver; Parse_error ]
+  [
+    Hot_alloc;
+    No_mutex_hot;
+    Poly_compare;
+    Float_equal;
+    No_failwith;
+    Missing_mli;
+    Waiver;
+    Parse_error;
+  ]
 
 let id = function
   | Hot_alloc -> "hot-alloc"
+  | No_mutex_hot -> "no-mutex-in-hot"
   | Poly_compare -> "poly-compare"
   | Float_equal -> "float-equal"
   | No_failwith -> "no-failwith"
@@ -26,6 +37,10 @@ let describe = function
       "no allocation (closures, tuples, lists, records, arrays), Printf/Format, \
        Queue or tuple-keyed Hashtbl use inside [@hot] functions of designated \
        hot-path modules"
+  | No_mutex_hot ->
+      "no Mutex, Condition or Semaphore use and no blocking Domain operations \
+       (spawn, join) inside [@hot] functions of designated hot-path modules — \
+       the multicore packet path is lock-free; Domain.cpu_relax is allowed"
   | Poly_compare ->
       "no polymorphic =, <>, compare, min, max or Hashtbl.hash on structured \
        (non-immediate) operands; use monomorphic comparators"

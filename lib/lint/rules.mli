@@ -4,6 +4,10 @@
 
 type rule =
   | Hot_alloc  (** R1: allocation ban inside [@hot] functions of hot modules *)
+  | No_mutex_hot
+      (** R1b: no Mutex/Condition/Semaphore and no blocking Domain ops
+          inside [@hot] functions — the lock-free packet path must never
+          block a domain ([Domain.cpu_relax] is the one exception) *)
   | Poly_compare  (** R2: polymorphic compare/equal/hash on structured values *)
   | Float_equal  (** R2b: float (in)equality — NaN hazard *)
   | No_failwith  (** R3: undeclared exceptions in per-packet libraries *)

@@ -50,6 +50,9 @@ let forwarding_flow t =
       Flow.v ~src:e.outer_src ~dst:e.outer_dst ~proto:17 ~src_port:e.udp_src
         ~dst_port:e.udp_dst
 
+let forwarding_dst t =
+  match t.encap with None -> t.flow.Flow.dst | Some e -> e.outer_dst
+
 let record_hop t asn = t.hops <- asn :: t.hops
 
 let path_taken t = List.rev t.hops

@@ -56,6 +56,11 @@ val forwarding_flow : t -> Flow.t
 (** The 5-tuple the core sees: the outer UDP flow when encapsulated,
     otherwise the inner flow. *)
 
+val forwarding_dst : t -> Addr.t
+(** Destination address the core routes on — [forwarding_flow]'s [dst]
+    without materializing the flow record (the batched fast path resolves
+    routes by destination only, so it never needs the full 5-tuple). *)
+
 val record_hop : t -> int -> unit
 (** Note traversal of an AS. *)
 

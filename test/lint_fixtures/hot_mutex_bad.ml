@@ -1,0 +1,16 @@
+(* Must-flag fixture for no-mutex-in-hot: every [@hot] body below
+   touches a blocking primitive. *)
+
+let[@hot] locked_bump m counter =
+  Mutex.lock m;
+  incr counter;
+  Mutex.unlock m
+
+let[@hot] wait_for_work c m = Condition.wait c m
+
+let[@hot] throttle sem = Semaphore.Counting.acquire sem
+
+let[@hot] join_worker d = Domain.join d
+
+(* Unmarked functions may block freely: this one must NOT flag. *)
+let cold_shutdown m = Mutex.lock m

@@ -1,0 +1,12 @@
+(* Must-pass fixture for no-mutex-in-hot: lock-free [@hot] bodies,
+   including the one permitted Domain call (cpu_relax, the spin hint)
+   and Atomic operations (lock-free by definition). *)
+
+let[@hot] spin_until flag =
+  while not (Atomic.get flag) do
+    Domain.cpu_relax ()
+  done
+
+let[@hot] publish tail v = Atomic.set tail v
+
+let[@hot] claim_slot head = Atomic.fetch_and_add head 1

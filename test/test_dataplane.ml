@@ -420,6 +420,55 @@ let test_flow_cache_path_bounds () =
        false
      with Err.Invalid _ -> true)
 
+(* Generation-stamp wraparound: the packed stamp has
+   [Sys.int_size - 9] bits. When [invalidate] wraps it past
+   [max_generation] back to 0, entries stamped in the stamp's previous
+   life would read as fresh at the same masked value — the cache resets
+   the table on wrap so that can never happen. [set_generation] is the
+   test hook that jumps near the edge without 2^54 invalidate calls. *)
+let test_flow_cache_generation_wraparound () =
+  let c = Flow_cache.create () in
+  Flow_cache.set_generation c Flow_cache.max_generation;
+  Alcotest.(check int) "at the edge" Flow_cache.max_generation
+    (Flow_cache.generation c);
+  Flow_cache.store c ~flow_hash:11 3;
+  Alcotest.(check (option int)) "served at max generation" (Some 3)
+    (Flow_cache.find c ~flow_hash:11);
+  Flow_cache.invalidate c;
+  Alcotest.(check int) "stamp wrapped to zero" 0 (Flow_cache.generation c);
+  Alcotest.(check int) "table reset on wrap" 0 (Flow_cache.flows c);
+  Alcotest.(check (option int)) "previous-life entry not served" None
+    (Flow_cache.find c ~flow_hash:11);
+  (* A fresh store in the wrapped generation behaves normally. *)
+  Flow_cache.store c ~flow_hash:11 9;
+  Alcotest.(check (option int)) "fresh store after wrap" (Some 9)
+    (Flow_cache.find c ~flow_hash:11);
+  Alcotest.(check bool) "stamp above max rejected" true
+    (try
+       Flow_cache.set_generation c (Flow_cache.max_generation + 1);
+       false
+     with Err.Invalid _ -> true)
+
+(* Property: whatever generation the cache sits at (including the wrap
+   edge), a decision stored before [invalidate] is never served after
+   it. *)
+let flow_cache_qcheck_stale_never_served =
+  QCheck.Test.make ~name:"stale generation never serves a cached decision"
+    ~count:500
+    QCheck.(pair (int_bound 1_000_000) (int_bound 200))
+    (fun (gen_offset, flow_hash) ->
+      let c = Flow_cache.create () in
+      (* Land anywhere in the stamp space, biased onto the wrap edge
+         half the time. *)
+      let g =
+        if gen_offset mod 2 = 0 then Flow_cache.max_generation - (gen_offset / 2)
+        else gen_offset
+      in
+      Flow_cache.set_generation c g;
+      Flow_cache.store c ~flow_hash (flow_hash land Flow_cache.max_path);
+      Flow_cache.invalidate c;
+      Flow_cache.find c ~flow_hash = None)
+
 let () =
   let tc = Alcotest.test_case in
   let qc = QCheck_alcotest.to_alcotest in
@@ -468,5 +517,7 @@ let () =
           tc "hit/miss" `Quick test_flow_cache_hit_miss;
           tc "generation invalidation" `Quick test_flow_cache_invalidation;
           tc "path bounds" `Quick test_flow_cache_path_bounds;
+          tc "generation wraparound" `Quick test_flow_cache_generation_wraparound;
+          qc flow_cache_qcheck_stale_never_served;
         ] );
     ]

@@ -102,6 +102,28 @@ let test_default_covers_ctrl () =
         (List.mem frag Ast_check.default.Ast_check.hot_modules))
     [ "ctrl/watch.ml"; "ctrl/channel.ml" ]
 
+(* The multicore dataplane modules joined the hot set; [@hot] bodies
+   must stay lock-free (no Mutex/Condition/Semaphore, no blocking
+   Domain ops — Domain.cpu_relax being the one sanctioned call). *)
+let test_hot_mutex_bad () =
+  check_findings "hot_mutex_bad.ml"
+    [
+      (5, "no-mutex-in-hot");
+      (7, "no-mutex-in-hot");
+      (9, "no-mutex-in-hot");
+      (11, "no-mutex-in-hot");
+      (13, "no-mutex-in-hot");
+    ]
+
+let test_hot_mutex_ok () = check_findings "hot_mutex_ok.ml" []
+
+let test_default_covers_multicore () =
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) frag true
+        (List.mem frag Ast_check.default.Ast_check.hot_modules))
+    [ "dataplane/batch.ml"; "sim/shard.ml"; "core/throughput.ml" ]
+
 let test_poly_bad () =
   check_findings "poly_bad.ml"
     [ (3, "poly-compare"); (5, "poly-compare"); (7, "poly-compare"); (9, "poly-compare") ]
@@ -185,6 +207,10 @@ let () =
           Alcotest.test_case "hot-alloc ctrl must-pass" `Quick test_hot_ctrl_ok;
           Alcotest.test_case "default hot modules cover ctrl" `Quick
             test_default_covers_ctrl;
+          Alcotest.test_case "no-mutex-in-hot must-flag" `Quick test_hot_mutex_bad;
+          Alcotest.test_case "no-mutex-in-hot must-pass" `Quick test_hot_mutex_ok;
+          Alcotest.test_case "default hot modules cover multicore" `Quick
+            test_default_covers_multicore;
           Alcotest.test_case "poly-compare must-flag" `Quick test_poly_bad;
           Alcotest.test_case "float-equal must-flag" `Quick test_float_bad;
           Alcotest.test_case "poly-compare must-pass" `Quick test_poly_ok;

@@ -1,0 +1,319 @@
+(* Multicore batched dataplane: shard primitives and the cross-domain
+   determinism contract (DESIGN.md §11).
+
+   The differential suite is the load-bearing one: the same seeded
+   workload, run at 1, 2 and 4 domains, must produce byte-identical
+   delivered-packet fingerprints and identical per-flow tracker totals —
+   the deterministic-merge guarantee the whole design rests on. *)
+
+open Tango_sim
+module Batch = Tango_dataplane.Batch
+module Seq_tracker = Tango_dataplane.Seq_tracker
+
+(* ------------------------------------------------------------------ *)
+(* Shard.lane_of_hash                                                  *)
+
+let test_lane_of_hash_bounds () =
+  List.iter
+    (fun lanes ->
+      List.iter
+        (fun hash ->
+          let l = Shard.lane_of_hash ~lanes hash in
+          Alcotest.(check bool)
+            (Printf.sprintf "lane in [0,%d) for hash %d" lanes hash)
+            true
+            (l >= 0 && l < lanes))
+        [ 0; 1; 42; max_int; min_int; -1; 0x2545F4914F6CDD1D ])
+    [ 1; 2; 3; 4; 7 ]
+
+let test_lane_of_hash_stable () =
+  Alcotest.(check int) "same hash same lane"
+    (Shard.lane_of_hash ~lanes:4 123456789)
+    (Shard.lane_of_hash ~lanes:4 123456789);
+  Alcotest.(check int) "one lane maps everything to 0" 0
+    (Shard.lane_of_hash ~lanes:1 987654321);
+  Alcotest.(check bool) "non-positive lanes rejected" true
+    (try
+       ignore (Shard.lane_of_hash ~lanes:0 1);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Shard.Ring                                                          *)
+
+let test_ring_capacity_rounding () =
+  Alcotest.(check int) "capacity rounds up to a power of two" 8
+    (Shard.Ring.capacity (Shard.Ring.create ~capacity:5));
+  Alcotest.(check int) "power of two kept" 4
+    (Shard.Ring.capacity (Shard.Ring.create ~capacity:4));
+  Alcotest.(check bool) "non-positive capacity rejected" true
+    (try
+       ignore (Shard.Ring.create ~capacity:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_ring_fifo_order () =
+  let ring = Shard.Ring.create ~capacity:8 in
+  Alcotest.(check bool) "starts empty" true (Shard.Ring.is_empty ring);
+  Alcotest.(check (float 0.0)) "empty peek_time is infinity" infinity
+    (Shard.Ring.peek_time ring);
+  Alcotest.(check int) "empty peek_b is max_int" max_int (Shard.Ring.peek_b ring);
+  for i = 0 to 4 do
+    Shard.Ring.push ring ~time:(float_of_int i) ~a:(10 + i) ~b:(20 + i) ~c:(30 + i)
+      ~v:(0.5 +. float_of_int i)
+  done;
+  Alcotest.(check int) "length tracks pushes" 5 (Shard.Ring.length ring);
+  Alcotest.(check (float 0.0)) "peek_time sees the head" 0.0
+    (Shard.Ring.peek_time ring);
+  Alcotest.(check int) "peek_b sees the head" 20 (Shard.Ring.peek_b ring);
+  let r = Shard.scratch () in
+  for i = 0 to 4 do
+    Shard.pop_into ring r;
+    Alcotest.(check (float 0.0)) "time in push order" (float_of_int i) r.Shard.time;
+    Alcotest.(check int) "a field" (10 + i) r.Shard.a;
+    Alcotest.(check int) "b field" (20 + i) r.Shard.b;
+    Alcotest.(check int) "c field" (30 + i) r.Shard.c;
+    Alcotest.(check (float 0.0)) "v field" (0.5 +. float_of_int i) r.Shard.v
+  done;
+  Alcotest.(check bool) "drained" true (Shard.Ring.is_empty ring);
+  Alcotest.(check bool) "pop on empty rejected" true
+    (try
+       Shard.pop_into ring r;
+       false
+     with Invalid_argument _ -> true)
+
+let test_ring_overflow_raises () =
+  let ring = Shard.Ring.create ~capacity:4 in
+  for i = 0 to 3 do
+    Shard.Ring.push ring ~time:(float_of_int i) ~a:0 ~b:0 ~c:0 ~v:0.0
+  done;
+  Alcotest.(check bool) "push past capacity rejected" true
+    (try
+       Shard.Ring.push ring ~time:9.0 ~a:0 ~b:0 ~c:0 ~v:0.0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_ring_wraps_after_drain () =
+  (* Head/tail are monotonic cursors masked into the arrays: after a
+     drain the ring must accept a fresh full batch. *)
+  let ring = Shard.Ring.create ~capacity:4 in
+  let r = Shard.scratch () in
+  for round = 0 to 2 do
+    for i = 0 to 3 do
+      Shard.Ring.push ring ~time:(float_of_int ((round * 4) + i)) ~a:i ~b:0 ~c:0 ~v:0.0
+    done;
+    for i = 0 to 3 do
+      Shard.pop_into ring r;
+      Alcotest.(check (float 0.0)) "wrapped time"
+        (float_of_int ((round * 4) + i))
+        r.Shard.time
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Shard.merge                                                         *)
+
+let test_merge_time_then_lane_order () =
+  let rings = Array.init 3 (fun _ -> Shard.Ring.create ~capacity:8) in
+  (* Lane 0: t=1,3   lane 1: t=1,2   lane 2: t=0,3.
+     Ties on time must resolve to the lowest lane id. *)
+  Shard.Ring.push rings.(0) ~time:1.0 ~a:0 ~b:0 ~c:0 ~v:0.0;
+  Shard.Ring.push rings.(0) ~time:3.0 ~a:1 ~b:0 ~c:0 ~v:0.0;
+  Shard.Ring.push rings.(1) ~time:1.0 ~a:2 ~b:0 ~c:0 ~v:0.0;
+  Shard.Ring.push rings.(1) ~time:2.0 ~a:3 ~b:0 ~c:0 ~v:0.0;
+  Shard.Ring.push rings.(2) ~time:0.0 ~a:4 ~b:0 ~c:0 ~v:0.0;
+  Shard.Ring.push rings.(2) ~time:3.0 ~a:5 ~b:0 ~c:0 ~v:0.0;
+  let order = ref [] in
+  Shard.merge rings ~consume:(fun ~lane r -> order := (lane, r.Shard.a) :: !order);
+  Alcotest.(check (list (pair int int)))
+    "(time, lane-id, ring-position) order"
+    [ (2, 4); (0, 0); (1, 2); (1, 3); (0, 1); (2, 5) ]
+    (List.rev !order)
+
+let test_run_single_producer_per_lane () =
+  (* End-to-end through Shard.run: each lane (its own domain) emits its
+     records; the reduced stream is the deterministic merge. *)
+  let consumed = ref [] in
+  Shard.run ~lanes:3
+    ~capacity_of:(fun ~lane:_ -> 4)
+    ~lane:(fun ~lane ring ->
+      for i = 0 to 2 do
+        Shard.Ring.push ring
+          ~time:(float_of_int ((i * 3) + lane))
+          ~a:lane ~b:i ~c:0 ~v:0.0
+      done)
+    ~consume:(fun ~lane r -> consumed := (lane, r.Shard.b) :: !consumed);
+  let expect =
+    (* times: lane l emits t = 3i + l, so the global order interleaves
+       lanes 0,1,2 at each i. *)
+    [ (0, 0); (1, 0); (2, 0); (0, 1); (1, 1); (2, 1); (0, 2); (1, 2); (2, 2) ]
+  in
+  Alcotest.(check (list (pair int int))) "merged in virtual-time order" expect
+    (List.rev !consumed)
+
+(* ------------------------------------------------------------------ *)
+(* Batch                                                               *)
+
+let mk_packet i =
+  let flow =
+    Tango_net.Flow.v
+      ~src:(Tango_net.Addr.of_string_exn "2001:db8::1")
+      ~dst:(Tango_net.Addr.of_string_exn "2001:db8::2")
+      ~proto:17 ~src_port:(40000 + i) ~dst_port:4789
+  in
+  Tango_net.Packet.create ~id:i ~flow ~payload_bytes:512 ~created_at:0.0 ()
+
+let test_batch_fill_and_read () =
+  let b = Batch.create () in
+  Alcotest.(check int) "capacity is the NAPI-style 64" 64 Batch.capacity;
+  Alcotest.(check bool) "starts empty" true (Batch.is_empty b);
+  for i = 0 to Batch.capacity - 1 do
+    Batch.add b (mk_packet i)
+  done;
+  Alcotest.(check bool) "full at capacity" true (Batch.is_full b);
+  Alcotest.(check int) "length" Batch.capacity (Batch.length b);
+  Alcotest.(check int) "get preserves insertion order" 7
+    (Batch.get b 7).Tango_net.Packet.id;
+  Alcotest.(check bool) "add past capacity rejected" true
+    (try
+       Batch.add b (mk_packet 99);
+       false
+     with Tango_dataplane.Err.Invalid _ -> true);
+  let seen = ref 0 in
+  Batch.iter b ~f:(fun _ -> incr seen);
+  Alcotest.(check int) "iter covers every slot" Batch.capacity !seen;
+  Batch.clear b;
+  Alcotest.(check bool) "clear empties" true (Batch.is_empty b);
+  Alcotest.(check bool) "get past length rejected" true
+    (try
+       ignore (Batch.get b 0);
+       false
+     with Tango_dataplane.Err.Invalid _ -> true);
+  Batch.add b (mk_packet 1);
+  Batch.purge b;
+  Alcotest.(check bool) "purge empties too" true (Batch.is_empty b)
+
+(* ------------------------------------------------------------------ *)
+(* Seq_tracker.confirm_below                                           *)
+
+let test_confirm_below_counts_loss () =
+  let t = Seq_tracker.create () in
+  List.iter
+    (fun s -> Seq_tracker.observe t (Int64.of_int s))
+    [ 0; 1; 4; 5 ] (* 2 and 3 provisionally missing *);
+  Alcotest.(check int) "provisional loss" 2 (Seq_tracker.lost t);
+  Seq_tracker.confirm_below t 4L;
+  Alcotest.(check int) "still lost after confirm" 2 (Seq_tracker.lost t);
+  (* A late arrival of a confirmed sequence is a duplicate, not a heal. *)
+  Seq_tracker.observe t 2L;
+  Alcotest.(check int) "confirmed loss cannot heal" 2 (Seq_tracker.lost t);
+  Alcotest.(check int) "late confirmed arrival is a dup" 1 (Seq_tracker.duplicates t);
+  Alcotest.(check int) "no reorder credited" 0 (Seq_tracker.reordered t)
+
+let test_confirm_below_is_idempotent () =
+  let t = Seq_tracker.create () in
+  List.iter (fun s -> Seq_tracker.observe t (Int64.of_int s)) [ 0; 3 ];
+  Seq_tracker.confirm_below t 3L;
+  Seq_tracker.confirm_below t 3L;
+  Seq_tracker.confirm_below t 2L;
+  Alcotest.(check int) "loss counted once" 2 (Seq_tracker.lost t)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain differential determinism                               *)
+
+(* Small but non-trivial: 128 flows x 400 generations exercises cache
+   epochs (epoch = 25 gens), synthetic drops, reordering and the
+   confirm_below pruning on every lane. *)
+let diff_flows = 128
+let diff_generations = 400
+
+let run ~domains ~batch ~seed =
+  Tango.Throughput.run ~domains ~batch ~flows:diff_flows
+    ~generations:diff_generations ~seed ()
+
+let test_differential_domains () =
+  List.iter
+    (fun seed ->
+      let base = run ~domains:1 ~batch:64 ~seed in
+      List.iter
+        (fun domains ->
+          let r = run ~domains ~batch:64 ~seed in
+          let ctx what = Printf.sprintf "%s (seed %d, domains %d)" what seed domains in
+          Alcotest.(check string)
+            (ctx "fingerprint identical")
+            (Tango.Throughput.fingerprint base)
+            (Tango.Throughput.fingerprint r);
+          Alcotest.(check int) (ctx "delivered") base.Tango.Throughput.delivered
+            r.Tango.Throughput.delivered;
+          Alcotest.(check int) (ctx "lost") base.Tango.Throughput.lost
+            r.Tango.Throughput.lost;
+          Alcotest.(check int) (ctx "reordered") base.Tango.Throughput.reordered
+            r.Tango.Throughput.reordered;
+          Alcotest.(check int) (ctx "duplicates") base.Tango.Throughput.duplicates
+            r.Tango.Throughput.duplicates;
+          Alcotest.(check int) (ctx "cache hits") base.Tango.Throughput.cache_hits
+            r.Tango.Throughput.cache_hits;
+          Alcotest.(check int) (ctx "cache misses") base.Tango.Throughput.cache_misses
+            r.Tango.Throughput.cache_misses)
+        [ 2; 4 ])
+    [ 1; 7; 42 ]
+
+let test_differential_batch_sizes () =
+  (* Batch is a flush threshold, not a semantic knob: batch 1 and batch
+     64 must agree packet-for-packet. *)
+  let a = run ~domains:2 ~batch:1 ~seed:42 in
+  let b = run ~domains:2 ~batch:64 ~seed:42 in
+  Alcotest.(check string) "batch 1 = batch 64 fingerprint"
+    (Tango.Throughput.fingerprint a) (Tango.Throughput.fingerprint b);
+  Alcotest.(check int) "lost agrees" a.Tango.Throughput.lost b.Tango.Throughput.lost;
+  Alcotest.(check int) "reordered agrees" a.Tango.Throughput.reordered
+    b.Tango.Throughput.reordered
+
+let test_conservation () =
+  (* offered = delivered + synthetic drops; merged = delivered; tracker
+     loss equals what the fabric never carried. *)
+  let r = run ~domains:4 ~batch:64 ~seed:7 in
+  Alcotest.(check int) "offered = flows x generations"
+    (diff_flows * diff_generations)
+    r.Tango.Throughput.offered;
+  Alcotest.(check int) "offered = delivered + drops" r.Tango.Throughput.offered
+    (r.Tango.Throughput.delivered + r.Tango.Throughput.synthetic_drops);
+  Alcotest.(check int) "merged = delivered" r.Tango.Throughput.delivered
+    r.Tango.Throughput.merged;
+  Alcotest.(check int) "no duplicates in a clean fabric" 0
+    r.Tango.Throughput.duplicates
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "shard"
+    [
+      ( "lane_of_hash",
+        [
+          tc "bounds" `Quick test_lane_of_hash_bounds;
+          tc "stable" `Quick test_lane_of_hash_stable;
+        ] );
+      ( "ring",
+        [
+          tc "capacity rounding" `Quick test_ring_capacity_rounding;
+          tc "fifo order" `Quick test_ring_fifo_order;
+          tc "overflow raises" `Quick test_ring_overflow_raises;
+          tc "wraps after drain" `Quick test_ring_wraps_after_drain;
+        ] );
+      ( "merge",
+        [
+          tc "time then lane order" `Quick test_merge_time_then_lane_order;
+          tc "run: lanes on domains" `Quick test_run_single_producer_per_lane;
+        ] );
+      ( "batch", [ tc "fill and read" `Quick test_batch_fill_and_read ] );
+      ( "confirm_below",
+        [
+          tc "counts loss" `Quick test_confirm_below_counts_loss;
+          tc "idempotent" `Quick test_confirm_below_is_idempotent;
+        ] );
+      ( "differential",
+        [
+          tc "domains {1,2,4} x seeds {1,7,42}" `Slow test_differential_domains;
+          tc "batch 1 vs 64" `Quick test_differential_batch_sizes;
+          tc "conservation" `Quick test_conservation;
+        ] );
+    ]
