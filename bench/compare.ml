@@ -125,7 +125,10 @@ let () =
                 "  ! %-45s major words/op %.3f -> %.3f (was zero-alloc)\n" name
                 b c
           | _ -> ());
-          (* Throughput rows: higher is better; gate on a >15% drop. *)
+          (* Throughput rows: higher is better; gate on a >15% drop. A
+             pps field present on only one side (schema drift, or a
+             BENCH.json produced by an older harness) is reported but
+             never gated, like a benchmark present in only one file. *)
           match (base.pps, cur.pps) with
           | Some b, Some c when b > 0.0 ->
               let ratio = c /. b in
@@ -139,6 +142,10 @@ let () =
                 Printf.printf "  . %-45s pps %11.0f -> %11.0f  (%+.0f%%)\n" name
                   b c
                   ((ratio -. 1.0) *. 100.0)
+          | Some _, None ->
+              Printf.printf "  ~ %-45s pps only in baseline (not gated)\n" name
+          | None, Some _ ->
+              Printf.printf "  ~ %-45s pps only in current (not gated)\n" name
           | _ -> ()))
     baseline;
   List.iter

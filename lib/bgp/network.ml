@@ -159,7 +159,11 @@ and submit t from_node to_node update =
             match Hashtbl.find_opt t.pending key with
             | Some q ->
                 Hashtbl.remove t.pending key;
-                Hashtbl.iter (fun _ u -> transmit t from_node to_node u) q
+                (* Flush in prefix order: transmit schedules events, and
+                   event identity must not inherit Hashtbl hash order. *)
+                Hashtbl.fold (fun p u acc -> (p, u) :: acc) q []
+                |> List.sort (fun (a, _) (b, _) -> Prefix.compare a b)
+                |> List.iter (fun (_, u) -> transmit t from_node to_node u)
             | None -> ())
       end
     end

@@ -252,7 +252,11 @@ let receive t ~from_node update =
 
 let best t prefix = Hashtbl.find_opt t.loc_rib prefix
 
-let loc_rib t = Hashtbl.fold (fun p r acc -> (p, r) :: acc) t.loc_rib []
+(* Sorted so longest-prefix scans and reconciliation sweeps never
+   depend on Hashtbl iteration order. *)
+let loc_rib t =
+  Hashtbl.fold (fun p r acc -> (p, r) :: acc) t.loc_rib []
+  |> List.sort (fun (a, _) (b, _) -> Prefix.compare a b)
 
 (* Observation hook for control-plane reconciliation and leak tests:
    does any of the four per-speaker tables still reference [prefix]? *)

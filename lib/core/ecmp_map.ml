@@ -59,4 +59,6 @@ let probe ~fabric ~from_node ~src ~dst ?(flows = 64) ?(probes_per_flow = 10)
           packet)
   done;
   Engine.run engine;
-  infer ~tolerance_ms (Hashtbl.fold (fun id v acc -> (id, v) :: acc) floors [])
+  infer ~tolerance_ms
+    (Hashtbl.fold (fun id v acc -> (id, v) :: acc) floors []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b))

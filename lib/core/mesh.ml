@@ -185,11 +185,20 @@ let setup_triangle ?(seed = 11)
   done;
   t
 
+(* Pop iteration in sorted key order: probe scheduling and stats
+   accumulation must not inherit Hashtbl hash order. *)
+let sorted_pop_keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.pops []
+  |> List.sort (fun (a1, a2) (b1, b2) ->
+         match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c)
+
 let start_measurement t ?probe_interval_s ?report_interval_s ~for_s () =
   let until_s = Engine.now t.engine +. for_s in
-  Hashtbl.iter
-    (fun _ p -> Pop.start p ?probe_interval_s ?report_interval_s ~until_s ())
-    t.pops
+  List.iter
+    (fun k ->
+      Pop.start (Hashtbl.find t.pops k) ?probe_interval_s ?report_interval_s
+        ~until_s ())
+    (sorted_pop_keys t)
 
 let run_for t duration = Engine.run ~until:(Engine.now t.engine +. duration) t.engine
 
@@ -251,9 +260,10 @@ let send_app t ~src ~dst ?payload_bytes () =
   | Overlay.Relay [] -> assert false
 
 let fold_site_pops t ~site ~init ~f =
-  Hashtbl.fold
-    (fun (src, _) p acc -> if src = site then f acc p else acc)
-    t.pops init
+  List.fold_left
+    (fun acc ((src, _) as k) ->
+      if src = site then f acc (Hashtbl.find t.pops k) else acc)
+    init (sorted_pop_keys t)
 
 let app_received_at t ~site =
   fold_site_pops t ~site ~init:0 ~f:(fun acc p -> acc + Pop.app_received p)

@@ -425,6 +425,7 @@ let run ?(domains = 1) ?(batch = Batch.capacity) ?(flows = 512)
      convergence, env construction, any previous run in this process)
      must not bill its collection work to this run's lanes. *)
   Gc.full_major ();
+  (* tango-lint: allow determinism-wallclock — wall time feeds the pps gauge only; fingerprints and merged outputs never include it *)
   let started = Unix.gettimeofday () in
   Shard.run ~lanes:domains
     ~capacity_of:(fun ~lane -> max 1 (lane_flows.(lane) * generations))
@@ -436,6 +437,7 @@ let run ?(domains = 1) ?(batch = Batch.capacity) ?(flows = 512)
       let h = record_hash r in
       fp_sum := (!fp_sum + h) land max_int;
       fp_xor := !fp_xor lxor h);
+  (* tango-lint: allow determinism-wallclock — wall time feeds the pps gauge only; fingerprints and merged outputs never include it *)
   let wall_s = Unix.gettimeofday () -. started in
   Gc.set gc;
   Metric.set_enabled metrics_were_enabled;

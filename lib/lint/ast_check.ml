@@ -2,13 +2,21 @@
    Everything here is syntactic: the linter runs before (and without)
    type-checking, so the structured-operand tests are shape heuristics
    chosen to have near-zero false positives — a bare identifier is never
-   flagged, a tuple / record / constructor / float literal always is. *)
+   flagged, a tuple / record / constructor / float literal always is.
+
+   The hot-body discipline is factored as a *fact* collector
+   ([binding_facts]): the same walk that backs the intraprocedural
+   hot-alloc / no-mutex rules also summarizes every other function so
+   the interprocedural pass (Hotset) can apply the discipline across
+   call boundaries without re-parsing. *)
 
 open Parsetree
 
 type config = {
   hot_modules : string list;  (* path fragments of designated hot-path modules *)
+  domsafe_modules : string list;  (* lane-visible modules of the multicore dataplane *)
   exn_ban_paths : string list;  (* path fragments where No_failwith applies *)
+  wallclock_allow : string list;  (* path fragments where wall-clock reads are legal *)
   require_mli : bool;
 }
 
@@ -32,9 +40,28 @@ let default =
         "ctrl/watch.ml";
         "ctrl/channel.ml";
       ];
+    domsafe_modules =
+      [
+        "sim/shard.ml";
+        "core/throughput.ml";
+        "dataplane/batch.ml";
+        "dataplane/fabric.ml";
+      ];
     exn_ban_paths = [ "lib/dataplane/"; "lib/net/" ];
+    wallclock_allow = [ "obs/manifest.ml" ];
     require_mli = true;
   }
+
+(* Fingerprint of everything that parameterizes the passes: the
+   incremental cache keys on it so a config (or rule-set) change
+   invalidates stale summaries wholesale. Bump the leading integer when
+   a rule's behaviour changes without a config change. *)
+let fingerprint config =
+  String.concat "|"
+    ([ "3" ]
+    @ config.hot_modules @ [ ";" ] @ config.domsafe_modules @ [ ";" ]
+    @ config.exn_ban_paths @ [ ";" ] @ config.wallclock_allow
+    @ [ (if config.require_mli then "mli" else "nomli") ])
 
 let contains_sub s sub =
   let n = String.length s and m = String.length sub in
@@ -81,13 +108,9 @@ let is_structured e =
   | _ -> false
 
 let loc_finding ~file ~(loc : Location.t) rule message =
-  {
-    Rules.file;
-    line = loc.loc_start.pos_lnum;
-    col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
-    rule;
-    message;
-  }
+  Rules.v ~file ~line:loc.loc_start.pos_lnum
+    ~col:(loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+    rule message
 
 let head_module = function
   | Longident.Ldot (Longident.Lident m, _) -> Some m
@@ -172,21 +195,29 @@ let poly_and_exn_pass config ~file structure =
   !findings
 
 (* ------------------------------------------------------------------ *)
-(* R1: allocation discipline inside [@hot] functions                    *)
+(* Hot-body facts: the R1/R1b discipline as data                        *)
+
+type fact_kind = Alloc | Block
+
+type fact = { f_line : int; f_col : int; f_kind : fact_kind; f_msg : string }
 
 let has_hot_attr attrs =
   List.exists
     (fun a -> match a.attr_name.txt with "hot" | "tango.hot" -> true | _ -> false)
     attrs
 
-let hot_body_findings ~file body =
-  let findings = ref [] in
-  let add ~loc message =
-    findings := loc_finding ~file ~loc Rules.Hot_alloc message :: !findings
-  in
-  let add_blocking ~loc message =
-    findings := loc_finding ~file ~loc Rules.No_mutex_hot message :: !findings
-  in
+let fact_of ~(loc : Location.t) kind msg =
+  {
+    f_line = loc.loc_start.pos_lnum;
+    f_col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+    f_kind = kind;
+    f_msg = msg;
+  }
+
+let body_facts body =
+  let facts = ref [] in
+  let add ~loc message = facts := fact_of ~loc Alloc message :: !facts in
+  let add_blocking ~loc message = facts := fact_of ~loc Block message :: !facts in
   (* R1b: the packet path is lock-free — a blocking primitive inside a
      [@hot] body stalls its whole domain (and, through the stop-the-world
      rendezvous, every other lane too). Domain.cpu_relax is the one
@@ -214,7 +245,7 @@ let hot_body_findings ~file body =
     | _ -> ()
   in
   let super = Ast_iterator.default_iterator in
-  (* One finding per closure, not per curried parameter: strip the whole
+  (* One fact per closure, not per curried parameter: strip the whole
      lambda chain before recursing so [fun a b -> ...] reports once. *)
   let rec strip_lambda_chain defaults e =
     match e.pexp_desc with
@@ -283,21 +314,26 @@ let hot_body_findings ~file body =
   in
   let it = { super with expr } in
   it.expr it body;
-  !findings
+  List.rev !facts
 
 (* Walk past the binding's own parameter list: the outermost lambda
    chain IS the function, not an allocation — but per-call default
    argument expressions are checked. *)
-let rec hot_check_binding ~file acc e =
+let rec binding_facts e =
   match e.pexp_desc with
   | Pexp_fun (_, default, _, body) ->
-      let acc =
-        match default with Some d -> hot_body_findings ~file d @ acc | None -> acc
-      in
-      hot_check_binding ~file acc body
-  | Pexp_newtype (_, body) -> hot_check_binding ~file acc body
-  | Pexp_constraint (body, _) -> hot_check_binding ~file acc body
-  | _ -> hot_body_findings ~file e @ acc
+      let defaults = match default with Some d -> body_facts d | None -> [] in
+      defaults @ binding_facts body
+  | Pexp_newtype (_, body) -> binding_facts body
+  | Pexp_constraint (body, _) -> binding_facts body
+  | _ -> body_facts e
+
+let finding_of_fact ~file fact =
+  let rule = match fact.f_kind with Alloc -> Rules.Hot_alloc | Block -> Rules.No_mutex_hot in
+  Rules.v ~file ~line:fact.f_line ~col:fact.f_col rule fact.f_msg
+
+(* ------------------------------------------------------------------ *)
+(* R1 + R1b: the facts of [@hot] bodies become findings directly        *)
 
 let hot_pass config ~file structure =
   if not (path_matches file config.hot_modules) then []
@@ -306,7 +342,8 @@ let hot_pass config ~file structure =
     let super = Ast_iterator.default_iterator in
     let value_binding it vb =
       if has_hot_attr vb.pvb_attributes then
-        findings := hot_check_binding ~file [] vb.pvb_expr @ !findings
+        findings :=
+          List.map (finding_of_fact ~file) (binding_facts vb.pvb_expr) @ !findings
       else super.value_binding it vb
     in
     let it = { super with value_binding } in
@@ -314,5 +351,8 @@ let hot_pass config ~file structure =
     !findings
   end
 
+(* The domain-safety (Domsafe) and determinism (Determinism) passes are
+   composed with these two in Engine — they live downstream of this
+   module and reuse its helpers. *)
 let check_structure config ~file structure =
   hot_pass config ~file structure @ poly_and_exn_pass config ~file structure

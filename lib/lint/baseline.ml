@@ -1,0 +1,124 @@
+(* Committed findings baseline with ratchet semantics (DESIGN.md §12).
+
+   The baseline is the escape hatch that lets a new rule land before
+   the tree is fully clean under it: findings recorded in the committed
+   baseline file are "grandfathered" — reported, but not failing —
+   while anything NOT in the baseline fails the run. The ratchet comes
+   from the stale check: a baseline entry that no longer matches any
+   current finding is itself reported, so the file can only shrink.
+   (This repo's baseline is empty — the tree is clean — but the
+   mechanism is what makes the next rule addition landable.)
+
+   Matching is a multiset consume on (file, rule, message), not on line
+   numbers: unrelated edits move lines constantly, and a baseline that
+   churns with every edit trains people to regenerate it blindly, which
+   defeats the ratchet. Two identical findings in one file need two
+   baseline entries. *)
+
+module J = Tango_obs.Json
+
+type entry = { e_file : string; e_rule : string; e_message : string }
+
+let entry_of_finding (f : Rules.finding) =
+  { e_file = f.file; e_rule = Rules.id f.rule; e_message = f.message }
+
+let entry_compare a b =
+  match String.compare a.e_file b.e_file with
+  | 0 -> begin
+      match String.compare a.e_rule b.e_rule with
+      | 0 -> String.compare a.e_message b.e_message
+      | c -> c
+    end
+  | c -> c
+
+exception Bad
+
+let load ~path =
+  if not (Sys.file_exists path) then []
+  else
+    try
+      let ic = open_in_bin path in
+      let source =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let str = function J.Str s -> s | _ -> raise Bad in
+      let field name obj =
+        match J.member name obj with Some v -> v | None -> raise Bad
+      in
+      match field "findings" (J.parse source) with
+      | J.List items ->
+          List.map
+            (fun item ->
+              {
+                e_file = str (field "file" item);
+                e_rule = str (field "rule" item);
+                e_message = str (field "message" item);
+              })
+            items
+      | _ -> raise Bad
+    with J.Parse_error _ | Bad | Sys_error _ ->
+      (* A baseline that cannot be read must not silently grandfather
+         everything; treating it as empty makes every finding fail,
+         which is the loud direction. *)
+      []
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let save ~path findings =
+  let entries =
+    List.sort entry_compare (List.map entry_of_finding findings)
+  in
+  let oc = open_out_bin path in
+  output_string oc "{\n  \"findings\": [";
+  List.iteri
+    (fun i e ->
+      if i > 0 then output_string oc ",";
+      Printf.fprintf oc
+        "\n    {\"file\": \"%s\", \"rule\": \"%s\", \"message\": \"%s\"}"
+        (escape e.e_file) (escape e.e_rule) (escape e.e_message))
+    entries;
+  (match entries with [] -> () | _ -> output_string oc "\n  ");
+  output_string oc "]\n}\n";
+  close_out oc
+
+(* Multiset consume: each baseline entry can absolve exactly one
+   finding. Returns (new findings, grandfathered findings, stale
+   baseline entries). *)
+let partition ~baseline findings =
+  let remaining = ref (List.map (fun e -> (e, ref false)) baseline) in
+  let fresh, grandfathered =
+    List.partition
+      (fun f ->
+        let e = entry_of_finding f in
+        match
+          List.find_opt
+            (fun (b, consumed) -> (not !consumed) && entry_compare b e = 0)
+            !remaining
+        with
+        | Some (_, consumed) ->
+            consumed := true;
+            false
+        | None -> true)
+      findings
+  in
+  let stale =
+    List.filter_map
+      (fun (e, consumed) -> if !consumed then None else Some e)
+      !remaining
+  in
+  (fresh, grandfathered, stale)

@@ -1,0 +1,26 @@
+(** Committed findings baseline with ratchet semantics (DESIGN.md §12).
+
+    Findings listed in the committed baseline file (LINT_BASELINE.json)
+    are grandfathered: reported but not failing. Findings absent from it
+    fail. Baseline entries matching nothing are stale and reported — the
+    file can only shrink. Matching is a multiset consume on
+    (file, rule, message); line numbers are deliberately excluded so
+    unrelated edits do not churn the baseline. *)
+
+type entry = { e_file : string; e_rule : string; e_message : string }
+
+val entry_compare : entry -> entry -> int
+
+val load : path:string -> entry list
+(** An absent or unreadable baseline loads as [[]] — every finding then
+    fails, which is the loud failure direction. *)
+
+val save : path:string -> Rules.finding list -> unit
+(** Write the given findings as the new baseline ([--write-baseline]). *)
+
+val partition :
+  baseline:entry list ->
+  Rules.finding list ->
+  Rules.finding list * Rules.finding list * entry list
+(** [(fresh, grandfathered, stale)]: findings not covered by the
+    baseline, findings it absolves, and entries that matched nothing. *)

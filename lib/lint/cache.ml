@@ -1,0 +1,221 @@
+(* Digest-keyed incremental summary cache (DESIGN.md §12).
+
+   The expensive part of a lint run is parsing 70+ files and walking
+   their ASTs; the whole-program passes (hot-reach closure, baseline
+   matching) recompute from summaries in well under a millisecond. So
+   the cache stores the per-file summaries, keyed by the MD5 digest of
+   the file's content plus the config fingerprint: touch one file and
+   only that file re-parses; change the lint config and the whole cache
+   self-invalidates. Missing-mli is the one check deliberately NOT
+   cached with the summary — it depends on the .mli's existence, not on
+   the .ml's bytes — and the engine recomputes it fresh on every run.
+
+   The on-disk format is plain JSON (written by hand, read back with
+   the Tango_obs.Json strict parser — same no-dependency policy as
+   BENCH.json). A missing, corrupt or version-skewed cache file reads
+   as empty: the cache can only ever cost a cold run, never a wrong
+   result. *)
+
+let format_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                              *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_list b xs write_one =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char b ',';
+      write_one x)
+    xs;
+  Buffer.add_char b ']'
+
+let write_finding b (f : Rules.finding) =
+  Buffer.add_string b
+    (Printf.sprintf {|{"line":%d,"col":%d,"rule":"%s","message":"%s","chain":|}
+       f.line f.col (Rules.id f.rule) (escape f.message));
+  write_list b f.chain (fun c -> Buffer.add_string b (Printf.sprintf "\"%s\"" (escape c)));
+  Buffer.add_char b '}'
+
+let write_waiver b (w : Waivers.t) =
+  Buffer.add_string b
+    (Printf.sprintf {|{"line":%d,"rule":"%s","reason":"%s"}|} w.line
+       (Rules.id w.rule) (escape w.reason))
+
+let write_fact b (f : Ast_check.fact) =
+  Buffer.add_string b
+    (Printf.sprintf {|{"line":%d,"col":%d,"kind":"%s","msg":"%s"}|} f.f_line
+       f.f_col
+       (match f.f_kind with Ast_check.Alloc -> "alloc" | Ast_check.Block -> "block")
+       (escape f.f_msg))
+
+let write_call b (c : Callgraph.call) =
+  Buffer.add_string b
+    (Printf.sprintf {|{"t":"%s","line":%d,"col":%d}|} (escape c.c_target) c.c_line
+       c.c_col)
+
+let write_binding b (bd : Callgraph.binding) =
+  Buffer.add_string b
+    (Printf.sprintf {|{"name":"%s","line":%d,"col":%d,"hot":%b,"facts":|}
+       (escape bd.b_name) bd.b_line bd.b_col bd.b_hot);
+  write_list b bd.b_facts (write_fact b);
+  Buffer.add_string b {|,"calls":|};
+  write_list b bd.b_calls (write_call b);
+  Buffer.add_char b '}'
+
+let write_summary b ~digest (s : Callgraph.summary) =
+  Buffer.add_string b (Printf.sprintf {|{"digest":"%s","findings":|} digest);
+  write_list b s.s_findings (write_finding b);
+  Buffer.add_string b {|,"waiver_findings":|};
+  write_list b s.s_waiver_findings (write_finding b);
+  Buffer.add_string b {|,"waivers":|};
+  write_list b s.s_waivers (write_waiver b);
+  Buffer.add_string b {|,"opens":|};
+  write_list b s.s_opens (fun o -> Buffer.add_string b (Printf.sprintf "\"%s\"" (escape o)));
+  Buffer.add_string b {|,"bindings":|};
+  write_list b s.s_bindings (write_binding b);
+  Buffer.add_char b '}'
+
+let save ~path ~config_fp (entries : (string * Callgraph.summary) list) =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b
+    (Printf.sprintf {|{"format":%d,"config":"%s","files":{|} format_version
+       (escape config_fp));
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> String.compare a.Callgraph.s_path b.Callgraph.s_path) entries
+  in
+  List.iteri
+    (fun i (digest, (s : Callgraph.summary)) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":" (escape s.s_path));
+      write_summary b ~digest s)
+    sorted;
+  Buffer.add_string b "}}\n";
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Sys.rename tmp path
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                              *)
+
+module J = Tango_obs.Json
+
+type t = (string, string * Callgraph.summary) Hashtbl.t
+(* path -> (digest, summary) *)
+
+let empty () : t = Hashtbl.create 16
+
+exception Bad
+
+let str = function J.Str s -> s | _ -> raise Bad
+let num = function J.Num n -> int_of_float n | _ -> raise Bad
+let bool_ = function J.Bool b -> b | _ -> raise Bad
+let list_ = function J.List l -> l | _ -> raise Bad
+let field name obj = match J.member name obj with Some v -> v | None -> raise Bad
+
+let read_finding ~file j : Rules.finding =
+  let rule =
+    match Rules.of_id (str (field "rule" j)) with Some r -> r | None -> raise Bad
+  in
+  {
+    Rules.file;
+    line = num (field "line" j);
+    col = num (field "col" j);
+    rule;
+    message = str (field "message" j);
+    chain = List.map str (list_ (field "chain" j));
+  }
+
+let read_waiver j : Waivers.t =
+  let rule =
+    match Rules.of_id (str (field "rule" j)) with Some r -> r | None -> raise Bad
+  in
+  { Waivers.line = num (field "line" j); rule; reason = str (field "reason" j); used = false }
+
+let read_fact j : Ast_check.fact =
+  {
+    Ast_check.f_line = num (field "line" j);
+    f_col = num (field "col" j);
+    f_kind =
+      (match str (field "kind" j) with
+      | "alloc" -> Ast_check.Alloc
+      | "block" -> Ast_check.Block
+      | _ -> raise Bad);
+    f_msg = str (field "msg" j);
+  }
+
+let read_call j : Callgraph.call =
+  {
+    Callgraph.c_target = str (field "t" j);
+    c_line = num (field "line" j);
+    c_col = num (field "col" j);
+  }
+
+let read_binding j : Callgraph.binding =
+  {
+    Callgraph.b_name = str (field "name" j);
+    b_line = num (field "line" j);
+    b_col = num (field "col" j);
+    b_hot = bool_ (field "hot" j);
+    b_facts = List.map read_fact (list_ (field "facts" j));
+    b_calls = List.map read_call (list_ (field "calls" j));
+  }
+
+let read_summary ~path j : string * Callgraph.summary =
+  ( str (field "digest" j),
+    {
+      Callgraph.s_path = path;
+      s_findings = List.map (read_finding ~file:path) (list_ (field "findings" j));
+      s_waiver_findings =
+        List.map (read_finding ~file:path) (list_ (field "waiver_findings" j));
+      s_waivers = List.map read_waiver (list_ (field "waivers" j));
+      s_opens = List.map str (list_ (field "opens" j));
+      s_bindings = List.map read_binding (list_ (field "bindings" j));
+    } )
+
+let load ~path ~config_fp : t =
+  if not (Sys.file_exists path) then empty ()
+  else
+    try
+      let ic = open_in_bin path in
+      let source =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let j = J.parse source in
+      if num (field "format" j) <> format_version then empty ()
+      else if not (String.equal (str (field "config" j)) config_fp) then empty ()
+      else begin
+        let tbl = empty () in
+        (match field "files" j with
+        | J.Obj fields ->
+            List.iter
+              (fun (path, sj) -> Hashtbl.replace tbl path (read_summary ~path sj))
+              fields
+        | _ -> raise Bad);
+        tbl
+      end
+    with Bad | J.Parse_error _ | Sys_error _ -> empty ()
+
+let find (t : t) ~path ~digest =
+  match Hashtbl.find_opt t path with
+  | Some (d, s) when String.equal d digest -> Some s
+  | _ -> None

@@ -1,0 +1,27 @@
+(** Digest-keyed incremental summary cache (DESIGN.md §12).
+
+    Per-file {!Callgraph.summary} values keyed by the MD5 digest of the
+    file's bytes; the whole store is additionally keyed by the config
+    {!Ast_check.fingerprint}, so a config change invalidates everything.
+    A missing, corrupt or version-skewed cache file loads as empty — the
+    cache can cost a cold run, never a wrong result. Missing-mli
+    findings are not part of summaries (they depend on the .mli's
+    existence, not the .ml's bytes) and are recomputed fresh by the
+    engine each run. *)
+
+type t
+
+val empty : unit -> t
+
+val load : path:string -> config_fp:string -> t
+(** Read the store; any failure (absent file, parse error, format or
+    config-fingerprint mismatch) yields {!empty}. *)
+
+val find : t -> path:string -> digest:string -> Callgraph.summary option
+(** Cache hit only when the stored digest matches the file's current
+    digest. *)
+
+val save : path:string -> config_fp:string -> (string * Callgraph.summary) list -> unit
+(** Write the store atomically (temp file + rename). Entries are
+    [(digest, summary)] pairs for every file of the current run; files
+    no longer on disk simply drop out. *)

@@ -1,0 +1,139 @@
+(* Determinism rules — the static side of the seed-sweep guarantee
+   (DESIGN.md §12): byte-identical output for identical seeds is this
+   repo's crown jewel, enforced dynamically by the cmp-based seed-sweep
+   rules in test/dune and statically here.
+
+   Three leak classes:
+
+   - Wall-clock reads ([Unix.gettimeofday], [Unix.time], [Sys.time]).
+     Sanctioned only in the configured allow set (lib/obs manifest code,
+     which records wall durations *about* a run, never *into* one).
+
+   - Global [Random] state. [Random.self_init] seeds from the
+     environment; even seeded global state is domain-local in OCaml 5,
+     so the same program text draws different streams depending on
+     which domain runs it. Explicit [Random.State] values threaded from
+     a seed are fine ([Random.State.make_self_init] is not).
+
+   - [Hashtbl.iter] / [Hashtbl.fold]: iteration order is a function of
+     the hash, the table's growth history and the stdlib version — an
+     implementation detail that must never order a merge, a reduction
+     with a non-commutative operator, or exported output. The
+     collect-and-sort idiom is recognized and exempt: a fold or iter
+     that sits (syntactically) inside an application of
+     [List.sort] / [List.stable_sort] / [List.sort_uniq] — e.g.
+     [Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [] |> List.sort cmp]
+     — produces an order-independent result. *)
+
+open Parsetree
+
+let wallclock = function
+  | Longident.Ldot (Longident.Lident "Unix", (("gettimeofday" | "time") as f)) ->
+      Some ("Unix." ^ f)
+  | Longident.Ldot (Longident.Lident "Sys", "time") -> Some "Sys.time"
+  | _ -> None
+
+let sort_fn = function
+  | Longident.Ldot
+      ( Longident.Lident ("List" | "Array"),
+        ("sort" | "stable_sort" | "sort_uniq" | "fast_sort") ) ->
+      true
+  | _ -> false
+
+(* Spans of every sort application in the file: a Hashtbl.iter/fold
+   whose location falls inside one is the sanctioned collect-and-sort
+   idiom. The pipe operators keep source order, so [fold ... |> sort]
+   parses as an application of (|>) whose span covers the fold. *)
+let sorted_spans structure =
+  let spans = ref [] in
+  let super = Ast_iterator.default_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) when sort_fn txt ->
+        spans := e.pexp_loc :: !spans
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Lident ("|>" | "@@"); _ }; _ },
+          args )
+      when List.exists
+             (fun (_, a) ->
+               match (Ast_check.strip_wrappers a).pexp_desc with
+               | Pexp_ident { txt; _ } -> sort_fn txt
+               | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+                   sort_fn txt
+               | _ -> false)
+             args ->
+        spans := e.pexp_loc :: !spans
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.structure it structure;
+  !spans
+
+let inside (spans : Location.t list) (loc : Location.t) =
+  List.exists
+    (fun (s : Location.t) ->
+      s.loc_start.pos_cnum <= loc.loc_start.pos_cnum
+      && loc.loc_end.pos_cnum <= s.loc_end.pos_cnum
+      && String.equal s.loc_start.pos_fname loc.loc_start.pos_fname)
+    spans
+
+let pass ~wallclock_allowed ~file structure =
+  let findings = ref [] in
+  let add ~loc rule message =
+    findings := Ast_check.loc_finding ~file ~loc rule message :: !findings
+  in
+  let spans = sorted_spans structure in
+  let super = Ast_iterator.default_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> begin
+        (match wallclock txt with
+        | Some name when not wallclock_allowed ->
+            add ~loc:e.pexp_loc Rules.Wallclock
+              (Printf.sprintf
+                 "%s leaks wall time into a seeded run; derive times from the \
+                  engine's virtual clock, or move the read into the lib/obs \
+                  manifest layer"
+                 name)
+        | _ -> ());
+        match txt with
+        | Longident.Ldot (Longident.Lident "Random", "self_init") ->
+            add ~loc:e.pexp_loc Rules.Unseeded_random
+              "Random.self_init seeds from the environment; seeded runs stop \
+               being reproducible — thread an explicit seed instead"
+        | Longident.Ldot (Longident.Lident "Random", fn) ->
+            add ~loc:e.pexp_loc Rules.Unseeded_random
+              (Printf.sprintf
+                 "Random.%s draws from the global (domain-local) state; use \
+                  Sim.Rng or an explicit seeded Random.State"
+                 fn)
+        | Longident.Ldot
+            (Longident.Ldot (Longident.Lident "Random", "State"), "make_self_init")
+          ->
+            add ~loc:e.pexp_loc Rules.Unseeded_random
+              "Random.State.make_self_init seeds from the environment; make \
+               the state from an explicit seed"
+        | _ -> ()
+      end
+    | Pexp_apply
+        ( {
+            pexp_desc =
+              Pexp_ident
+                { txt = Longident.Ldot (Longident.Lident "Hashtbl", (("iter" | "fold") as f)); _ };
+            _;
+          },
+          _ )
+      when not (inside spans e.pexp_loc) ->
+        add ~loc:e.pexp_loc Rules.Iter_order
+          (Printf.sprintf
+             "Hashtbl.%s order is an implementation detail; if the result \
+              feeds a merge, a reduction or exported output, collect and sort \
+              (Hashtbl.fold ... |> List.sort ...) or iterate sorted keys"
+             f)
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.structure it structure;
+  !findings

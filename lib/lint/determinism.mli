@@ -1,0 +1,18 @@
+(** Determinism rules — the static side of the seed-sweep guarantee
+    (rules [Wallclock], [Unseeded_random], [Iter_order]; DESIGN.md §12).
+
+    Flags wall-clock reads outside the configured allow set, global
+    [Random] state, and [Hashtbl.iter]/[fold] whose order could leak
+    into a merge or exported output. The collect-and-sort idiom
+    ([Hashtbl.fold ... |> List.sort ...], or the fold nested anywhere
+    inside a [List.sort]/[Array.sort] application) is recognized and
+    exempt. *)
+
+val pass :
+  wallclock_allowed:bool ->
+  file:string ->
+  Parsetree.structure ->
+  Rules.finding list
+(** [wallclock_allowed] is true when the file matches the config's
+    [wallclock_allow] fragments (lib/obs manifest code). The Random and
+    Hashtbl rules apply everywhere. *)

@@ -1,0 +1,16 @@
+(** Domain-safety rules for the lane-visible modules of the multicore
+    dataplane (rules [Domsafe_mutation], [Domsafe_blocking],
+    [Domain_self]; DESIGN.md §12).
+
+    Lane-shared state is identified syntactically: a record type
+    carrying an [Atomic.t] field is the cross-domain handoff structure.
+    Direct writes to its plain mutable fields bypass the sanctioned
+    Atomic-cursor ring-publication pattern and are findings; the
+    sanctioned pattern itself (plain array-slot writes published by an
+    [Atomic.set] of the cursor) is invisible to the rule by
+    construction, so it needs no exemption list. *)
+
+val pass :
+  lane_visible:bool -> file:string -> Parsetree.structure -> Rules.finding list
+(** Run the pass; returns [[]] when [lane_visible] is false (the file is
+    not in the configured [domsafe_modules] set). *)

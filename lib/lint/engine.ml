@@ -1,12 +1,28 @@
-(* Orchestration: find the .ml files, parse each one with the 5.1
-   compiler front end, run the AST passes, check interface completeness,
-   then fold waivers in. Everything returns data; printing lives in
-   Report. *)
+(* Orchestration (DESIGN.md §12). The v2 pipeline:
+
+     discover .ml files
+       -> per-file summary (parse + local passes + callgraph facts)
+            [served from the digest-keyed Cache when the bytes and the
+             config fingerprint both match]
+       -> whole-program passes over the summaries (Hotset hot-reach)
+       -> fresh missing-mli check (depends on the .mli's existence,
+          never cached)
+       -> waiver application (after the graph passes, so a waiver on an
+          interprocedural finding registers as used)
+       -> unused-waiver findings
+       -> baseline partition (fresh fail; grandfathered report;
+          stale entries surface)
+
+   Everything returns data; printing lives in Report / Sarif. *)
 
 type result = {
   files : string list;
-  findings : Rules.finding list;  (* unwaived, sorted *)
+  findings : Rules.finding list;  (* unwaived, not grandfathered: these fail *)
   waived : (Rules.finding * string) list;  (* finding, waiver reason *)
+  grandfathered : Rules.finding list;  (* absolved by the committed baseline *)
+  stale_baseline : Baseline.entry list;  (* baseline entries matching nothing *)
+  cache_hits : int;
+  cache_misses : int;
 }
 
 let read_file path =
@@ -16,23 +32,25 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let parse_findings ~file exn =
-  let fallback message = [ { Rules.file; line = 1; col = 0; rule = Rules.Parse_error; message } ] in
+  let fallback message = [ Rules.v ~file ~line:1 ~col:0 Rules.Parse_error message ] in
   match Location.error_of_exn exn with
   | Some (`Ok report) ->
       let loc = report.Location.main.Location.loc in
       [
-        {
-          Rules.file;
-          line = loc.Location.loc_start.Lexing.pos_lnum;
-          col = loc.Location.loc_start.Lexing.pos_cnum - loc.Location.loc_start.Lexing.pos_bol;
-          rule = Rules.Parse_error;
-          message = Format.asprintf "%t" report.Location.main.Location.txt;
-        };
+        Rules.v ~file ~line:loc.Location.loc_start.Lexing.pos_lnum
+          ~col:
+            (loc.Location.loc_start.Lexing.pos_cnum
+            - loc.Location.loc_start.Lexing.pos_bol)
+          Rules.Parse_error
+          (Format.asprintf "%t" report.Location.main.Location.txt);
       ]
   | Some `Already_displayed | None -> fallback (Printexc.to_string exn)
 
-let lint_file ?(config = Ast_check.default) file =
+(* One file -> (digest, summary). All local passes run here; whole-
+   program passes and the mli check run downstream in [run]. *)
+let summarize ~(config : Ast_check.config) file =
   let source = read_file file in
+  let digest = Digest.to_hex (Digest.string source) in
   let waivers, waiver_findings = Waivers.scan ~path:file source in
   let parsed =
     let lexbuf = Lexing.from_string source in
@@ -41,39 +59,66 @@ let lint_file ?(config = Ast_check.default) file =
     | structure -> Ok structure
     | exception exn -> Error (parse_findings ~file exn)
   in
-  let ast_findings =
+  let summary =
     match parsed with
-    | Ok structure -> Ast_check.check_structure config ~file structure
-    | Error findings -> findings
-  in
-  let mli_findings =
-    if config.Ast_check.require_mli && not (Sys.file_exists (file ^ "i")) then
-      [
+    | Error findings ->
         {
-          Rules.file;
-          line = 1;
-          col = 0;
-          rule = Rules.Missing_mli;
-          message = "no matching .mli: every library module declares its interface";
-        };
-      ]
-    else []
+          Callgraph.s_path = file;
+          s_findings = findings;
+          s_waivers = waivers;
+          s_waiver_findings = waiver_findings;
+          s_opens = [];
+          s_bindings = [];
+        }
+    | Ok structure ->
+        let local =
+          Ast_check.check_structure config ~file structure
+          @ Domsafe.pass
+              ~lane_visible:(Ast_check.path_matches file config.domsafe_modules)
+              ~file structure
+          @ Determinism.pass
+              ~wallclock_allowed:
+                (Ast_check.path_matches file config.wallclock_allow)
+              ~file structure
+        in
+        let opens, bindings = Callgraph.extract structure in
+        {
+          Callgraph.s_path = file;
+          s_findings = local;
+          s_waivers = waivers;
+          s_waiver_findings = waiver_findings;
+          s_opens = opens;
+          s_bindings = bindings;
+        }
   in
-  let raw = ast_findings @ mli_findings @ waiver_findings in
-  let waived, unwaived =
-    List.partition_map
-      (fun (f : Rules.finding) ->
-        match
-          List.find_opt (fun w -> Waivers.covers w ~rule:f.rule ~line:f.line) waivers
-        with
-        | Some w ->
-            w.Waivers.used <- true;
-            Either.Left (f, w.Waivers.reason)
-        | None -> Either.Right f)
-      raw
-  in
-  let unwaived = unwaived @ Waivers.unused_findings ~path:file waivers in
-  (unwaived, waived)
+  (digest, summary)
+
+let mli_findings ~(config : Ast_check.config) file =
+  if config.Ast_check.require_mli && not (Sys.file_exists (file ^ "i")) then
+    [
+      Rules.v ~file ~line:1 ~col:0 Rules.Missing_mli
+        "no matching .mli: every library module declares its interface";
+    ]
+  else []
+
+let apply_waivers ~waivers_by_file findings =
+  List.partition_map
+    (fun (f : Rules.finding) ->
+      let waivers =
+        match Hashtbl.find_opt waivers_by_file f.Rules.file with
+        | Some ws -> ws
+        | None -> []
+      in
+      match
+        List.find_opt
+          (fun w -> Waivers.covers w ~rule:f.Rules.rule ~line:f.Rules.line)
+          waivers
+      with
+      | Some w ->
+          w.Waivers.used <- true;
+          Either.Left (f, w.Waivers.reason)
+      | None -> Either.Right f)
+    findings
 
 let rec ml_files_under path =
   if Sys.is_directory path then
@@ -82,18 +127,87 @@ let rec ml_files_under path =
   else if Filename.check_suffix path ".ml" then [ path ]
   else []
 
-let lint_paths ?(config = Ast_check.default) paths =
+let run ?(config = Ast_check.default) ?cache_path ?baseline_path paths =
   let files = List.concat_map ml_files_under paths in
-  let findings, waived =
-    List.fold_left
-      (fun (fs, ws) file ->
-        let f, w = lint_file ~config file in
-        (f @ fs, w @ ws))
-      ([], []) files
+  let config_fp = Ast_check.fingerprint config in
+  let cache =
+    match cache_path with
+    | Some path -> Cache.load ~path ~config_fp
+    | None -> Cache.empty ()
+  in
+  let hits = ref 0 and misses = ref 0 in
+  let entries =
+    List.map
+      (fun file ->
+        let digest = Digest.to_hex (Digest.string (read_file file)) in
+        match Cache.find cache ~path:file ~digest with
+        | Some summary ->
+            incr hits;
+            (digest, summary)
+        | None ->
+            incr misses;
+            summarize ~config file)
+      files
+  in
+  (match cache_path with
+  | Some path -> Cache.save ~path ~config_fp entries
+  | None -> ());
+  let summaries = List.map snd entries in
+  let lib_map =
+    Callgraph.library_map
+      ~roots:(List.filter (fun p -> Sys.file_exists p && Sys.is_directory p) paths)
+  in
+  let reach = Hotset.findings ~config ~lib_map summaries in
+  let waivers_by_file = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Callgraph.summary) ->
+      Hashtbl.replace waivers_by_file s.Callgraph.s_path s.Callgraph.s_waivers)
+    summaries;
+  let raw =
+    List.concat_map
+      (fun (s : Callgraph.summary) -> s.Callgraph.s_findings @ s.Callgraph.s_waiver_findings)
+      summaries
+    @ reach
+    @ List.concat_map (mli_findings ~config) files
+  in
+  let waived, unwaived = apply_waivers ~waivers_by_file raw in
+  let unused =
+    List.concat_map
+      (fun (s : Callgraph.summary) ->
+        Waivers.unused_findings ~path:s.Callgraph.s_path s.Callgraph.s_waivers)
+      summaries
+  in
+  let baseline =
+    match baseline_path with Some path -> Baseline.load ~path | None -> []
+  in
+  let fresh, grandfathered, stale =
+    Baseline.partition ~baseline (unwaived @ unused)
   in
   {
     files;
-    findings = List.sort Rules.finding_compare findings;
-    waived =
-      List.sort (fun (a, _) (b, _) -> Rules.finding_compare a b) waived;
+    findings = List.sort Rules.finding_compare fresh;
+    waived = List.sort (fun (a, _) (b, _) -> Rules.finding_compare a b) waived;
+    grandfathered = List.sort Rules.finding_compare grandfathered;
+    stale_baseline = List.sort_uniq Baseline.entry_compare stale;
+    cache_hits = !hits;
+    cache_misses = !misses;
   }
+
+(* Single-file entry point, local passes only (no call graph, no
+   baseline): what the fixture tests drive and what stays cheap to
+   reason about. Returns (unwaived, waived). *)
+let lint_file ?(config = Ast_check.default) file =
+  let _digest, summary = summarize ~config file in
+  let waivers_by_file = Hashtbl.create 1 in
+  Hashtbl.replace waivers_by_file file summary.Callgraph.s_waivers;
+  let raw =
+    summary.Callgraph.s_findings @ summary.Callgraph.s_waiver_findings
+    @ mli_findings ~config file
+  in
+  let waived, unwaived = apply_waivers ~waivers_by_file raw in
+  let unwaived =
+    unwaived @ Waivers.unused_findings ~path:file summary.Callgraph.s_waivers
+  in
+  (unwaived, waived)
+
+let lint_paths ?(config = Ast_check.default) paths = run ~config paths

@@ -1,0 +1,7 @@
+(** SARIF 2.1.0 export of unwaived findings ([--sarif FILE];
+    EXPERIMENTS.md). One run, driver ["tango_lint"], the full rule
+    catalogue, one [result] per finding. Columns are converted to
+    SARIF's 1-based convention; interprocedural call chains are appended
+    to the message text. *)
+
+val render : out_channel -> Rules.finding list -> unit

@@ -75,19 +75,14 @@ let scan ~path source =
           match close with
           | None ->
               findings :=
-                {
-                  Rules.file = path;
-                  line = lnum;
-                  col = off;
-                  rule = Rules.Waiver;
-                  message = "waiver comment must open and close on one line";
-                }
+                Rules.v ~file:path ~line:lnum ~col:off Rules.Waiver
+                  "waiver comment must open and close on one line"
                 :: !findings
           | Some close -> begin
               match parse_body (String.sub line body_off (close - body_off)) with
               | Error message ->
                   findings :=
-                    { Rules.file = path; line = lnum; col = off; rule = Rules.Waiver; message }
+                    Rules.v ~file:path ~line:lnum ~col:off Rules.Waiver message
                     :: !findings
               | Ok (rule, reason) ->
                   waivers := { line = lnum; rule; reason; used = false } :: !waivers
@@ -105,13 +100,7 @@ let unused_findings ~path waivers =
       if w.used then None
       else
         Some
-          {
-            Rules.file = path;
-            line = w.line;
-            col = 0;
-            rule = Rules.Waiver;
-            message =
-              Printf.sprintf "unused waiver for %s: nothing to suppress here"
-                (Rules.id w.rule);
-          })
+          (Rules.v ~file:path ~line:w.line ~col:0 Rules.Waiver
+             (Printf.sprintf "unused waiver for %s: nothing to suppress here"
+                (Rules.id w.rule))))
     waivers

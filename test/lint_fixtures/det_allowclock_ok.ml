@@ -1,0 +1,3 @@
+(* Wall-clock reads are sanctioned in files matching the config's
+   wallclock_allow set (the lib/obs manifest layer in the real tree). *)
+let stamp () = Unix.gettimeofday ()

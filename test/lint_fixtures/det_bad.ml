@@ -1,0 +1,13 @@
+(* Determinism must-flag corpus: wall-clock reads, global Random state,
+   and Hashtbl iteration feeding output. *)
+let now () = Unix.gettimeofday ()
+
+let elapsed () = Sys.time ()
+
+let jitter () = Random.float 1.0
+
+let reseed () = Random.self_init ()
+
+let dump tbl out = Hashtbl.iter (fun k v -> out k v) tbl
+
+let total tbl = Hashtbl.fold (fun _ v acc -> v :: acc) tbl []

@@ -1,0 +1,12 @@
+(* Determinism must-pass corpus: the collect-and-sort idiom (pipe and
+   direct-application forms) and explicitly seeded Random.State. *)
+let entries tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let entries_direct tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let draw st = Random.State.float st 1.0
+
+let fresh seed = Random.State.make [| seed |]

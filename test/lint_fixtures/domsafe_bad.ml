@@ -1,0 +1,12 @@
+(* Domain-safety must-flag corpus: a lane-shared record (it carries an
+   Atomic.t cursor), a plain mutable write to it, blocking primitives,
+   and Domain.self control flow. *)
+type ring = { mutable head_cache : int; tail : int Atomic.t; slots : int array }
+
+let bump r = r.head_cache <- r.head_cache + 1
+
+let lock = Mutex.create ()
+
+let wait c m = Condition.wait c m
+
+let whoami () = Domain.self ()

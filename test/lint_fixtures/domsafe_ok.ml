@@ -1,0 +1,16 @@
+(* False-positive guard: the sanctioned SPSC ring-publication pattern —
+   plain array-slot writes published by an Atomic.set of the cursor —
+   and writes to lane-local mutable state (no Atomic.t in the type)
+   must both stay invisible to the domain-safety rules. *)
+type ring = { slots : int array; tail : int Atomic.t }
+
+let push r v =
+  let t = Atomic.get r.tail in
+  r.slots.(t land 63) <- v;
+  Atomic.set r.tail (t + 1)
+
+type scratch = { mutable acc : int; mutable n : int }
+
+let note s v =
+  s.acc <- s.acc + v;
+  s.n <- s.n + 1

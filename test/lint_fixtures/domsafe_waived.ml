@@ -1,0 +1,5 @@
+(* A waived lane-shared mutation: legal only with a recorded reason. *)
+type ring = { mutable produced : int; tail : int Atomic.t }
+
+(* tango-lint: allow domsafe-mutation -- producer-private counter, read only after join *)
+let bump r = r.produced <- r.produced + 1

@@ -1,0 +1,3 @@
+(* Interprocedural must-flag root: this [@hot] body is clean — the
+   allocation debt sits two calls away, in reach_leaf.ml. *)
+let[@hot] dispatch x = Reach_mid.step x

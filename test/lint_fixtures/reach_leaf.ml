@@ -1,0 +1,3 @@
+(* Leaf of the interprocedural fixture chain: allocates, two calls away
+   from the [@hot] root in reach_hot.ml. *)
+let build x = (x, x)

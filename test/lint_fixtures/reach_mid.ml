@@ -1,0 +1,3 @@
+(* Middle hop of the interprocedural fixture chain: not a hot module,
+   not [@hot], clean itself — only reachable. *)
+let step x = Reach_leaf.build x

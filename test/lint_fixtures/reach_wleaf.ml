@@ -1,0 +1,4 @@
+(* Reachable allocation suppressed by a waiver at the callee site —
+   where the finding lands, so where the waiver lives. *)
+(* tango-lint: allow hot-reach -- staging pair built once per rebind, not per packet *)
+let build x = (x, x)

@@ -1,0 +1,3 @@
+(* Waived-variant root: same shape as reach_hot.ml, but the leaf
+   carries a hot-reach waiver. *)
+let[@hot] dispatch x = Reach_wleaf.build x

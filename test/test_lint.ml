@@ -10,8 +10,11 @@ let fixture name = Filename.concat "lint_fixtures" name
 
 let fixture_config =
   {
-    Ast_check.hot_modules = [ "lint_fixtures/hot_" ];
+    Ast_check.hot_modules =
+      [ "lint_fixtures/hot_"; "lint_fixtures/reach_hot"; "lint_fixtures/reach_wroot" ];
+    domsafe_modules = [ "lint_fixtures/domsafe_" ];
     exn_ban_paths = [ "lint_fixtures/failwith_" ];
+    wallclock_allow = [ "lint_fixtures/det_allowclock" ];
     require_mli = false;
   }
 
@@ -163,6 +166,181 @@ let test_missing_mli () =
   in
   Alcotest.(check bool) "poly_ok.ml has its mli" false has_missing
 
+(* R7/R7b/R7c: domain-safety over lane-visible fixture modules. *)
+let test_domsafe_bad () =
+  check_findings "domsafe_bad.ml"
+    [
+      (6, "domsafe-mutation");
+      (8, "domsafe-blocking");
+      (10, "domsafe-blocking");
+      (12, "domsafe-domain-self");
+    ]
+
+(* Ring-publication false-positive guard: the sanctioned SPSC pattern
+   (plain slot writes + Atomic.set of the cursor) and lane-local
+   mutable state must both stay clean. *)
+let test_domsafe_ok () = check_findings "domsafe_ok.ml" []
+
+let test_domsafe_waived () =
+  let findings, waived = lint "domsafe_waived.ml" in
+  Alcotest.check pair_t "no unwaived findings" [] (pairs findings);
+  match waived with
+  | [ (f, reason) ] ->
+      Alcotest.(check string) "waived rule" "domsafe-mutation" (Rules.id f.Rules.rule);
+      Alcotest.(check string) "reason"
+        "producer-private counter, read only after join" reason
+  | other ->
+      Alcotest.failf "expected exactly one waived finding, got %d" (List.length other)
+
+(* R8/R8b/R8c: determinism rules. *)
+let test_det_bad () =
+  check_findings "det_bad.ml"
+    [
+      (3, "determinism-wallclock");
+      (5, "determinism-wallclock");
+      (7, "determinism-random");
+      (9, "determinism-random");
+      (11, "determinism-iteration");
+      (13, "determinism-iteration");
+    ]
+
+(* Collect-and-sort exemption (pipe and direct-application forms) and
+   explicitly seeded Random.State. *)
+let test_det_ok () = check_findings "det_ok.ml" []
+
+let test_det_waived () =
+  let findings, waived = lint "det_waived.ml" in
+  Alcotest.check pair_t "no unwaived findings" [] (pairs findings);
+  match waived with
+  | [ (f, _) ] ->
+      Alcotest.(check string) "waived rule" "determinism-iteration"
+        (Rules.id f.Rules.rule)
+  | other ->
+      Alcotest.failf "expected exactly one waived finding, got %d" (List.length other)
+
+let test_det_allowclock () = check_findings "det_allowclock_ok.ml" []
+
+(* R6: the interprocedural pass. A clean [@hot] root reaches an
+   allocation two resolved calls away; the finding lands at the callee
+   with the full (depth-3) chain. *)
+let test_reach_chain () =
+  let result =
+    Engine.run ~config:fixture_config
+      [ fixture "reach_hot.ml"; fixture "reach_mid.ml"; fixture "reach_leaf.ml" ]
+  in
+  match result.Engine.findings with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "hot-reach" (Rules.id f.Rules.rule);
+      Alcotest.(check string) "file" (fixture "reach_leaf.ml") f.Rules.file;
+      Alcotest.(check int) "line" 3 f.Rules.line;
+      Alcotest.(check (list string))
+        "chain"
+        [ "Reach_hot.dispatch"; "Reach_mid.step"; "Reach_leaf.build" ]
+        f.Rules.chain
+  | other -> Alcotest.failf "expected one hot-reach finding, got %d" (List.length other)
+
+(* A hot-reach waiver lives at the callee site (where the finding
+   lands) and registers as used — no unused-waiver finding. *)
+let test_reach_waived () =
+  let result =
+    Engine.run ~config:fixture_config
+      [ fixture "reach_wroot.ml"; fixture "reach_wleaf.ml" ]
+  in
+  Alcotest.check pair_t "no unwaived findings" [] (pairs result.Engine.findings);
+  match result.Engine.waived with
+  | [ (f, reason) ] ->
+      Alcotest.(check string) "waived rule" "hot-reach" (Rules.id f.Rules.rule);
+      Alcotest.(check string) "reason"
+        "staging pair built once per rebind, not per packet" reason
+  | other ->
+      Alcotest.failf "expected exactly one waived finding, got %d" (List.length other)
+
+(* Incremental cache: cold run misses everything, warm run hits
+   everything, findings identical; a config change invalidates. *)
+let test_cache_roundtrip () =
+  let cache = Filename.temp_file "tango_lint_cache" ".json" in
+  let r1 = Engine.run ~config:fixture_config ~cache_path:cache [ "lint_fixtures" ] in
+  Alcotest.(check int) "cold misses" (List.length r1.Engine.files) r1.Engine.cache_misses;
+  Alcotest.(check int) "cold hits" 0 r1.Engine.cache_hits;
+  let r2 = Engine.run ~config:fixture_config ~cache_path:cache [ "lint_fixtures" ] in
+  Alcotest.(check int) "warm hits" (List.length r2.Engine.files) r2.Engine.cache_hits;
+  Alcotest.(check int) "warm misses" 0 r2.Engine.cache_misses;
+  Alcotest.check pair_t "identical findings" (pairs r1.Engine.findings)
+    (pairs r2.Engine.findings);
+  let altered = { fixture_config with Ast_check.require_mli = true } in
+  let r3 = Engine.run ~config:altered ~cache_path:cache [ "lint_fixtures" ] in
+  Alcotest.(check int) "config change invalidates" 0 r3.Engine.cache_hits;
+  Sys.remove cache
+
+(* Baseline ratchet: recorded findings grandfather (report, don't
+   fail); entries matching nothing surface as stale. *)
+let test_baseline_ratchet () =
+  let baseline = Filename.temp_file "tango_lint_baseline" ".json" in
+  let r0 = Engine.run ~config:fixture_config [ fixture "det_bad.ml" ] in
+  Alcotest.(check bool) "fixture has findings" true
+    (List.length r0.Engine.findings > 0);
+  Baseline.save ~path:baseline r0.Engine.findings;
+  let r1 =
+    Engine.run ~config:fixture_config ~baseline_path:baseline [ fixture "det_bad.ml" ]
+  in
+  Alcotest.check pair_t "all grandfathered" [] (pairs r1.Engine.findings);
+  Alcotest.(check int) "grandfathered count" (List.length r0.Engine.findings)
+    (List.length r1.Engine.grandfathered);
+  Alcotest.(check int) "nothing stale" 0 (List.length r1.Engine.stale_baseline);
+  let ghost = Rules.v ~file:"ghost.ml" ~line:1 ~col:0 Rules.Hot_alloc "never existed" in
+  Baseline.save ~path:baseline (ghost :: r0.Engine.findings);
+  let r2 =
+    Engine.run ~config:fixture_config ~baseline_path:baseline [ fixture "det_bad.ml" ]
+  in
+  (match r2.Engine.stale_baseline with
+  | [ e ] -> Alcotest.(check string) "stale file" "ghost.ml" e.Baseline.e_file
+  | other -> Alcotest.failf "expected one stale entry, got %d" (List.length other));
+  Sys.remove baseline
+
+(* SARIF export: schema-valid enough to parse, 1-based columns, chain
+   in the message text. *)
+let test_sarif () =
+  let f =
+    { (Rules.v ~file:"x.ml" ~line:3 ~col:1 Rules.Hot_alloc "boxed") with
+      Rules.chain = [ "A.a"; "B.b" ] }
+  in
+  let path = Filename.temp_file "tango_lint" ".sarif" in
+  let oc = open_out_bin path in
+  Sarif.render oc [ f ];
+  close_out oc;
+  let ic = open_in_bin path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let j = Tango_obs.Json.parse src in
+  Alcotest.(check (option string))
+    "version" (Some "2.1.0")
+    Tango_obs.Json.(string_opt (member "version" j));
+  match Tango_obs.Json.member "runs" j with
+  | Some (Tango_obs.Json.List [ run ]) -> begin
+      match Tango_obs.Json.member "results" run with
+      | Some (Tango_obs.Json.List [ result ]) ->
+          Alcotest.(check (option string))
+            "ruleId" (Some "hot-alloc")
+            Tango_obs.Json.(string_opt (member "ruleId" result));
+          let text =
+            Tango_obs.Json.(
+              string_opt
+                (Option.bind (member "message" result) (member "text")))
+          in
+          let contains s sub =
+            let n = String.length s and m = String.length sub in
+            let rec go i =
+              i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) "chain in message" true
+            (match text with Some t -> contains t "A.a -> B.b" | None -> false)
+      | _ -> Alcotest.fail "expected one SARIF result"
+    end
+  | _ -> Alcotest.fail "expected one SARIF run"
+
 (* Waiver scanner unit behaviour, independent of the AST passes. *)
 let test_waiver_scan () =
   let src =
@@ -219,6 +397,27 @@ let () =
           Alcotest.test_case "waiver must-flag" `Quick test_waiver_bad;
           Alcotest.test_case "parse error surfaces" `Quick test_parse_bad;
           Alcotest.test_case "missing-mli" `Quick test_missing_mli;
+          Alcotest.test_case "domsafe must-flag" `Quick test_domsafe_bad;
+          Alcotest.test_case "domsafe ring-publication must-pass" `Quick
+            test_domsafe_ok;
+          Alcotest.test_case "domsafe waived" `Quick test_domsafe_waived;
+          Alcotest.test_case "determinism must-flag" `Quick test_det_bad;
+          Alcotest.test_case "determinism collect-and-sort must-pass" `Quick
+            test_det_ok;
+          Alcotest.test_case "determinism waived" `Quick test_det_waived;
+          Alcotest.test_case "determinism wallclock allow-list" `Quick
+            test_det_allowclock;
+        ] );
+      ( "interprocedural",
+        [
+          Alcotest.test_case "depth-3 chain must-flag" `Quick test_reach_chain;
+          Alcotest.test_case "callee-site waiver" `Quick test_reach_waived;
+        ] );
+      ( "scale",
+        [
+          Alcotest.test_case "cache round-trip" `Quick test_cache_roundtrip;
+          Alcotest.test_case "baseline ratchet" `Quick test_baseline_ratchet;
+          Alcotest.test_case "sarif export" `Quick test_sarif;
         ] );
       ( "waivers",
         [
