@@ -2,7 +2,7 @@
 # formatting, the full test suite, then a fast end-to-end smoke of the
 # experiment harness (fig3 takes well under a second).
 
-.PHONY: all build fmt test lint lint-fast lint-json lint-sarif lint-timed smoke obs-smoke faults-smoke reconcile-smoke throughput-smoke bench bench-json bench-compare check clean
+.PHONY: all build fmt test lint lint-fast lint-json lint-sarif lint-timed smoke obs-smoke faults-smoke reconcile-smoke throughput-smoke mesh-smoke bench bench-json bench-compare check clean
 
 all: build
 
@@ -83,7 +83,13 @@ throughput-smoke:
 	dune exec bench/main.exe -- --experiment throughput-scaling --domains 2 --batch 64 > /dev/null
 	dune exec bin/tango_cli.exe -- throughput --domains 2 --generations 200 --fingerprint > /dev/null
 
-check: build fmt test lint smoke obs-smoke faults-smoke reconcile-smoke throughput-smoke
+# Relay-mesh smoke: the E15 gates at the N=64 design point, plus a
+# 16-PoP relay-kill run through the CLI (lib/mesh end to end).
+mesh-smoke:
+	dune exec bench/main.exe -- --experiment mesh-scaling --pops 64 --no-micro > /dev/null
+	dune exec bin/tango_cli.exe -- mesh --pops 16 --scenario relay-kill --fingerprint > /dev/null
+
+check: build fmt test lint smoke obs-smoke faults-smoke reconcile-smoke throughput-smoke mesh-smoke
 
 clean:
 	dune clean

@@ -868,3 +868,61 @@ let throughput_scaling () =
     (List.length results)
     (if identical then "yes" else "NO")
     (if identical then "PASS" else "FAIL")
+
+(* ------------------------------------------------------------------ *)
+(* E15 — mesh scaling: Tango-of-N relay mesh, O(1) failover            *)
+
+module Nmesh = Tango_mesh.Mesh
+
+(* [--pops] narrows the sweep to one mesh size; 0 sweeps the grid. *)
+let mesh_pops = ref 0
+
+let mesh_scaling () =
+  section "E15 — mesh scaling: Tango-of-N relay mesh, O(1) arborescence failover";
+  let specs = (F_scenario.get "relay-kill").F_scenario.specs in
+  let sweep = match !mesh_pops with 0 -> [ 4; 8; 16; 32; 64; 128 ] | n -> [ n ] in
+  let ms v = if v < 0.0 then "-" else Printf.sprintf "%.1f ms" v in
+  row "  (scenario relay-kill, 12 s horizon, seed %d, 3 trees/destination)\n"
+    !exp_seed;
+  row "  %-5s %6s %6s %11s %8s %7s %4s %9s %10s %5s %11s\n" "pops" "edges"
+    "flows" "delivered" "reroute" "maxrot" "aff" "detect" "recovery" "disc"
+    "converge";
+  let run n = Nmesh.run ~pops:n ~seed:!exp_seed ~duration_s:12.0 ~specs () in
+  let results =
+    List.map
+      (fun n ->
+        let r = run n in
+        row "  %-5d %6d %6d %5d/%-5d %8d %7d %4d %9s %10s %5d %11s\n" n
+          r.Nmesh.edges r.Nmesh.flows r.Nmesh.delivered r.Nmesh.sent
+          r.Nmesh.reroutes r.Nmesh.max_rotations r.Nmesh.affected_flows
+          (ms r.Nmesh.detect_ms) (ms r.Nmesh.recovery_ms)
+          r.Nmesh.discovery_after_fault (ms r.Nmesh.convergence_ms);
+        (n, r))
+      sweep
+  in
+  (* Gates hold at the N = 64 design point: the single-relay kill must
+     reroute in O(1) — bounded tree rotations, zero re-discovery — and
+     every affected flow must be back in service within 2x the E12
+     failover budget. *)
+  match List.assoc_opt 64 results with
+  | None -> ()
+  | Some r ->
+      let gate name ok = row "  %s  [GATE: %s]\n" name (if ok then "PASS" else "FAIL") in
+      gate
+        (Printf.sprintf "N=64 recovery %.1f ms <= 300 ms, %d unrecovered"
+           r.Nmesh.recovery_ms r.Nmesh.unrecovered)
+        (r.Nmesh.recovery_ms >= 0.0 && r.Nmesh.recovery_ms <= 300.0
+        && r.Nmesh.unrecovered = 0);
+      gate
+        (Printf.sprintf "N=64 discovery traffic after fault: %d"
+           r.Nmesh.discovery_after_fault)
+        (r.Nmesh.discovery_after_fault = 0);
+      gate
+        (Printf.sprintf "N=64 max tree rotations %d <= %d trees"
+           r.Nmesh.max_rotations r.Nmesh.trees)
+        (r.Nmesh.max_rotations <= r.Nmesh.trees);
+      let again = run 64 in
+      gate
+        (Printf.sprintf "N=64 fingerprint repeat-identical: %s"
+           (String.sub r.Nmesh.fingerprint 0 15))
+        (String.equal r.Nmesh.fingerprint again.Nmesh.fingerprint)

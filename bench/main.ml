@@ -33,13 +33,18 @@ let experiments =
     ("failover-under-fault", Experiments.failover_under_fault);
     ("rediscovery-under-churn", Experiments.rediscovery_under_churn);
     ("throughput-scaling", Experiments.throughput_scaling);
+    ("mesh-scaling", Experiments.mesh_scaling);
   ]
 
 (* E14 prints wall-clock rows, which are inherently nondeterministic, so
    it only runs when selected explicitly — the default full run stays
-   byte-comparable across seeds (the determinism sweep in test/dune). *)
+   byte-comparable across seeds (the determinism sweep in test/dune).
+   E15 is fully deterministic but sweeps six mesh sizes, so it too runs
+   only on request (the seed sweep pins it separately). *)
 let default_ids =
-  List.filter (fun id -> id <> "throughput-scaling") (List.map fst experiments)
+  List.filter
+    (fun id -> id <> "throughput-scaling" && id <> "mesh-scaling")
+    (List.map fst experiments)
 
 let () =
   let selected = ref [] in
@@ -71,6 +76,10 @@ let () =
         Arg.Int (fun b -> Experiments.tp_batch := b),
         "N  throughput-scaling (E14): flush batches at N packets (default: \
          sweep 1, 64)" );
+      ( "--pops",
+        Arg.Int (fun n -> Experiments.mesh_pops := n),
+        "N  mesh-scaling (E15): run only the N-PoP mesh (default: sweep 4, \
+         8, 16, 32, 64, 128)" );
       ( "--csv",
         Arg.String (fun d -> Experiments.csv_dir := Some d),
         "DIR  also write figure series as CSV into DIR" );

@@ -94,7 +94,7 @@ let test_tracker =
          seq := Int64.add !seq 1L))
 
 let test_heap =
-  let heap = Tango_sim.Heap.create ~cmp:Float.compare in
+  let heap = Tango_sim.Heap.create ~cmp:Float.compare () in
   let rng = Tango_sim.Rng.create ~seed:1 in
   Test.make ~name:"heap push+pop"
     (Staged.stage (fun () ->
@@ -356,6 +356,56 @@ let test_ctrl_digest =
   Test.make ~name:"ctrl.channel.digest_paths (8 paths)"
     (Staged.stage (fun () -> ignore (Tango_ctrl.Channel.digest_paths digest_table)))
 
+(* Mesh relay fast path: segment-stack codec on a preallocated scratch
+   stack and the O(1) arborescence probe. All three must stay at zero
+   major words/op — they run once per relayed packet. *)
+
+module M_segment = Tango_mesh.Segment
+module M_arbor = Tango_mesh.Arbor
+module M_mtopo = Tango_mesh.Mtopo
+
+let seg_stack =
+  let st = M_segment.create_stack () in
+  st.M_segment.flags <- 0;
+  st.M_segment.tree <- 1;
+  st.M_segment.top <- 0;
+  st.M_segment.src <- 3;
+  st.M_segment.dst <- 52;
+  st.M_segment.flow <- 7;
+  st.M_segment.seq <- 1234;
+  st.M_segment.count <- 4;
+  st.M_segment.hop_budget <- 255;
+  for i = 0 to 3 do
+    st.M_segment.hops.(i) <- 10 + i;
+    st.M_segment.seg_path.(i) <- i land 3
+  done;
+  st
+
+let seg_buf = Bytes.create M_segment.max_header_bytes
+
+let seg_len = M_segment.encode_into ~buf:seg_buf ~off:0 seg_stack
+
+let seg_scratch = M_segment.create_stack ()
+
+let test_segment_encode =
+  Test.make ~name:"mesh.segment encode_into (4 hops)"
+    (Staged.stage (fun () ->
+         ignore (M_segment.encode_into ~buf:seg_buf ~off:0 seg_stack)))
+
+let test_segment_decode =
+  Test.make ~name:"mesh.segment decode_into (4 hops)"
+    (Staged.stage (fun () ->
+         ignore
+           (M_segment.decode_into ~buf:seg_buf ~off:0 ~len:seg_len seg_scratch)))
+
+let mesh_arbor =
+  M_arbor.build ~k:3 (M_mtopo.generate ~degree:4 ~pops:64 ~seed:42 ())
+
+let test_arbor_next =
+  Test.make ~name:"mesh.arbor next_hop (64 PoPs)"
+    (Staged.stage (fun () ->
+         ignore (M_arbor.next_hop mesh_arbor ~dst:52 ~tree:1 ~pop:10)))
+
 let all_tests =
   Test.make_grouped ~name:"tango"
     [
@@ -386,6 +436,9 @@ let all_tests =
       test_send_batch_direct;
       test_watch_verdict;
       test_ctrl_digest;
+      test_segment_encode;
+      test_segment_decode;
+      test_arbor_next;
     ]
 
 (* ------------------------------------------------------------------ *)

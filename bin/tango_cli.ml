@@ -379,7 +379,8 @@ let reconciler_repairs (spec : F_spec.t) =
   match spec.F_spec.kind with
   | F_spec.Bgp_withdraw | F_spec.Bgp_flap _ | F_spec.Community_drop -> true
   | F_spec.Blackhole | F_spec.Flap _ | F_spec.Brownout _
-  | F_spec.Probe_starvation | F_spec.Clock_step _ ->
+  | F_spec.Probe_starvation | F_spec.Clock_step _ | F_spec.Relay_kill
+  | F_spec.Mesh_partition _ ->
       false
 
 let faults_list () =
@@ -741,7 +742,54 @@ let throughput_cmd =
 (* ------------------------------------------------------------------ *)
 (* mesh                                                                *)
 
-let mesh seed duration metrics prom =
+module Nmesh = Tango_mesh.Mesh
+
+let mesh_n ~pops ~trees ~seed ~scenario ~fingerprint_only ~duration =
+  let specs =
+    match scenario with
+    | None -> []
+    | Some name -> (Tango_faults.Scenario.get name).Tango_faults.Scenario.specs
+  in
+  let r = Nmesh.run ~pops ~trees ~seed ~duration_s:duration ~specs () in
+  if fingerprint_only then
+    Printf.printf "mesh pops=%d trees=%d seed=%d delivered=%d fp=%s\n"
+      r.Nmesh.pops r.Nmesh.trees seed r.Nmesh.delivered r.Nmesh.fingerprint
+  else begin
+    Printf.printf "mesh: %d PoPs, %d edges, %d trees (diversity %.2f), %d flows\n"
+      r.Nmesh.pops r.Nmesh.edges r.Nmesh.trees r.Nmesh.diversity r.Nmesh.flows;
+    Printf.printf
+      "traffic: sent %d delivered %d dropped %d (reroutes %d, max rotations %d)\n"
+      r.Nmesh.sent r.Nmesh.delivered r.Nmesh.dropped r.Nmesh.reroutes
+      r.Nmesh.max_rotations;
+    if r.Nmesh.killed >= 0 then
+      Printf.printf
+        "relay-kill: PoP %d, %d flows affected, detect %.1f ms, recovery %.1f \
+         ms, %d unrecovered, %d discoveries after fault\n"
+        r.Nmesh.killed r.Nmesh.affected_flows r.Nmesh.detect_ms
+        r.Nmesh.recovery_ms r.Nmesh.unrecovered r.Nmesh.discovery_after_fault
+    else if r.Nmesh.affected_flows > 0 then
+      Printf.printf
+        "partition: %d flows affected, recovery %.1f ms, %d unrecovered, %d \
+         discoveries after fault\n"
+        r.Nmesh.affected_flows r.Nmesh.recovery_ms r.Nmesh.unrecovered
+        r.Nmesh.discovery_after_fault;
+    Printf.printf
+      "control: %d gossip msgs, %d hellos, convergence %.1f ms, %d distinct \
+       digests\n"
+      r.Nmesh.gossip_msgs r.Nmesh.hello_msgs r.Nmesh.convergence_ms
+      r.Nmesh.distinct_digests;
+    Printf.printf "fingerprint: %s\n" r.Nmesh.fingerprint
+  end
+
+let mesh seed duration pops trees scenario fingerprint_only metrics prom =
+  if pops > 0 then
+    with_obs ~experiment:"mesh" ~seed
+      ~config:
+        (Printf.sprintf "mesh pops=%d trees=%d seed=%d duration=%g" pops trees
+           seed duration)
+      metrics prom
+    @@ fun () -> mesh_n ~pops ~trees ~seed ~scenario ~fingerprint_only ~duration
+  else
   with_obs ~experiment:"mesh" ~seed
     ~config:(Printf.sprintf "mesh seed=%d duration=%g" seed duration)
     metrics prom
@@ -778,9 +826,40 @@ let mesh seed duration metrics prom =
     (lat.Tango_sim.Stats.p50 *. 1000.0)
 
 let mesh_cmd =
+  let pops =
+    Arg.(
+      value & opt int 0
+      & info [ "pops" ] ~docv:"N"
+          ~doc:
+            "Host an $(docv)-PoP relay mesh in one process (flat PoP-indexed \
+             state, shared event heap). 0 runs the legacy three-site live \
+             overlay.")
+  in
+  let trees =
+    Arg.(
+      value & opt int 3
+      & info [ "trees" ] ~docv:"K"
+          ~doc:"Precomputed arborescences per destination (O(1) failover).")
+  in
+  let scenario =
+    Arg.(
+      value & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            "Arm a mesh fault scenario (relay-kill, mesh-partition). Only \
+             meaningful with --pops.")
+  in
+  let fingerprint_flag =
+    Arg.(
+      value & flag
+      & info [ "fingerprint" ]
+          ~doc:"Print only the one-line deterministic delivery fingerprint.")
+  in
   Cmd.v
-    (Cmd.info "mesh" ~doc:"Run the live three-site Tango-of-N overlay")
-    Term.(const mesh $ seed_arg $ duration_arg 20.0 $ metrics_arg $ prom_arg)
+    (Cmd.info "mesh" ~doc:"Run the Tango-of-N overlay (triangle or N-PoP mesh)")
+    Term.(
+      const mesh $ seed_arg $ duration_arg 20.0 $ pops $ trees $ scenario
+      $ fingerprint_flag $ metrics_arg $ prom_arg)
 
 let () =
   let info =

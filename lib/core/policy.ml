@@ -55,18 +55,12 @@ let spec_to_string = function
   | Lowest_owd _ -> "lowest-owd"
   | Jitter_aware _ -> "jitter-aware"
 
-(* Per-path flap-damping state. [was_usable] tracks the raw measurement
-   verdict (bans excluded), so a ban cannot re-trigger itself. *)
-type path_state = {
-  mutable was_usable : bool;
-  mutable fails : int;
-  mutable banned_until : float;
-  mutable last_down : float;
-}
-
-let fresh_path_state () =
-  { was_usable = false; fails = 0; banned_until = neg_infinity; last_down = neg_infinity }
-
+(* Per-path flap-damping state, kept as parallel flat arrays sized once
+   at [create]: the scoring pass is reachable from [@hot] code
+   (Pop.refresh_policy), so the state must never grow — lazily growing
+   a record array here used to be three grandfathered hot-reach
+   findings. [was_usable] tracks the raw measurement verdict (bans
+   excluded), so a ban cannot re-trigger itself. *)
 type t = {
   spec : spec;
   max_loss : float;
@@ -81,7 +75,11 @@ type t = {
      default (no reconciler, no backoff) scoring pass never has to
      consult per-path ban state. *)
   mutable external_bans : bool;
-  mutable paths : path_state array;
+  capacity : int;
+  was_usable : Bytes.t;
+  fails : int array;
+  banned_until : float array;
+  last_down : float array;
   mutable current : int;
   mutable last_switch_s : float;
   mutable switches : int;
@@ -90,10 +88,11 @@ type t = {
 }
 
 let create ?(max_loss = 0.25) ?(max_staleness_s = 1.0) ?(readmit_backoff_s = 0.0)
-    ?(backoff_max_s = 30.0) spec =
+    ?(backoff_max_s = 30.0) ?(path_capacity = 64) spec =
   if readmit_backoff_s < 0.0 then
     invalid_arg "Policy.create: negative readmit backoff";
   if backoff_max_s <= 0.0 then invalid_arg "Policy.create: non-positive backoff cap";
+  if path_capacity <= 0 then invalid_arg "Policy.create: non-positive path capacity";
   let current = match spec with Static i -> i | _ -> 0 in
   {
     spec;
@@ -102,7 +101,11 @@ let create ?(max_loss = 0.25) ?(max_staleness_s = 1.0) ?(readmit_backoff_s = 0.0
     readmit_backoff_s;
     backoff_max_s;
     external_bans = false;
-    paths = [||];
+    capacity = path_capacity;
+    was_usable = Bytes.make path_capacity '\000';
+    fails = Array.make path_capacity 0;
+    banned_until = Array.make path_capacity neg_infinity;
+    last_down = Array.make path_capacity neg_infinity;
     current;
     last_switch_s = neg_infinity;
     switches = 0;
@@ -118,24 +121,22 @@ let set_max_staleness_s t s =
 
 let max_staleness_s t = t.max_staleness_s
 
-let path_state t id =
-  let n = Array.length t.paths in
-  if id >= n then begin
-    let grown = Array.init (id + 1) (fun i ->
-        if i < n then t.paths.(i) else fresh_path_state ())
-    in
-    t.paths <- grown
-  end;
-  t.paths.(id)
+let[@hot] path_check t id =
+  if id < 0 || id >= t.capacity then
+    invalid_arg "Policy: path id outside the preallocated capacity"
 
-let usable t stats =
+(* [age_extra] re-bases a stats array measured [age_extra] seconds ago
+   to the present without copying it: callers on the hot path (see
+   Pop.refresh_policy) pass their raw cached array plus the elapsed
+   time instead of materializing a rebased copy per evaluation. *)
+let usable t ~age_extra stats =
   stats.samples > 0
   && (not (Float.is_nan stats.owd_ewma_ms))
   && stats.loss_rate <= t.max_loss
-  && stats.age_s <= t.max_staleness_s
+  && stats.age_s +. age_extra <= t.max_staleness_s
 
-let score t ~beta stats =
-  if not (usable t stats) then infinity
+let score t ~beta ~age_extra stats =
+  if not (usable t ~age_extra stats) then infinity
   else begin
     let jitter = if Float.is_nan stats.jitter_ms then 0.0 else stats.jitter_ms in
     stats.owd_ewma_ms +. (beta *. jitter)
@@ -146,77 +147,84 @@ let score t ~beta stats =
    re-admission ban. Returns whether the path is eligible as a switch
    target (measurably usable and not serving a ban). *)
 let update_damping t ~now_s ~meas stats =
-  let st = path_state t stats.path_id in
-  if st.was_usable && not meas then begin
+  let id = stats.path_id in
+  path_check t id;
+  let was = Bytes.unsafe_get t.was_usable id <> '\000' in
+  if was && not meas then begin
     (* Down transition. An isolated failure long after the previous one
        restarts the doubling rather than continuing it. *)
-    st.fails <-
-      (if now_s -. st.last_down > t.backoff_max_s *. 4.0 then 1 else st.fails + 1);
-    st.last_down <- now_s
+    t.fails.(id) <-
+      (if now_s -. t.last_down.(id) > t.backoff_max_s *. 4.0 then 1
+       else t.fails.(id) + 1);
+    t.last_down.(id) <- now_s
   end
-  else if (not st.was_usable) && meas && st.fails > 0 then begin
+  else if (not was) && meas && t.fails.(id) > 0 then begin
     (* Up transition of a path with a failure history: it must hold for
        the (exponentially growing, capped) backoff window before it is
        eligible again. *)
     let backoff =
       Float.min t.backoff_max_s
-        (t.readmit_backoff_s *. (2.0 ** float_of_int (st.fails - 1)))
+        (t.readmit_backoff_s *. (2.0 ** float_of_int (t.fails.(id) - 1)))
     in
-    st.banned_until <- now_s +. backoff;
+    t.banned_until.(id) <- now_s +. backoff;
     Metric.incr m_readmit_bans;
-    Trace.record Trace.default ~now:now_s ~kind:k_readmit_ban stats.path_id st.fails
+    Trace.record Trace.default ~now:now_s ~kind:k_readmit_ban id t.fails.(id)
   end;
-  st.was_usable <- meas;
-  meas && now_s >= st.banned_until
+  Bytes.unsafe_set t.was_usable id (if meas then '\001' else '\000');
+  meas && now_s >= t.banned_until.(id)
 
-let update_path_state t ~now_s stats =
-  let meas = usable t stats in
+let update_path_state t ~now_s ~age_extra stats =
+  let meas = usable t ~age_extra stats in
   (* With re-admission backoff disabled (the default) the damping state
      machine is never consulted, so skip its bookkeeping entirely and
      keep the scoring pass at the pre-damping cost. External bans (the
      reconciler's drain of removed paths) must still hold, but only
      once one has actually been applied. *)
   if t.readmit_backoff_s > 0.0 then update_damping t ~now_s ~meas stats
-  else if t.external_bans then
-    meas && now_s >= (path_state t stats.path_id).banned_until
+  else if t.external_bans then begin
+    path_check t stats.path_id;
+    meas && now_s >= t.banned_until.(stats.path_id)
+  end
   else meas
 
-let observe_detection stats =
+let observe_detection ~age_extra stats =
   match stats with
-  | Some s when Float.is_finite s.age_s -> Metric.observe h_detection s.age_s
+  | Some s when Float.is_finite s.age_s ->
+      Metric.observe h_detection (s.age_s +. age_extra)
   | Some _ | None -> ()
 
-let adaptive t ~now_s ~beta ~hysteresis_ms ~min_dwell_s stats =
+let adaptive t ~now_s ~beta ~hysteresis_ms ~min_dwell_s ~age_extra stats =
   let current_stats = ref None in
   (* Best switch target over eligible paths; best-known path by smoothed
      OWD alone, for the all-degraded fallback (bans and staleness
      deliberately ignored — when everything is dead, the least-bad
-     history wins). *)
+     history wins). A plain indexed loop: an [Array.iter] closure here
+     was a grandfathered hot-reach finding. *)
   let best_id = ref t.current and best_score = ref infinity in
   let best_known_id = ref t.current and best_known_owd = ref infinity in
-  Array.iter
-    (fun s ->
-      let eligible = update_path_state t ~now_s s in
-      if s.path_id = t.current then current_stats := Some s;
-      let sc = if eligible then score t ~beta s else infinity in
-      if sc < !best_score then begin
-        best_id := s.path_id;
-        best_score := sc
-      end;
-      if
-        s.samples > 0
-        && (not (Float.is_nan s.owd_ewma_ms))
-        && s.owd_ewma_ms < !best_known_owd
-      then begin
-        best_known_id := s.path_id;
-        best_known_owd := s.owd_ewma_ms
-      end)
-    stats;
+  for i = 0 to Array.length stats - 1 do
+    let s = stats.(i) in
+    let eligible = update_path_state t ~now_s ~age_extra s in
+    if s.path_id = t.current then current_stats := Some s;
+    let sc = if eligible then score t ~beta ~age_extra s else infinity in
+    if sc < !best_score then begin
+      best_id := s.path_id;
+      best_score := sc
+    end;
+    if
+      s.samples > 0
+      && (not (Float.is_nan s.owd_ewma_ms))
+      && s.owd_ewma_ms < !best_known_owd
+    then begin
+      best_known_id := s.path_id;
+      best_known_owd := s.owd_ewma_ms
+    end
+  done;
   let current_usable =
-    match !current_stats with Some s -> usable t s | None -> false
+    match !current_stats with Some s -> usable t ~age_extra s | None -> false
   in
   let current_score =
-    match !current_stats with Some s -> score t ~beta s | None -> infinity
+    match !current_stats with Some s -> score t ~beta ~age_extra s | None -> infinity
   in
   if (not current_usable) && not (Float.is_finite !best_score) then begin
     (* Every path is unusable or banned: pin the best-known path and
@@ -228,7 +236,7 @@ let adaptive t ~now_s ~beta ~hysteresis_ms ~min_dwell_s stats =
       t.degraded_episodes <- t.degraded_episodes + 1;
       Metric.incr m_all_degraded;
       Trace.record Trace.default ~now:now_s ~kind:k_degraded t.current !best_known_id;
-      observe_detection !current_stats;
+      observe_detection ~age_extra !current_stats;
       if !best_known_id <> t.current then begin
         t.current <- !best_known_id;
         t.last_switch_s <- now_s;
@@ -254,7 +262,7 @@ let adaptive t ~now_s ~beta ~hysteresis_ms ~min_dwell_s stats =
       if emergency then begin
         Metric.incr m_evacuations;
         Trace.record Trace.default ~now:now_s ~kind:k_evacuation t.current !best_id;
-        observe_detection !current_stats
+        observe_detection ~age_extra !current_stats
       end;
       t.current <- !best_id;
       t.last_switch_s <- now_s;
@@ -263,15 +271,15 @@ let adaptive t ~now_s ~beta ~hysteresis_ms ~min_dwell_s stats =
   end;
   t.current
 
-let choose t ~now_s stats =
+let choose ?(age_extra = 0.0) t ~now_s stats =
   if Array.length stats = 0 then invalid_arg "Policy.choose: no paths";
   match t.spec with
   | Bgp_default -> 0
   | Static i -> i
   | Lowest_owd { hysteresis_ms; min_dwell_s } ->
-      adaptive t ~now_s ~beta:0.0 ~hysteresis_ms ~min_dwell_s stats
+      adaptive t ~now_s ~beta:0.0 ~hysteresis_ms ~min_dwell_s ~age_extra stats
   | Jitter_aware { beta; hysteresis_ms; min_dwell_s } ->
-      adaptive t ~now_s ~beta ~hysteresis_ms ~min_dwell_s stats
+      adaptive t ~now_s ~beta ~hysteresis_ms ~min_dwell_s ~age_extra stats
 
 let current t = t.current
 
@@ -285,19 +293,18 @@ let degraded t = t.degraded
 
 let degraded_episodes t = t.degraded_episodes
 
-let readmit_banned t ~path ~now_s =
-  path >= 0 && path < Array.length t.paths && now_s < t.paths.(path).banned_until
+let[@hot] readmit_banned t ~path ~now_s =
+  path >= 0 && path < t.capacity && now_s < t.banned_until.(path)
 
-let ban t ~path ~now_s ~for_s =
+let[@hot] ban t ~path ~now_s ~for_s =
   if path < 0 then invalid_arg "Policy.ban: negative path id";
   if for_s <= 0.0 then invalid_arg "Policy.ban: non-positive duration";
-  let st = path_state t path in
-  st.banned_until <- Float.max st.banned_until (now_s +. for_s);
+  path_check t path;
+  t.banned_until.(path) <- Float.max t.banned_until.(path) (now_s +. for_s);
   t.external_bans <- true
 
 let unban t ~path =
-  if path >= 0 && path < Array.length t.paths then
-    t.paths.(path).banned_until <- neg_infinity
+  if path >= 0 && path < t.capacity then t.banned_until.(path) <- neg_infinity
 
 let fail_count t ~path =
-  if path >= 0 && path < Array.length t.paths then t.paths.(path).fails else 0
+  if path >= 0 && path < t.capacity then t.fails.(path) else 0

@@ -57,11 +57,16 @@ val create :
   ?max_staleness_s:float ->
   ?readmit_backoff_s:float ->
   ?backoff_max_s:float ->
+  ?path_capacity:int ->
   spec ->
   t
 (** Defaults: [max_loss] 0.25, [max_staleness_s] 1.0,
-    [readmit_backoff_s] 0.0 (flap damping off), [backoff_max_s] 30.0.
-    Raises [Invalid_argument] on a negative backoff or non-positive cap. *)
+    [readmit_backoff_s] 0.0 (flap damping off), [backoff_max_s] 30.0,
+    [path_capacity] 64. Per-path damping/ban state is preallocated flat
+    at [path_capacity] so the scoring pass stays allocation-free (it is
+    reachable from the [@hot] packet path); a path id at or beyond the
+    capacity raises [Invalid_argument]. Raises [Invalid_argument] on a
+    negative backoff, non-positive cap, or non-positive capacity. *)
 
 val spec : t -> spec
 
@@ -73,8 +78,12 @@ val set_max_staleness_s : t -> float -> unit
 
 val max_staleness_s : t -> float
 
-val choose : t -> now_s:float -> path_stats array -> int
-(** Select a path id for the next packet. Raises [Invalid_argument] on an
+val choose : ?age_extra:float -> t -> now_s:float -> path_stats array -> int
+(** Select a path id for the next packet. [age_extra] (default 0) is
+    added to every path's [age_s] during staleness checks — callers with
+    a stats array cached [age_extra] seconds ago pass the elapsed time
+    instead of copying the array with re-based ages (the zero-alloc form
+    of {!Pop.live_outbound_stats}). Raises [Invalid_argument] on an
     empty stats array. *)
 
 val current : t -> int

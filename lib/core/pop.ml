@@ -232,6 +232,18 @@ let[@hot] record_measurement t ~now (reception : Tunnel.reception) =
     t.last_arrival.(path) <- now
   end
 
+(* Head-of-line accounting for a batch of in-order releases. A toplevel
+   recursion rather than a [List.iter] closure: this runs on the packet
+   path (hot-reach from {!handle_arrival}). *)
+let rec note_inorder_extras t released =
+  match released with
+  | [] -> ()
+  | (s, _) :: rest ->
+      (match Inorder.head_of_line_extra t.inorder ~seq:s with
+      | Some extra -> Stats.add t.inorder_extra extra
+      | None -> ());
+      note_inorder_extras t rest
+
 let deliver_to_host t ~now (packet : Packet.t) =
   let flow = packet.Packet.flow in
   if
@@ -274,12 +286,7 @@ let deliver_to_host t ~now (packet : Packet.t) =
     match packet.Packet.content with
     | Some (App_seq seq) ->
         let released = Inorder.arrival t.inorder ~seq ~time:now in
-        List.iter
-          (fun (s, _) ->
-            match Inorder.head_of_line_extra t.inorder ~seq:s with
-            | Some extra -> Stats.add t.inorder_extra extra
-            | None -> ())
-          released
+        note_inorder_extras t released
     | Some _ | None -> ()
   end
 
@@ -350,7 +357,10 @@ let send_on_path t ~path ~src_port ~dst_port ~payload_bytes ?content ?dst () =
   send_flow t ~path ~flow ~payload_bytes ?content ()
 
 (* Peer-reported stats with ages re-based to the present: if reports
-   stop (e.g. every path carrying them died), staleness keeps rising. *)
+   stop (e.g. every path carrying them died), staleness keeps rising.
+   This copying form is the cold accessor (CLI, experiments); the hot
+   policy refresh below passes the raw array plus [~age_extra] instead,
+   so no per-evaluation array is materialized. *)
 let live_outbound_stats t =
   let now = Engine.now (engine t) in
   let extra = now -. t.outbound_stats_at in
@@ -364,7 +374,11 @@ let live_outbound_stats t =
    so every flow migrates on its next packet. *)
 let[@hot] refresh_policy t ~now =
   if (not t.pinned) && now -. t.last_choice_at > t.policy_refresh_s then begin
-    let path = Policy.choose t.policy ~now_s:now (live_outbound_stats t) in
+    let path =
+      Policy.choose t.policy ~now_s:now
+        ~age_extra:(now -. t.outbound_stats_at)
+        t.outbound_stats
+    in
     t.policy_evals <- t.policy_evals + 1;
     Metric.incr m_policy_evals;
     t.last_choice_at <- now;

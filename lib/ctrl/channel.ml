@@ -34,14 +34,18 @@ type Packet.content += Heartbeat of { seq : int; epoch : int; digest : int }
 
 (* FNV-1a folded over each path's index and AS-path entries: a compact
    fingerprint of an outbound path table, cheap enough to ride in every
-   heartbeat. *)
+   heartbeat. The seed/mix primitives are exported so mesh gossip
+   (Tango_mesh.Gossip) fingerprints its membership and routing tables
+   with the same hash and the digests stay comparable end to end. *)
+let digest_seed = 0x2545f4914f6cdd1d
+let digest_mix h v = (h lxor v) * 0x100000001b3
+
 let digest_paths paths =
-  let mix h v = (h lxor v) * 0x100000001b3 in
   List.fold_left
     (fun h (p : Discovery.path) ->
-      let h = mix h p.Discovery.index in
-      List.fold_left mix h (As_path.to_list p.Discovery.as_path))
-    0x2545f4914f6cdd1d paths
+      let h = digest_mix h p.Discovery.index in
+      List.fold_left digest_mix h (As_path.to_list p.Discovery.as_path))
+    digest_seed paths
 
 type endpoint = {
   pop : Pop.t;

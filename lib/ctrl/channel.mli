@@ -25,6 +25,14 @@ val digest_paths : Tango.Discovery.path list -> int
 (** Order-sensitive fingerprint of a path table (indices and AS paths),
     as carried in heartbeats. *)
 
+val digest_seed : int
+(** FNV-1a offset basis used by every Tango digest. *)
+
+val digest_mix : int -> int -> int
+(** One FNV-1a fold step: [digest_mix h v] absorbs [v] into [h]. Mesh
+    gossip ({!Tango_mesh.Gossip}) folds membership views and table
+    versions with this so pairwise and mesh digests share one hash. *)
+
 type t
 
 val attach :

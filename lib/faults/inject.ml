@@ -186,6 +186,11 @@ let activate t (a : armed) ~end_s engine =
     | Spec.Bgp_flap { period_s } ->
         toggle t a ~period_s ~end_s (apply_withdraw t a) engine
     | Spec.Community_drop -> a.undo <- apply_community_drop t a ()
+    | Spec.Relay_kill | Spec.Mesh_partition _ ->
+        Err.invalid
+          "Inject: %s targets a mesh world; arm it through Tango_mesh.Mesh.run, \
+           not a pair"
+          (Spec.kind_to_string a.spec.kind)
   end
 
 let deactivate t (a : armed) engine =
@@ -214,7 +219,9 @@ let path_targeted = function
   | Spec.Blackhole | Spec.Flap _ | Spec.Brownout _ | Spec.Bgp_withdraw
   | Spec.Bgp_flap _ | Spec.Community_drop ->
       true
-  | Spec.Probe_starvation | Spec.Clock_step _ -> false
+  | Spec.Probe_starvation | Spec.Clock_step _ | Spec.Relay_kill
+  | Spec.Mesh_partition _ ->
+      false
 
 let arm ~pair ?(seed = 42) spec_list =
   let t =

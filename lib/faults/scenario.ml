@@ -83,6 +83,31 @@ let all =
       specs =
         [ Spec.v ~path:1 ~start_s:5.0 ~duration_s:10.0 Spec.Community_drop ];
     };
+    (* The two mesh-level scenarios: validated here like any other spec,
+       but armed by Tango_mesh.Mesh.run against a mesh world (Inject.arm
+       rejects them — there is no single pair to aim at). The [path]
+       field of relay-kill carries the target PoP id; 0 = auto-pick the
+       relay carrying the most stitched routes. *)
+    {
+      name = "relay-kill";
+      description =
+        "A relay PoP dies mid-flow for 4 s: hellos stop, frames \
+         blackhole, and every route transiting it must rotate to the \
+         next arborescence in O(1) — no rediscovery.";
+      specs = [ Spec.v ~path:0 ~start_s:5.0 ~duration_s:4.0 Spec.Relay_kill ];
+    };
+    {
+      name = "mesh-partition";
+      description =
+        "Region 1 is cut off for 4 s: every inter-region link touching \
+         it drops, intra-region traffic keeps flowing, and cross-region \
+         flows recover when the partition heals.";
+      specs =
+        [
+          Spec.v ~start_s:5.0 ~duration_s:4.0
+            (Spec.Mesh_partition { region = 1 });
+        ];
+    };
     {
       name = "meltdown";
       description =

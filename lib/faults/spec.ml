@@ -11,6 +11,8 @@ type kind =
   | Bgp_withdraw
   | Bgp_flap of { period_s : float }
   | Community_drop
+  | Relay_kill
+  | Mesh_partition of { region : int }
 
 type t = {
   kind : kind;
@@ -30,6 +32,8 @@ let[@hot] kind_code kind =
   | Bgp_withdraw -> 5
   | Bgp_flap _ -> 6
   | Community_drop -> 7
+  | Relay_kill -> 8
+  | Mesh_partition _ -> 9
 
 let kind_to_string = function
   | Blackhole -> "blackhole"
@@ -41,6 +45,8 @@ let kind_to_string = function
   | Bgp_withdraw -> "bgp-withdraw"
   | Bgp_flap { period_s } -> Printf.sprintf "bgp-flap(period=%gs)" period_s
   | Community_drop -> "community-drop"
+  | Relay_kill -> "relay-kill"
+  | Mesh_partition { region } -> Printf.sprintf "mesh-partition(region=%d)" region
 
 let dir_to_string = function To_la -> "to-la" | To_ny -> "to-ny"
 
@@ -69,6 +75,9 @@ let validate t =
       if extra_ms < 0.0 then Err.invalid "Spec: negative brownout delay %g" extra_ms
   | Clock_step { step_ms } ->
       if Float.equal step_ms 0.0 then Err.invalid "Spec: zero clock step"
+  | Relay_kill -> ()
+  | Mesh_partition { region } ->
+      if region < 0 then Err.invalid "Spec: negative partition region %d" region
 
 let v ?(dir = To_ny) ?(path = 0) ~start_s ~duration_s kind =
   let t = { kind; dir; path; start_s; duration_s } in
@@ -77,7 +86,12 @@ let v ?(dir = To_ny) ?(path = 0) ~start_s ~duration_s kind =
 
 (* Deterministic spec generator: every random draw goes through one
    [Rng.t] in a fixed order, so the schedule is a pure function of
-   [seed] — the property the qcheck determinism tests pin down. *)
+   [seed] — the property the qcheck determinism tests pin down. The
+   bound stays at the 8 pairwise kinds on purpose: [Relay_kill] and
+   [Mesh_partition] only make sense against a mesh world (they are
+   armed by [Tango_mesh], not {!Inject.arm}), and widening the draw
+   would silently reshuffle every seeded schedule in E12 and the
+   baselines. *)
 let random_kind rng ~duration_s =
   match Rng.int rng 8 with
   | 0 -> Blackhole

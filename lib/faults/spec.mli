@@ -42,6 +42,16 @@ type kind =
       (** Re-announce the tunnel prefix {e without} its community set:
           the prefix stays reachable but is no longer pinned to its
           path, collapsing onto the provider default. *)
+  | Relay_kill
+      (** Take a relay PoP down mid-flow: its hellos stop and every
+          frame it would forward is dropped. The [path] field carries
+          the target PoP id ([0] lets the mesh pick its busiest relay).
+          Mesh-only — armed via [Tango_mesh.Mesh.run], not
+          {!Inject.arm}. *)
+  | Mesh_partition of { region : int }
+      (** Cut every inter-region link touching topology [region] — a
+          geographic partition. The [path] field is ignored. Mesh-only,
+          like {!Relay_kill}. *)
 
 type t = {
   kind : kind;

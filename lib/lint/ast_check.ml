@@ -39,6 +39,10 @@ let default =
         "faults/inject.ml";
         "ctrl/watch.ml";
         "ctrl/channel.ml";
+        "mesh/segment.ml";
+        "mesh/arbor.ml";
+        "mesh/relay.ml";
+        "mesh/mtopo.ml";
       ];
     domsafe_modules =
       [

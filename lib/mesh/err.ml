@@ -1,0 +1,8 @@
+(* Declared contract-violation exception for lib/mesh, sharing the
+   printer/raise helper with the other per-library Err modules. The
+   functor application is generative, so this [Invalid] is distinct
+   from lib/net's and lib/faults'. *)
+
+include Tango_err.Make (struct
+  let lib = "Tango_mesh"
+end)

@@ -1,0 +1,5 @@
+(** Declared contract-violation exception for the mesh library — bad
+    topology parameters, malformed segment stacks, mis-aimed fault
+    specs. See {!Tango_err}. *)
+
+include Tango_err.S

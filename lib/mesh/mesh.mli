@@ -1,0 +1,53 @@
+(** Tango-of-N orchestration: one engine hosting an N-PoP relay mesh.
+
+    [run] builds a seeded world ({!Mtopo} topology, {!Arbor}
+    arborescences, {!Gossip} membership, {!Relay} dataplane), stitches
+    per-pair discovered segments into multi-hop source routes for a
+    deterministic set of flows, arms mesh-level fault specs
+    ([Relay_kill], [Mesh_partition]) from {!Tango_faults.Spec}, and
+    returns a flat metrics record. Identical parameters give a
+    byte-identical {!result.fingerprint}. *)
+
+type result = {
+  pops : int;
+  edges : int;  (** undirected *)
+  trees : int;
+  diversity : float;  (** realized arborescence disjointness, 0-1 *)
+  flows : int;
+  sent : int;
+  delivered : int;
+  dropped : int;
+  reroutes : int;
+  max_rotations : int;  (** worst single-decision tree probes; O(1) gate *)
+  killed : int;  (** relay-kill target, -1 when none *)
+  affected_flows : int;
+  detect_ms : float;  (** slowest neighbor hello timeout, -1 n/a *)
+  recovery_ms : float;  (** slowest affected flow re-delivery, -1 n/a *)
+  unrecovered : int;
+  discovery_after_fault : int;  (** stitches after fault onset; must be 0 *)
+  gossip_msgs : int;
+  hello_msgs : int;
+  convergence_ms : float;  (** membership convergence on the death, -1 n/a *)
+  distinct_digests : int;  (** 1 = live views converged at end *)
+  fingerprint : string;
+}
+
+val run :
+  ?pops:int ->
+  ?degree:int ->
+  ?trees:int ->
+  ?seed:int ->
+  ?flows:int ->
+  ?duration_s:float ->
+  ?pkt_interval_s:float ->
+  ?specs:Tango_faults.Spec.t list ->
+  unit ->
+  result
+(** Defaults: 16 PoPs, degree 4, 3 trees, seed 42, [min (2 * pops) 128]
+    flows, 12 s horizon, one packet per flow per 20 ms. Flows start at
+    0.5 s (staggered 1 ms apart). Raises {!Err.Invalid} for a pairwise
+    fault kind in [specs] (arm those through {!Tango_faults.Inject}), a
+    fault window that does not close before [duration_s], or
+    out-of-range parameters. A [Relay_kill] spec's [path] field picks
+    the target PoP; 0 auto-selects the busiest relay (most stitched
+    routes transiting it, ties to the lowest id). *)

@@ -1,0 +1,341 @@
+module Engine = Tango_sim.Engine
+module Policy = Tango.Policy
+module Channel = Tango_ctrl.Channel
+module Metric = Tango_obs.Metric
+
+(* The mesh dataplane: every PoP's forwarding state lives in flat
+   arrays indexed by PoP id or CSR slot — one process hosts hundreds of
+   PoPs with no per-pair worlds. Forwarding consumes the segment stack
+   hop by hop; when the stacked next hop is locally dead (hello
+   timeout) the frame flips to arborescence mode and failover is a
+   rotation to the next precomputed tree: an O(1) probe bounded by the
+   tree count, never a rediscovery.
+
+   Liveness is local knowledge only: a PoP trusts its own hello view
+   of its neighbors and nothing else. Packets in flight toward a
+   not-yet-detected dead relay are lost — that detection window is
+   exactly the recovery latency E15 measures. *)
+
+let m_sent = Metric.counter ~help:"Mesh frames sent" "mesh_sent_total"
+let m_delivered = Metric.counter ~help:"Mesh frames delivered" "mesh_delivered_total"
+let m_dropped = Metric.counter ~help:"Mesh frames dropped" "mesh_dropped_total"
+
+let m_reroutes =
+  Metric.counter ~help:"Mesh arborescence rotations (O(1) failovers)"
+    "mesh_reroutes_total"
+
+type t = {
+  topo : Mtopo.t;
+  arbor : Arbor.t;
+  engine : Engine.t;
+  gossip : Gossip.t;
+  trees : int;
+  hello_interval_s : float;
+  dead_after_s : float;
+  ban_s : float;
+  pop_up : Bytes.t; (* per pop: ground truth *)
+  link_up : Bytes.t; (* per slot: ground truth *)
+  heard_s : float array; (* per slot (u->v): when v last heard u's hello *)
+  nbr_alive : Bytes.t; (* per slot (u->v): v's local view of u *)
+  suspected_at : float array; (* per slot: latest alive->dead transition *)
+  policies : Policy.t array; (* per pop: tree preference + tree bans *)
+  scratch : Segment.stack;
+  mutable on_deliver : flow:int -> seq:int -> tree:int -> now:float -> unit;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable forwarded : int;
+  mutable reroutes : int;
+  mutable max_rot : int;
+  mutable discovery_msgs : int;
+  mutable hello_msgs : int;
+  mutable fp_sum : int;
+  mutable fp_xor : int;
+}
+
+let create ?(hello_interval_s = 0.025) ?(dead_after_s = 0.1) ?(ban_s = 1.0)
+    ~topo ~arbor ~engine ~gossip () =
+  if hello_interval_s <= 0.0 then Err.invalid "Relay.create: non-positive hello interval";
+  if dead_after_s <= hello_interval_s then
+    Err.invalid "Relay.create: dead-after %g must exceed the hello interval %g"
+      dead_after_s hello_interval_s;
+  if ban_s <= 0.0 then Err.invalid "Relay.create: non-positive ban duration";
+  let n = Mtopo.pops topo in
+  let slots = Mtopo.edges topo in
+  let trees = Arbor.k arbor in
+  {
+    topo;
+    arbor;
+    engine;
+    gossip;
+    trees;
+    hello_interval_s;
+    dead_after_s;
+    ban_s;
+    pop_up = Bytes.make n '\001';
+    link_up = Bytes.make slots '\001';
+    heard_s = Array.make slots 0.0;
+    nbr_alive = Bytes.make slots '\001';
+    suspected_at = Array.make slots nan;
+    policies =
+      Array.init n (fun _ -> Policy.create ~path_capacity:trees (Policy.Static 0));
+    scratch = Segment.create_stack ();
+    on_deliver = (fun ~flow:_ ~seq:_ ~tree:_ ~now:_ -> ());
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    forwarded = 0;
+    reroutes = 0;
+    max_rot = 0;
+    discovery_msgs = 0;
+    hello_msgs = 0;
+    fp_sum = Channel.digest_seed;
+    fp_xor = 0;
+  }
+
+let set_on_deliver t f = t.on_deliver <- f
+let pop_alive t pop = Bytes.get_uint8 t.pop_up pop = 1
+let sent t = t.sent
+let delivered t = t.delivered
+let dropped t = t.dropped
+let forwarded t = t.forwarded
+let reroutes t = t.reroutes
+let max_rotations t = t.max_rot
+let discovery_msgs t = t.discovery_msgs
+let hello_msgs t = t.hello_msgs
+let note_discovery t = t.discovery_msgs <- t.discovery_msgs + 1
+
+let fingerprint t =
+  Printf.sprintf "%015x-%015x"
+    (t.fp_sum land 0x0FFFFFFFFFFFFFFF)
+    (t.fp_xor land 0x0FFFFFFFFFFFFFFF)
+
+(* ------------------------------------------------------------------ *)
+(* Fault surface: ground-truth toggles driven by Mesh's scenario
+   arming. Detection still goes through hellos — nothing here touches
+   any PoP's local view. *)
+
+let kill_pop t ~pop =
+  if pop < 0 || pop >= Mtopo.pops t.topo then Err.invalid "Relay.kill_pop: pop %d" pop;
+  Bytes.set_uint8 t.pop_up pop 0
+
+let revive_pop t ~pop =
+  if pop < 0 || pop >= Mtopo.pops t.topo then Err.invalid "Relay.revive_pop: pop %d" pop;
+  Bytes.set_uint8 t.pop_up pop 1
+
+let set_region_links t ~region ~up =
+  if region < 0 || region >= Mtopo.regions t.topo then
+    Err.invalid "Relay: region %d out of range" region;
+  let v = if up then 1 else 0 in
+  let n = Mtopo.pops t.topo in
+  for i = 0 to n - 1 do
+    if Mtopo.region t.topo i = region then
+      for s = Mtopo.slot_base t.topo i to
+              Mtopo.slot_base t.topo i + Mtopo.degree t.topo i - 1 do
+        if Mtopo.region t.topo (Mtopo.slot_dst t.topo s) <> region then begin
+          Bytes.set_uint8 t.link_up s v;
+          Bytes.set_uint8 t.link_up (Mtopo.slot_rev t.topo s) v
+        end
+      done
+  done
+
+let cut_region t ~region = set_region_links t ~region ~up:false
+let heal_region t ~region = set_region_links t ~region ~up:true
+
+(* ------------------------------------------------------------------ *)
+(* Hellos: one timer per PoP. A tick first re-evaluates the PoP's view
+   of each neighbor against [dead_after_s], then stamps fresh hellos
+   into the neighbors' hearing slots (written at send time with the
+   link latency added — no per-hello event, which keeps a 128-PoP mesh
+   at tens of events per virtual second instead of thousands). *)
+
+let tick t pop engine =
+  if Bytes.get_uint8 t.pop_up pop = 1 then begin
+    let now = Engine.now engine in
+    let base = Mtopo.slot_base t.topo pop in
+    for s = base to base + Mtopo.degree t.topo pop - 1 do
+      let u = Mtopo.slot_dst t.topo s in
+      (* [pop]'s view of [u] lives on the reverse slot (u->pop). *)
+      let rs = Mtopo.slot_rev t.topo s in
+      let alive = now -. t.heard_s.(rs) <= t.dead_after_s in
+      let cur = Bytes.get_uint8 t.nbr_alive rs in
+      if alive && cur = 0 then begin
+        Bytes.set_uint8 t.nbr_alive rs 1;
+        Gossip.observe t.gossip ~observer:pop ~subject:u ~alive:true ~now
+          ~pop_alive:(pop_alive t)
+      end
+      else if (not alive) && cur = 1 then begin
+        Bytes.set_uint8 t.nbr_alive rs 0;
+        t.suspected_at.(rs) <- now;
+        Gossip.observe t.gossip ~observer:pop ~subject:u ~alive:false ~now
+          ~pop_alive:(pop_alive t)
+      end;
+      if Bytes.get_uint8 t.link_up s = 1 then begin
+        t.heard_s.(s) <- now +. (Mtopo.slot_lat_ms t.topo s /. 1000.0);
+        t.hello_msgs <- t.hello_msgs + 1
+      end
+    done
+  end
+
+let start_hellos t ~until =
+  for pop = 0 to Mtopo.pops t.topo - 1 do
+    Engine.every t.engine ~interval:t.hello_interval_s ~until (tick t pop)
+  done
+
+(* Detection latency for a killed PoP: the slowest of its live
+   neighbors to flip their view after [after]. -1 when none did. *)
+let detection_ms_after t ~pop ~after =
+  let worst = ref (-1.0) in
+  for s = Mtopo.slot_base t.topo pop to
+          Mtopo.slot_base t.topo pop + Mtopo.degree t.topo pop - 1 do
+    let v = Mtopo.slot_dst t.topo s in
+    if Bytes.get_uint8 t.pop_up v = 1 && t.suspected_at.(s) >= after then
+      worst := Float.max !worst ((t.suspected_at.(s) -. after) *. 1000.0)
+  done;
+  !worst
+
+(* ------------------------------------------------------------------ *)
+(* Forwarding. *)
+
+(* Is the directed slot usable from the forwarding PoP's local point of
+   view? Link administratively up and the neighbor's hellos fresh. *)
+let[@hot] slot_viable t s =
+  Bytes.get_uint8 t.link_up s = 1
+  && Bytes.get_uint8 t.nbr_alive (Mtopo.slot_rev t.topo s) = 1
+
+(* Next slot from the segment stack, or -1 when the stack is exhausted
+   or its next hop is locally dead. *)
+let[@hot] stack_next t pop st =
+  if st.Segment.flags land Segment.flag_arbor = 0 && st.Segment.top < st.Segment.count
+  then begin
+    let cand = st.Segment.hops.(st.Segment.top) in
+    let s = Mtopo.slot t.topo ~src:pop ~dst:cand in
+    if s >= 0 && slot_viable t s then s else -1
+  end
+  else -1
+
+(* Arborescence failover: probe trees in circular order starting at the
+   tree stamped in the packet. Each tree is an in-tree, so a packet
+   keeps the same tree until a locally-dead next hop forces a rotation;
+   the dead tree is banned for [ban_s] (feeding the standard Policy
+   flap machinery — bookkeeping, not a gate: a banned tree whose next
+   hop is alive again still forwards). At most [trees] probes — the
+   O(1) bound the E15 gate asserts. Returns the chosen slot (st.tree
+   updated) or -1. *)
+let[@hot] arbor_next t pop st ~now =
+  let pol = t.policies.(pop) in
+  let pref = st.Segment.tree in
+  let chosen = ref (-1) in
+  let rot = ref 0 in
+  let i = ref 0 in
+  while !chosen < 0 && !i < t.trees do
+    let tree = (pref + !i) mod t.trees in
+    let nh = Arbor.next_hop t.arbor ~dst:st.Segment.dst ~tree ~pop in
+    if nh >= 0 then begin
+      ignore (Policy.readmit_banned pol ~path:tree ~now_s:now);
+      let s = Mtopo.slot t.topo ~src:pop ~dst:nh in
+      if s >= 0 && slot_viable t s then begin
+        chosen := s;
+        st.Segment.tree <- tree
+      end
+      else begin
+        Policy.ban pol ~path:tree ~now_s:now ~for_s:t.ban_s;
+        incr rot
+      end
+    end
+    else incr rot;
+    incr i
+  done;
+  if !rot > 0 then begin
+    t.reroutes <- t.reroutes + !rot;
+    if !rot > t.max_rot then t.max_rot <- !rot;
+    Gossip.bump_table_version t.gossip ~pop
+  end;
+  if !chosen >= 0 && Policy.current pol <> st.Segment.tree then
+    Policy.retarget pol ~path:st.Segment.tree;
+  !chosen
+
+let[@hot] mix_delivery t ~flow ~seq ~tree ~budget ~now =
+  let h = Channel.digest_mix t.fp_sum flow in
+  let h = Channel.digest_mix h seq in
+  let h = Channel.digest_mix h ((tree lsl 8) lor budget) in
+  let h = Channel.digest_mix h (int_of_float (now *. 1e6)) in
+  t.fp_sum <- h;
+  t.fp_xor <- t.fp_xor lxor h
+
+let drop t =
+  t.dropped <- t.dropped + 1;
+  Metric.incr m_dropped
+
+let rec forward t ~pop ~now frame =
+  let st = t.scratch in
+  if not (Segment.decode_into ~buf:frame ~off:0 ~len:(Bytes.length frame) st)
+  then drop t
+  else if st.Segment.dst = pop then begin
+    t.delivered <- t.delivered + 1;
+    Metric.incr m_delivered;
+    mix_delivery t ~flow:st.Segment.flow ~seq:st.Segment.seq
+      ~tree:st.Segment.tree ~budget:st.Segment.hop_budget ~now;
+    t.on_deliver ~flow:st.Segment.flow ~seq:st.Segment.seq
+      ~tree:st.Segment.tree ~now
+  end
+  else if st.Segment.hop_budget <= 0 then drop t
+  else begin
+    st.Segment.hop_budget <- st.Segment.hop_budget - 1;
+    let s = stack_next t pop st in
+    let s =
+      if s >= 0 then begin
+        st.Segment.top <- st.Segment.top + 1;
+        s
+      end
+      else begin
+        (* Stack unusable: flip to arborescence steering. The flip
+           itself is a reroute when a live stack entry was abandoned. *)
+        if
+          st.Segment.flags land Segment.flag_arbor = 0
+          && st.Segment.top < st.Segment.count
+        then begin
+          t.reroutes <- t.reroutes + 1;
+          Metric.incr m_reroutes
+        end;
+        st.Segment.flags <- st.Segment.flags lor Segment.flag_arbor;
+        arbor_next t pop st ~now
+      end
+    in
+    if s < 0 then drop t
+    else begin
+      Segment.patch_cursor ~buf:frame ~off:0 st;
+      t.forwarded <- t.forwarded + 1;
+      let nh = Mtopo.slot_dst t.topo s in
+      let delay = Mtopo.slot_lat_ms t.topo s /. 1000.0 in
+      Engine.schedule t.engine ~delay (fun engine -> arrive t ~pop:nh engine frame)
+    end
+  end
+
+and arrive t ~pop engine frame =
+  if Bytes.get_uint8 t.pop_up pop = 1 then
+    forward t ~pop ~now:(Engine.now engine) frame
+  else drop t
+
+let send t ~src ~flow ~seq ~hops ~seg_paths ~count =
+  if count < 1 || count > Segment.max_segments then
+    Err.invalid "Relay.send: %d segments outside [1,%d]" count Segment.max_segments;
+  let st = t.scratch in
+  st.Segment.flags <- 0;
+  st.Segment.tree <- Policy.current t.policies.(src);
+  st.Segment.top <- 0;
+  st.Segment.src <- src;
+  st.Segment.dst <- hops.(count - 1);
+  st.Segment.flow <- flow;
+  st.Segment.seq <- seq;
+  st.Segment.count <- count;
+  st.Segment.hop_budget <- 255;
+  Array.blit hops 0 st.Segment.hops 0 count;
+  Array.blit seg_paths 0 st.Segment.seg_path 0 count;
+  let frame = Bytes.create (Segment.header_bytes ~count) in
+  ignore (Segment.encode_into ~buf:frame ~off:0 st);
+  t.sent <- t.sent + 1;
+  Metric.incr m_sent;
+  if Bytes.get_uint8 t.pop_up src = 1 then
+    forward t ~pop:src ~now:(Engine.now t.engine) frame
+  else drop t

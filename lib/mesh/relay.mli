@@ -1,0 +1,87 @@
+(** The mesh dataplane: PoP-indexed flat forwarding state, segment-stack
+    consumption, and O(1) arborescence failover.
+
+    One value hosts every PoP of the mesh — per-PoP and per-edge state
+    is flat arrays indexed by PoP id / CSR slot, so a single process
+    scales to hundreds of PoPs. Forwarding pops one stack entry per
+    hop; when the stacked next hop is locally dead (hello timeout) the
+    frame flips to arborescence mode and the relay rotates to the next
+    precomputed tree — at most [Arbor.k] O(1) probes, with each dead
+    tree fed to {!Tango.Policy.ban} like any other path fault. There is
+    no rediscovery on the failover path; {!discovery_msgs} counts
+    route-stitch computations so experiments can assert exactly that.
+
+    Liveness is strictly local: a PoP trusts only its own hello view of
+    its neighbors. Frames in flight toward a not-yet-detected dead
+    relay are lost; that window is the recovery latency E15 measures. *)
+
+type t
+
+val create :
+  ?hello_interval_s:float ->
+  ?dead_after_s:float ->
+  ?ban_s:float ->
+  topo:Mtopo.t ->
+  arbor:Arbor.t ->
+  engine:Tango_sim.Engine.t ->
+  gossip:Gossip.t ->
+  unit ->
+  t
+(** Defaults: hellos every 25 ms, a neighbor is dead after 100 ms of
+    silence, dead trees are banned for 1 s. Raises {!Err.Invalid} when
+    [dead_after_s <= hello_interval_s] or a duration is non-positive. *)
+
+val start_hellos : t -> until:float -> unit
+(** One hello timer per PoP. Hellos are stamped directly into the
+    neighbor's hearing slot with the link latency added — no per-hello
+    event, so a 128-PoP mesh stays at tens of engine events per virtual
+    second. *)
+
+val set_on_deliver : t -> (flow:int -> seq:int -> tree:int -> now:float -> unit) -> unit
+
+val send :
+  t -> src:int -> flow:int -> seq:int -> hops:int array -> seg_paths:int array -> count:int -> unit
+(** Encode a stitched route ([hops.(count-1)] is the destination) into
+    a fresh frame and forward it from [src]. Raises {!Err.Invalid} when
+    [count] is outside [1, {!Segment.max_segments}]. *)
+
+val pop_alive : t -> int -> bool
+(** Ground truth (not any PoP's local view). *)
+
+val kill_pop : t -> pop:int -> unit
+val revive_pop : t -> pop:int -> unit
+
+val cut_region : t -> region:int -> unit
+(** Take down every inter-region link touching [region], both
+    directions. *)
+
+val heal_region : t -> region:int -> unit
+
+val detection_ms_after : t -> pop:int -> after:float -> float
+(** Milliseconds after [after] until the {e slowest} live neighbor of
+    [pop] flipped its hello view to dead; [-1] when none has. *)
+
+val sent : t -> int
+val delivered : t -> int
+val dropped : t -> int
+val forwarded : t -> int
+
+val reroutes : t -> int
+(** Arborescence rotations performed (stack-to-arbor flips plus dead
+    trees skipped). *)
+
+val max_rotations : t -> int
+(** Worst-case dead-tree probes for a single forwarding decision —
+    bounded by [Arbor.k]; the E15 constant-work gate. *)
+
+val discovery_msgs : t -> int
+val note_discovery : t -> unit
+(** Route-stitch accounting: {!Mesh} notes each stitched-route
+    computation; the counter must not move after a failure. *)
+
+val hello_msgs : t -> int
+
+val fingerprint : t -> string
+(** FNV-1a fold of the delivery stream (flow, seq, tree, residual hop
+    budget, microsecond delivery time) — byte-identical across repeats
+    of a seeded run. *)

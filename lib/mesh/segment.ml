@@ -1,0 +1,125 @@
+module Wire = Tango_net.Wire
+
+(* The segment-stack shim: the source PoP stitches its per-pair
+   discovered paths into a multi-hop relay route and encodes it as an
+   explicit stack of (relay PoP, segment path) entries. Relays consume
+   one entry per hop; when a hop is dead the packet flips to
+   arborescence mode ([flag_arbor]) and the [tree] field names which
+   precomputed arborescence is steering it from there on.
+
+   Layout (big-endian, via the lib/net cursor primitives):
+
+   {v
+   off+0   version        (1B)  = 1
+   off+1   flags          (1B)  bit0 = arborescence failover active
+   off+2   tree           (1B)  current arborescence id
+   off+3   top            (1B)  next unconsumed stack entry
+   off+4   src PoP        (2B)
+   off+6   dst PoP        (2B)
+   off+8   flow id        (4B)
+   off+12  seq            (4B)
+   off+16  count          (1B)  stack entries
+   off+17  hop budget     (1B)  TTL against routing loops
+   off+18  count entries, 4B each: PoP (2B), segment path (1B), 0 (1B)
+   v} *)
+
+let version = 1
+let flag_arbor = 0x01
+let max_segments = 15
+let fixed_bytes = 18
+let header_bytes ~count = fixed_bytes + (4 * count)
+let max_header_bytes = fixed_bytes + (4 * max_segments)
+
+type stack = {
+  mutable flags : int;
+  mutable tree : int;
+  mutable top : int;
+  mutable src : int;
+  mutable dst : int;
+  mutable flow : int;
+  mutable seq : int;
+  mutable count : int;
+  mutable hop_budget : int;
+  hops : int array; (* length max_segments: relay PoPs, dst last *)
+  seg_path : int array; (* per entry: which discovered per-pair path *)
+}
+
+let create_stack () =
+  {
+    flags = 0;
+    tree = 0;
+    top = 0;
+    src = 0;
+    dst = 0;
+    flow = 0;
+    seq = 0;
+    count = 0;
+    hop_budget = 0;
+    hops = Array.make max_segments 0;
+    seg_path = Array.make max_segments 0;
+  }
+
+let[@hot] encode_into ~buf ~off st =
+  let len = fixed_bytes + (4 * st.count) in
+  if off < 0 || off + len > Bytes.length buf then
+    Err.invalid "Segment.encode_into: %d-byte buffer, need %d at %d"
+      (Bytes.length buf) len off;
+  if st.count > max_segments then
+    Err.invalid "Segment.encode_into: %d segments exceed %d" st.count
+      max_segments;
+  Bytes.set_uint8 buf off version;
+  Bytes.set_uint8 buf (off + 1) (st.flags land 0xFF);
+  Bytes.set_uint8 buf (off + 2) (st.tree land 0xFF);
+  Bytes.set_uint8 buf (off + 3) (st.top land 0xFF);
+  Wire.set_u16 buf (off + 4) st.src;
+  Wire.set_u16 buf (off + 6) st.dst;
+  Wire.set_u32 buf (off + 8) st.flow;
+  Wire.set_u32 buf (off + 12) st.seq;
+  Bytes.set_uint8 buf (off + 16) st.count;
+  Bytes.set_uint8 buf (off + 17) (st.hop_budget land 0xFF);
+  for i = 0 to st.count - 1 do
+    let base = off + fixed_bytes + (4 * i) in
+    Wire.set_u16 buf base st.hops.(i);
+    Bytes.set_uint8 buf (base + 2) st.seg_path.(i);
+    Bytes.set_uint8 buf (base + 3) 0
+  done;
+  len
+
+(* Returns false on a malformed header instead of raising: relays drop
+   garbage, they do not die — and the no-raise form keeps the decode
+   branch allocation-free. *)
+let[@hot] decode_into ~buf ~off ~len st =
+  if off < 0 || len < fixed_bytes || off + len > Bytes.length buf then false
+  else if Bytes.get_uint8 buf off <> version then false
+  else begin
+    let count = Bytes.get_uint8 buf (off + 16) in
+    let top = Bytes.get_uint8 buf (off + 3) in
+    if count > max_segments || len < fixed_bytes + (4 * count) || top > count
+    then false
+    else begin
+      st.flags <- Bytes.get_uint8 buf (off + 1);
+      st.tree <- Bytes.get_uint8 buf (off + 2);
+      st.top <- top;
+      st.src <- Wire.get_u16 buf (off + 4);
+      st.dst <- Wire.get_u16 buf (off + 6);
+      st.flow <- Wire.get_u32 buf (off + 8);
+      st.seq <- Wire.get_u32 buf (off + 12);
+      st.count <- count;
+      st.hop_budget <- Bytes.get_uint8 buf (off + 17);
+      for i = 0 to count - 1 do
+        let base = off + fixed_bytes + (4 * i) in
+        st.hops.(i) <- Wire.get_u16 buf base;
+        st.seg_path.(i) <- Bytes.get_uint8 buf (base + 2)
+      done;
+      true
+    end
+  end
+
+(* In-place single-field updates: a relay that only advances the cursor
+   or flips to arborescence mode patches the header instead of
+   re-encoding all [count] entries. *)
+let[@hot] patch_cursor ~buf ~off st =
+  Bytes.set_uint8 buf (off + 1) (st.flags land 0xFF);
+  Bytes.set_uint8 buf (off + 2) (st.tree land 0xFF);
+  Bytes.set_uint8 buf (off + 3) (st.top land 0xFF);
+  Bytes.set_uint8 buf (off + 17) (st.hop_budget land 0xFF)

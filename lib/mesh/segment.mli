@@ -1,0 +1,58 @@
+(** The segment-stack shim: stitched multi-hop relay routes on the wire.
+
+    A source PoP composes its per-pair discovered paths into an explicit
+    stack of (relay PoP, segment path) entries — the IXP path-stitching
+    idea — and each relay consumes one entry per hop. When the next
+    stacked hop is dead, the packet flips to arborescence mode
+    ({!flag_arbor}) and is steered by the precomputed trees of
+    {!Arbor} instead; the [tree] field records which one.
+
+    Encode/decode run on the relay hot path and are [\[@hot\]]-clean:
+    they reuse the {!Tango_net.Wire} cursor primitives and touch no
+    heap. The [stack] record is a preallocated scratch value, created
+    once per relay world and reused for every frame. *)
+
+type stack = {
+  mutable flags : int;
+  mutable tree : int;
+  mutable top : int;  (** Index of the next unconsumed stack entry. *)
+  mutable src : int;
+  mutable dst : int;
+  mutable flow : int;
+  mutable seq : int;
+  mutable count : int;
+  mutable hop_budget : int;  (** TTL against routing loops. *)
+  hops : int array;  (** [max_segments] slots; entries [0..count-1] live. *)
+  seg_path : int array;
+}
+
+val version : int
+val flag_arbor : int
+
+val max_segments : int
+(** 15 stack entries — routes beyond that fall back to pure
+    arborescence steering from the source. *)
+
+val fixed_bytes : int
+
+val header_bytes : count:int -> int
+(** Encoded size for a [count]-entry stack: [18 + 4*count]. *)
+
+val max_header_bytes : int
+
+val create_stack : unit -> stack
+(** Fresh zeroed scratch stack (the only allocating operation here). *)
+
+val encode_into : buf:Bytes.t -> off:int -> stack -> int
+(** Write the header at [off]; returns bytes written. Raises
+    {!Err.Invalid} when the buffer is too short or [count] exceeds
+    {!max_segments}. *)
+
+val decode_into : buf:Bytes.t -> off:int -> len:int -> stack -> bool
+(** Parse a header into the scratch stack. Returns [false] on garbage
+    (bad version, impossible count/top, short buffer) — relays drop
+    malformed frames, they never raise. *)
+
+val patch_cursor : buf:Bytes.t -> off:int -> stack -> unit
+(** Write back only the per-hop mutable fields (flags, tree, top, hop
+    budget) of an already-encoded header — the relay fast path. *)

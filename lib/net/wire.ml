@@ -29,6 +29,18 @@ let[@hot] set_u16 buf off v =
 
 let[@hot] get_u16 buf off = (Bytes.get_uint8 buf off lsl 8) lor Bytes.get_uint8 buf (off + 1)
 
+let[@hot] set_u32 buf off v =
+  Bytes.set_uint8 buf off ((v lsr 24) land 0xFF);
+  Bytes.set_uint8 buf (off + 1) ((v lsr 16) land 0xFF);
+  Bytes.set_uint8 buf (off + 2) ((v lsr 8) land 0xFF);
+  Bytes.set_uint8 buf (off + 3) (v land 0xFF)
+
+let[@hot] get_u32 buf off =
+  (Bytes.get_uint8 buf off lsl 24)
+  lor (Bytes.get_uint8 buf (off + 1) lsl 16)
+  lor (Bytes.get_uint8 buf (off + 2) lsl 8)
+  lor Bytes.get_uint8 buf (off + 3)
+
 let[@hot] set_u64 buf off v =
   for i = 0 to 7 do
     Bytes.set_uint8 buf (off + i)

@@ -31,6 +31,21 @@ val tango_shim_auth_bytes : int
 val auth_flag : int
 (** Flag bit marking an authenticated shim (0x0001). *)
 
+(** {2 Cursor primitives}
+
+    Big-endian in-place scalar codecs, exported so other wire formats
+    (the {!Tango_mesh.Segment} stack, future per-hop MAC chains) reuse
+    the same zero-allocation cursor discipline instead of growing their
+    own byte twiddling. All are [\[@hot\]]-clean: no bounds beyond the
+    [Bytes] primitives, no allocation. *)
+
+val set_u16 : Bytes.t -> int -> int -> unit
+val get_u16 : Bytes.t -> int -> int
+val set_u32 : Bytes.t -> int -> int -> unit
+val get_u32 : Bytes.t -> int -> int
+val set_u64 : Bytes.t -> int -> int64 -> unit
+val get_u64 : Bytes.t -> int -> int64
+
 val internet_checksum : Bytes.t -> int
 (** RFC 1071 one's-complement sum over a buffer (odd lengths padded). *)
 

@@ -21,11 +21,11 @@ let compare_event a b =
   let c = Float.compare a.time b.time in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let create ?(seed = 42) () =
+let create ?(seed = 42) ?(heap_capacity = 0) () =
   {
     clock = 0.0;
     next_seq = 0;
-    queue = Heap.create ~cmp:compare_event;
+    queue = Heap.create ~capacity:heap_capacity ~cmp:compare_event ();
     root_rng = Rng.create ~seed;
   }
 

@@ -8,9 +8,12 @@
 
 type t
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?heap_capacity:int -> unit -> t
 (** [create ~seed ()] builds an engine with its clock at [0.0]. The
-    default seed is [42]. *)
+    default seed is [42]. [heap_capacity] pre-sizes the event queue —
+    pass the expected number of concurrently pending events when one
+    engine hosts a whole mesh of PoPs (see {!Tango_mesh}) so the queue
+    never re-copies mid-run. *)
 
 val now : t -> float
 (** Current virtual time in seconds. *)

@@ -2,9 +2,17 @@ type 'a t = {
   cmp : 'a -> 'a -> int;
   mutable data : 'a array;
   mutable size : int;
+  mutable reserve : int;
 }
 
-let create ~cmp = { cmp; data = [||]; size = 0 }
+let create ?(capacity = 0) ~cmp () =
+  if capacity < 0 then invalid_arg "Heap.create: negative capacity";
+  { cmp; data = [||]; size = 0; reserve = capacity }
+
+(* The backing array cannot be pre-sized at [create] time: the element
+   type has no witness value yet. The reservation is honoured lazily on
+   the first [push], which sizes the array once instead of doubling
+   through log2(capacity) intermediate copies. *)
 
 let length t = t.size
 
@@ -13,7 +21,7 @@ let is_empty t = t.size = 0
 let grow t x =
   let capacity = Array.length t.data in
   if t.size = capacity then begin
-    let new_capacity = max 8 (2 * capacity) in
+    let new_capacity = max (max 8 t.reserve) (2 * capacity) in
     let data = Array.make new_capacity x in
     Array.blit t.data 0 data 0 t.size;
     t.data <- data
@@ -75,7 +83,14 @@ let clear t =
   t.data <- [||]
 
 let to_sorted_list t =
-  let copy = { cmp = t.cmp; data = Array.sub t.data 0 t.size; size = t.size } in
+  let copy =
+    {
+      cmp = t.cmp;
+      data = Array.sub t.data 0 t.size;
+      size = t.size;
+      reserve = 0;
+    }
+  in
   let rec drain acc =
     match pop copy with
     | None -> List.rev acc

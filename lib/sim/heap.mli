@@ -5,8 +5,13 @@
 
 type 'a t
 
-val create : cmp:('a -> 'a -> int) -> 'a t
-(** Fresh empty heap ordered by [cmp] (smallest element on top). *)
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** Fresh empty heap ordered by [cmp] (smallest element on top).
+    [capacity] is a sizing hint: the backing array is allocated at that
+    size on the first push instead of doubling up from 8, which matters
+    when one engine hosts hundreds of PoPs worth of timers (mesh-scale
+    runs push tens of thousands of events). Negative capacity raises
+    [Invalid_argument]. *)
 
 val length : 'a t -> int
 (** Number of stored elements. *)

@@ -115,14 +115,14 @@ let test_rng_choice () =
 (* Heap                                                                *)
 
 let test_heap_ordering () =
-  let h = Heap.create ~cmp:Int.compare in
+  let h = Heap.create ~cmp:Int.compare () in
   List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
   Alcotest.(check (list int)) "sorted drain" [ 1; 2; 3; 5; 7; 8; 9 ]
     (Heap.to_sorted_list h);
   Alcotest.(check int) "length preserved" 7 (Heap.length h)
 
 let test_heap_pop_order () =
-  let h = Heap.create ~cmp:Int.compare in
+  let h = Heap.create ~cmp:Int.compare () in
   List.iter (Heap.push h) [ 4; 1; 3 ];
   Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
   Alcotest.(check (option int)) "pop 1" (Some 1) (Heap.pop h);
@@ -133,14 +133,14 @@ let test_heap_pop_order () =
   Alcotest.(check (option int)) "empty" None (Heap.pop h)
 
 let test_heap_empty () =
-  let h = Heap.create ~cmp:Int.compare in
+  let h = Heap.create ~cmp:Int.compare () in
   Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
   Alcotest.(check (option int)) "peek none" None (Heap.peek h);
   Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
     (fun () -> ignore (Heap.pop_exn h))
 
 let test_heap_clear () =
-  let h = Heap.create ~cmp:Int.compare in
+  let h = Heap.create ~cmp:Int.compare () in
   List.iter (Heap.push h) [ 1; 2; 3 ];
   Heap.clear h;
   Alcotest.(check int) "cleared" 0 (Heap.length h)
@@ -149,7 +149,7 @@ let heap_qcheck_sorted =
   QCheck.Test.make ~name:"heap drains any int list sorted" ~count:200
     QCheck.(list int)
     (fun l ->
-      let h = Heap.create ~cmp:Int.compare in
+      let h = Heap.create ~cmp:Int.compare () in
       List.iter (Heap.push h) l;
       Heap.to_sorted_list h = List.sort Int.compare l)
 
@@ -157,7 +157,7 @@ let heap_qcheck_pop_monotone =
   QCheck.Test.make ~name:"heap pops are monotone" ~count:200
     QCheck.(list small_int)
     (fun l ->
-      let h = Heap.create ~cmp:Int.compare in
+      let h = Heap.create ~cmp:Int.compare () in
       List.iter (Heap.push h) l;
       let rec drain prev =
         match Heap.pop h with
