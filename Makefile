@@ -2,7 +2,7 @@
 # formatting, the full test suite, then a fast end-to-end smoke of the
 # experiment harness (fig3 takes well under a second).
 
-.PHONY: all build fmt test lint lint-fast lint-json lint-sarif lint-timed smoke obs-smoke faults-smoke reconcile-smoke throughput-smoke mesh-smoke bench bench-json bench-compare check clean
+.PHONY: all build fmt test lint lint-fast lint-json lint-sarif lint-timed smoke obs-smoke faults-smoke reconcile-smoke throughput-smoke mesh-smoke load-smoke bench bench-json bench-compare check clean
 
 all: build
 
@@ -89,7 +89,16 @@ mesh-smoke:
 	dune exec bench/main.exe -- --experiment mesh-scaling --pops 64 --no-micro > /dev/null
 	dune exec bin/tango_cli.exe -- mesh --pops 16 --scenario relay-kill --fingerprint > /dev/null
 
-check: build fmt test lint smoke obs-smoke faults-smoke reconcile-smoke throughput-smoke mesh-smoke
+# Load-engine smoke: the E16 gates at a narrowed 20k-flow point (ratio,
+# ceiling, hit-rate, fingerprint determinism), plus a CLI run with a
+# tight cache and an explicit tracker ceiling (lib/workload end to end).
+load-smoke:
+	dune exec bench/main.exe -- --experiment load-engine --flows 20000 --no-micro > _build/load_smoke.out
+	grep -c "GATE: PASS" _build/load_smoke.out | grep -qx 5
+	! grep -q "GATE: FAIL" _build/load_smoke.out
+	dune exec bin/tango_cli.exe -- load --domains 2 --flows 20000 --cache 1024 --ceiling 65536 --fingerprint > /dev/null
+
+check: build fmt test lint smoke obs-smoke faults-smoke reconcile-smoke throughput-smoke mesh-smoke load-smoke
 
 clean:
 	dune clean

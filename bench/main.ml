@@ -34,16 +34,20 @@ let experiments =
     ("rediscovery-under-churn", Experiments.rediscovery_under_churn);
     ("throughput-scaling", Experiments.throughput_scaling);
     ("mesh-scaling", Experiments.mesh_scaling);
+    ("load-engine", Experiments.load_engine);
   ]
 
 (* E14 prints wall-clock rows, which are inherently nondeterministic, so
    it only runs when selected explicitly — the default full run stays
    byte-comparable across seeds (the determinism sweep in test/dune).
    E15 is fully deterministic but sweeps six mesh sizes, so it too runs
-   only on request (the seed sweep pins it separately). *)
+   only on request (the seed sweep pins it separately). E16 sweeps up to
+   10^6 flows and prints Mpps rows, so it is likewise opt-in (`make
+   load-smoke` pins a narrowed point). *)
 let default_ids =
   List.filter
-    (fun id -> id <> "throughput-scaling" && id <> "mesh-scaling")
+    (fun id ->
+      id <> "throughput-scaling" && id <> "mesh-scaling" && id <> "load-engine")
     (List.map fst experiments)
 
 let () =
@@ -80,6 +84,10 @@ let () =
         Arg.Int (fun n -> Experiments.mesh_pops := n),
         "N  mesh-scaling (E15): run only the N-PoP mesh (default: sweep 4, \
          8, 16, 32, 64, 128)" );
+      ( "--flows",
+        Arg.Int (fun n -> Experiments.load_flows := n),
+        "N  load-engine (E16): run only the N-flow point (default: sweep \
+         10^3, 10^4, 10^5, 10^6)" );
       ( "--csv",
         Arg.String (fun d -> Experiments.csv_dir := Some d),
         "DIR  also write figure series as CSV into DIR" );

@@ -9,6 +9,7 @@
      tango faults    — run a named fault-injection scenario (lib/faults)
      tango reconcile — fault scenario with the control-plane reconciler armed
      tango throughput — multicore batched dataplane (domain lanes + batches)
+     tango load      — million-flow workload engine through the batched lanes
 
    Every subcommand takes --metrics FILE (JSON-lines snapshot: manifest,
    counters/gauges/histograms, trace events) and --prom FILE (Prometheus
@@ -740,6 +741,109 @@ let throughput_cmd =
       $ fingerprint_flag $ metrics_arg $ prom_arg)
 
 (* ------------------------------------------------------------------ *)
+(* load                                                                *)
+
+module Wload = Tango_workload.Load
+
+let load_one ~domains ~batch ~flows ~generations ~seed ~cache ~ceiling
+    ~fingerprint_only =
+  let plan = Wload.plan (Wload.default_config ~flows ~generations ~seed ()) in
+  (* --cache 0 sizes the per-lane cache to an eighth of the flow count
+     (so elephants and the active edge of the wave fit while the long
+     tail contends), a negative value disables the bound. *)
+  let cache_capacity =
+    if cache > 0 then Some cache
+    else if cache = 0 then Some (max 1024 (flows / 8))
+    else None
+  in
+  let r =
+    Throughput.run ~domains ~batch ~seed ~plan ?cache_capacity
+      ~tracker_ceiling:ceiling ()
+  in
+  Throughput.print_load_summary ~timing:(not fingerprint_only) plan r
+
+let load domains batch flows generations seed cache ceiling sweep
+    fingerprint_only metrics prom =
+  with_obs ~experiment:"load" ~seed
+    ~config:
+      (Printf.sprintf
+         "load domains=%d batch=%d flows=%d generations=%d seed=%d cache=%d \
+          ceiling=%d sweep=%b"
+         domains batch flows generations seed cache ceiling sweep)
+    metrics prom
+  @@ fun () ->
+  let points = if sweep then [ 1_000; 10_000; 100_000; 1_000_000 ] else [ flows ] in
+  List.iter
+    (fun flows ->
+      load_one ~domains ~batch ~flows ~generations ~seed ~cache ~ceiling
+        ~fingerprint_only)
+    points
+
+let load_cmd =
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Dataplane lanes, one OCaml domain each.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Packet-batch flush threshold, between 1 and 64.")
+  in
+  let flows =
+    Arg.(
+      value & opt int 10_000
+      & info [ "flows" ] ~docv:"N" ~doc:"Concurrent flows (ignored with --sweep).")
+  in
+  let generations =
+    Arg.(
+      value & opt int 400
+      & info [ "generations" ] ~docv:"N"
+          ~doc:"Workload horizon in 1 ms virtual generations.")
+  in
+  let cache =
+    Arg.(
+      value & opt int 0
+      & info [ "cache" ] ~docv:"N"
+          ~doc:
+            "Per-lane flow-cache capacity (clock-hand eviction). 0 sizes it \
+             to flows/8 (min 1024); a negative value disables the bound.")
+  in
+  let ceiling =
+    Arg.(
+      value & opt int 0
+      & info [ "ceiling" ] ~docv:"N"
+          ~doc:
+            "Per-lane advisory ceiling on resident tracker state (0 = none); \
+             the report shows the measured peak either way.")
+  in
+  let sweep =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:"Run the full flow-count sweep 10^3, 10^4, 10^5, 10^6.")
+  in
+  let fingerprint_flag =
+    Arg.(
+      value & flag
+      & info [ "fingerprint" ]
+          ~doc:
+            "Print only the deterministic summary (no wall-clock/pps line), \
+             so repeat runs at fixed settings are byte-comparable.")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive the million-flow workload engine (heavy-tailed sizes, \
+          diurnal waves, RPC/bulk/CBR mix) through the batched multicore \
+          dataplane")
+    Term.(
+      const load $ domains $ batch $ flows $ generations $ seed_arg $ cache
+      $ ceiling $ sweep $ fingerprint_flag $ metrics_arg $ prom_arg)
+
+(* ------------------------------------------------------------------ *)
 (* mesh                                                                *)
 
 module Nmesh = Tango_mesh.Mesh
@@ -879,4 +983,5 @@ let () =
             faults_cmd;
             reconcile_cmd;
             throughput_cmd;
+            load_cmd;
           ]))

@@ -54,6 +54,7 @@ module Clock = Tango_dataplane.Clock
 module Flow_cache = Tango_dataplane.Flow_cache
 module Seq_tracker = Tango_dataplane.Seq_tracker
 module Metric = Tango_obs.Metric
+module Load = Tango_workload.Load
 
 (* Process-wide observability, published only at quiesce points. *)
 let m_offered =
@@ -75,6 +76,27 @@ let m_reordered =
 let g_lanes =
   Metric.gauge ~help:"Throughput pipeline: lanes of the last run"
     "throughput_lanes"
+
+let m_evicted =
+  Metric.counter ~help:"Throughput pipeline: flow-cache entries evicted"
+    "throughput_cache_evictions_total"
+
+let g_hit_rate =
+  Metric.gauge ~help:"Throughput pipeline: flow-cache hit rate of the last run"
+    "throughput_cache_hit_rate"
+
+let g_cache_resident =
+  Metric.gauge ~help:"Throughput pipeline: flow-cache entries resident at quiesce"
+    "throughput_cache_resident"
+
+let g_tracker_resident =
+  Metric.gauge
+    ~help:"Throughput pipeline: tracker provisional entries resident at quiesce"
+    "throughput_tracker_resident"
+
+let g_tracker_active =
+  Metric.gauge ~help:"Throughput pipeline: trackers that saw traffic"
+    "throughput_tracker_active_keys"
 
 let paths = 4
 
@@ -101,10 +123,27 @@ type flow_slot = { f_flow : Flow.t; f_hash : int }
 
 (* Star topology with [paths] disjoint two-hop routes, every link
    jitter-free and loss-free so all routes are "plain" (batched fast
-   path) and arrival times are closed-form. Distinct per-path delays
-   (1.0, 1.6, 2.2, 2.8 ms end to end) against a 1 ms generation interval
-   make epoch rotations overlap in flight — the reordering source. *)
-let build_topology () =
+   path) and arrival times are closed-form. [first_hop_ms] sets the
+   sender-to-transit delay of each path (the transit-to-receiver hop is
+   a fixed 0.3 ms).
+
+   The E14 ladder (first hops 0.7 + 0.6i; 1.0, 1.6, 2.2, 2.8 ms end to
+   end) steps by more than the 1 ms generation interval, so every epoch
+   rotation overlaps old and new paths in flight — the reordering
+   source. The load-engine ladder (1.0, 1.3, 2.9, 1.6 ms end to end) is
+   deliberately non-monotone: path 1 over path 0 reproduces the paper's
+   ~30% default-route penalty (E2) for the E16 gate, while the
+   2.9 -> 1.6 ms drop at the path-2-to-3 rotation exceeds one
+   generation interval and keeps reordering alive for stride-1 flows. *)
+(* Computed, not literal: 0.7 +. 0.6 differs from the literal 1.3 in
+   the last bit, and the E14 fingerprints are bit-exact across
+   releases. *)
+let e14_first_hops =
+  Array.init paths (fun i -> 0.7 +. (0.6 *. float_of_int i))
+
+let load_first_hops = [| 0.7; 1.0; 2.6; 1.3 |]
+
+let build_topology ~first_hop_ms () =
   let topo = Topology.create () in
   Topology.add_node topo ~id:0 ~asn:64500 "sender";
   for i = 0 to paths - 1 do
@@ -114,9 +153,7 @@ let build_topology () =
     Topology.add_node topo ~id:receiver ~asn:(64700 + i)
       (Printf.sprintf "receiver-%d" i);
     Topology.connect topo ~provider:transit ~customer:0
-      ~link:
-        (Link.v ~jitter_ms:0.0 ~bandwidth_mbps:100_000.0
-           (0.7 +. (0.6 *. float_of_int i)))
+      ~link:(Link.v ~jitter_ms:0.0 ~bandwidth_mbps:100_000.0 first_hop_ms.(i))
       ();
     Topology.connect topo ~provider:transit ~customer:receiver
       ~link:(Link.v ~jitter_ms:0.0 ~bandwidth_mbps:100_000.0 0.3) ()
@@ -129,7 +166,8 @@ type lane_env = {
   l_outer_src : Addr.t;
   l_clock : Clock.t;
   l_cache : Flow_cache.t;
-  l_trackers : Seq_tracker.t array;  (* indexed by global flow id *)
+  l_track : Seq_tracker.Table.t;  (* one tracker per lane-owned flow *)
+  l_local : int array;  (* global flow id -> lane-local tracker key *)
   l_path_rings : Shard.Ring.t array;  (* in-flight arrivals, per path *)
   l_batch : Batch.t;
   l_t0 : float;  (* virtual time of generation 0 (post-convergence) *)
@@ -140,8 +178,15 @@ type lane_env = {
   mutable l_major_words : float;  (* major-heap words the lane allocated *)
 }
 
-let build_lane_env ~seed ~flows =
-  let topo = build_topology () in
+(* Per-lane state is sized by what the lane actually owns: [own_flows]
+   trackers (not the global flow count — a million-flow run at 4 lanes
+   would otherwise hold 4 x 10^6 trackers), rings sized by the peak
+   per-generation offered load, and a flow cache bounded by
+   [cache_capacity] (per lane; [None] keeps the pre-existing unbounded
+   behavior). *)
+let build_lane_env ~seed ~first_hop_ms ~cache_expected ~cache_capacity
+    ~tracker_ceiling ~ring_cap ~own_flows ~local =
+  let topo = build_topology ~first_hop_ms () in
   let engine = Engine.create ~seed () in
   let net = Network.create topo engine in
   let plan1 =
@@ -171,12 +216,17 @@ let build_lane_env ~seed ~flows =
     l_dsts = dsts;
     l_outer_src = Addressing.host_address plan0 1L;
     l_clock = Clock.create ();
-    l_cache = Flow_cache.create ~expected_flows:flows ();
-    l_trackers = Array.init flows (fun _ -> Seq_tracker.create ());
+    l_cache =
+      Flow_cache.create ~expected_flows:cache_expected ?capacity:cache_capacity
+        ();
+    l_track = Seq_tracker.Table.create ~ceiling:tracker_ceiling ~keys:own_flows ();
+    l_local = local;
     l_path_rings =
       (* In-flight bound: arrivals are drained every generation and the
-         slowest path holds under 4 generations of flight time. *)
-      Array.init paths (fun _ -> Shard.Ring.create ~capacity:((4 * flows) + 8));
+         slowest path holds under 4 generations of flight time, so no
+         ring ever holds more than 4 generations of the peak offered
+         load. *)
+      Array.init paths (fun _ -> Shard.Ring.create ~capacity:ring_cap);
     l_batch = Batch.create ();
     l_t0 = Engine.now engine;
     l_epoch = 0;
@@ -189,7 +239,8 @@ let build_lane_env ~seed ~flows =
 (* ------------------------------------------------------------------ *)
 (* The lane body: the per-packet hot path.                              *)
 
-let lane_main env out_ring ~flows ~my_flows ~generations ~batch_limit =
+let lane_main env out_ring ~flows ~my_flows ~plan ~uniform ~generations
+    ~batch_limit =
   (* Each domain has its own minor heap; widen it to 8 M words (64 MB)
      so minor collections — stop-the-world across every domain — stay
      rare during the run. Wider is not better: sizing each arena to the
@@ -252,8 +303,8 @@ let lane_main env out_ring ~flows ~my_flows ~generations ~batch_limit =
       if !best < 0 || !best_t > upto then continue := false
       else begin
         Shard.pop_into env.l_path_rings.(!best) scratch;
-        Seq_tracker.observe ~now_s:scratch.Shard.time
-          env.l_trackers.(scratch.Shard.a)
+        Seq_tracker.Table.observe ~now_s:scratch.Shard.time env.l_track
+          ~key:(Array.unsafe_get env.l_local scratch.Shard.a)
           (Int64.of_int scratch.Shard.b);
         env.l_delivered <- env.l_delivered + 1;
         Shard.Ring.push out_ring ~time:scratch.Shard.time ~a:scratch.Shard.a
@@ -262,6 +313,52 @@ let lane_main env out_ring ~flows ~my_flows ~generations ~batch_limit =
     done
   in
   let stat0 = Gc.quick_stat () in
+  (* One send: path decision through the bounded cache, synthetic drop,
+     encap, batched fabric submit. [sidx] is the flow's 0-based send
+     index (its tunnel sequence number) — equal to [gen] for the uniform
+     full-mesh workload, plan-derived otherwise. Every 8th send the flow
+     confirms losses older than its reordering horizon (the slowest path
+     holds under 4 generations of flight time and strides are >= 1
+     generation, so sequence sidx - 8 can no longer arrive), bounding
+     the tracker's provisional-missing set the way a real switch's
+     fixed-size map would. *)
+  let send_one f sidx seq64 ts ts_ns gen epoch =
+    if sidx > 8 && sidx land 7 = 0 then
+      Seq_tracker.Table.confirm_below env.l_track
+        ~key:(Array.unsafe_get env.l_local f)
+        (Int64.of_int (sidx - 8));
+    env.l_offered <- env.l_offered + 1;
+    let slot = Array.unsafe_get flows f in
+    let h = slot.f_hash in
+    let path =
+      match Flow_cache.find env.l_cache ~flow_hash:h with
+      | Some p -> p
+      | None ->
+          let p = (h + epoch) mod paths in
+          Flow_cache.store env.l_cache ~flow_hash:h p;
+          p
+    in
+    if synthetic_drop ~flow_hash:h ~gen then
+      env.l_synthetic <- env.l_synthetic + 1
+    else begin
+      let packet =
+        Packet.create
+          ~id:((gen * nflows) + f)
+          ~flow:slot.f_flow ~payload_bytes ~created_at:ts ()
+      in
+      Packet.encapsulate packet
+        {
+          Packet.outer_src = env.l_outer_src;
+          outer_dst = Array.unsafe_get env.l_dsts path;
+          udp_src = 40000 + path;
+          udp_dst = 4789;
+          tango =
+            { Packet.timestamp_ns = ts_ns; seq = seq64; path_id = path; flags = 0 };
+        };
+      Batch.add env.l_batch packet;
+      if Batch.length env.l_batch >= batch_limit then flush ts
+    end
+  in
   for gen = 0 to generations - 1 do
     let ts = env.l_t0 +. (float_of_int gen *. gen_interval_s) in
     drain ts;
@@ -270,50 +367,24 @@ let lane_main env out_ring ~flows ~my_flows ~generations ~batch_limit =
       env.l_epoch <- epoch;
       Flow_cache.invalidate env.l_cache
     end;
-    (* Confirm losses older than the reordering horizon (the slowest
-       path holds under 4 generations of flight time; 8 is comfortable),
-       bounding each tracker's provisional-missing set the way a real
-       switch's fixed-size map would. One load per quiet tracker. *)
-    let confirm_bound = Int64.of_int (gen - 8) in
     (* Per-generation constants, hoisted off the per-packet path (each
        would otherwise box a fresh Int64 per packet). *)
     let ts_ns = Clock.now_ns env.l_clock ~sim_time_s:ts in
-    let seq64 = Int64.of_int gen in
-    for fi = 0 to Array.length my_flows - 1 do
-      let f = Array.unsafe_get my_flows fi in
-      if gen > 8 then Seq_tracker.confirm_below env.l_trackers.(f) confirm_bound;
-      env.l_offered <- env.l_offered + 1;
-      let slot = Array.unsafe_get flows f in
-      let h = slot.f_hash in
-      let path =
-        match Flow_cache.find env.l_cache ~flow_hash:h with
-        | Some p -> p
-        | None ->
-            let p = (h + epoch) mod paths in
-            Flow_cache.store env.l_cache ~flow_hash:h p;
-            p
-      in
-      if synthetic_drop ~flow_hash:h ~gen then
-        env.l_synthetic <- env.l_synthetic + 1
-      else begin
-        let packet =
-          Packet.create
-            ~id:((gen * nflows) + f)
-            ~flow:slot.f_flow ~payload_bytes ~created_at:ts ()
-        in
-        Packet.encapsulate packet
-          {
-            Packet.outer_src = env.l_outer_src;
-            outer_dst = Array.unsafe_get env.l_dsts path;
-            udp_src = 40000 + path;
-            udp_dst = 4789;
-            tango =
-              { Packet.timestamp_ns = ts_ns; seq = seq64; path_id = path; flags = 0 };
-          };
-        Batch.add env.l_batch packet;
-        if Batch.length env.l_batch >= batch_limit then flush ts
-      end
-    done;
+    let gen64 = Int64.of_int gen in
+    if uniform then
+      (* Full-mesh blast: every flow sends every generation, sequence =
+         generation; the hoisted [gen64] serves every packet. *)
+      for fi = 0 to Array.length my_flows - 1 do
+        send_one (Array.unsafe_get my_flows fi) gen gen64 ts ts_ns gen epoch
+      done
+    else
+      for fi = 0 to Array.length my_flows - 1 do
+        let f = Array.unsafe_get my_flows fi in
+        if Load.sends_at plan ~flow:f ~gen then begin
+          let sidx = Load.seq_index plan ~flow:f ~gen in
+          send_one f sidx (Int64.of_int sidx) ts ts_ns gen epoch
+        end
+      done;
     flush ts;
     (* Drop the batch's stale slot references: if a minor collection
        lands between generations it finds no transient packets live. *)
@@ -340,6 +411,15 @@ type result = {
   duplicates : int;
   cache_hits : int;
   cache_misses : int;
+  cache_capacity : int;  (* per-lane bound; 0 = unbounded *)
+  cache_evictions : int;
+  cache_resident : int;  (* summed over lanes at quiesce *)
+  tracker_active : int;  (* trackers that saw traffic, summed over lanes *)
+  tracker_resident : int;  (* provisional entries at quiesce *)
+  tracker_resident_peak : int;  (* sum of per-lane high-water marks *)
+  tracker_ceiling : int;  (* per-lane advisory bound; 0 = none *)
+  path_delivered : int array;  (* deliveries per path id *)
+  path_owd_ms : float array;  (* mean one-way delay per path id *)
   merged : int;
   fingerprint_sum : int;
   fingerprint_xor : int;
@@ -358,13 +438,31 @@ let record_hash (r : Shard.record) =
   mix (mix (mix (mix 0x811C9DC5 tb) r.Shard.a) ((r.Shard.b lsl 3) lxor r.Shard.c)) vb
 
 let run ?(domains = 1) ?(batch = Batch.capacity) ?(flows = 512)
-    ?(generations = 2000) ?(seed = 42) () =
+    ?(generations = 2000) ?(seed = 42) ?plan ?cache_capacity
+    ?(tracker_ceiling = 0) () =
   if domains <= 0 then invalid_arg "Throughput.run: non-positive domains";
   if batch <= 0 || batch > Batch.capacity then
     invalid_arg "Throughput.run: batch outside [1, 64]";
   if flows <= 0 then invalid_arg "Throughput.run: non-positive flows";
   if generations <= 0 then
     invalid_arg "Throughput.run: non-positive generations";
+  (match cache_capacity with
+  | Some c when c <= 0 ->
+      invalid_arg "Throughput.run: non-positive cache capacity"
+  | _ -> ());
+  if tracker_ceiling < 0 then
+    invalid_arg "Throughput.run: negative tracker ceiling";
+  (* A [plan] replaces the uniform full-mesh workload (and its [flows] /
+     [generations] arguments) with the million-flow engine's schedule;
+     the tighter 0.3 ms path-delay spread puts the default-over-best
+     one-way-delay ratio at the paper's ~30% (E2/E16). *)
+  let uniform = Option.is_none plan in
+  let plan =
+    match plan with Some p -> p | None -> Load.uniform ~flows ~generations
+  in
+  let first_hop_ms = if uniform then e14_first_hops else load_first_hops in
+  let flows = Load.flows plan in
+  let generations = Load.generations plan in
   (* Shared immutable workload: flow records, hashes, lane assignment. *)
   let plan0 =
     Addressing.carve ~block:Addressing.default_block ~site_index:0
@@ -406,10 +504,30 @@ let run ?(domains = 1) ?(batch = Batch.capacity) ?(flows = 512)
       flow_lane;
     Array.init domains (fun l -> Array.sub idx.(l) 0 lane_flows.(l))
   in
+  (* Exact per-lane delivery bound for the out rings: a lane can never
+     deliver more than it schedules. *)
+  let lane_sends = Array.make domains 0 in
+  if uniform then
+    Array.iteri (fun l n -> lane_sends.(l) <- n * generations) lane_flows
+  else
+    Array.iteri
+      (fun f l -> lane_sends.(l) <- lane_sends.(l) + Load.flow_pkts plan f)
+      flow_lane;
   (* Every lane's world is built on the main domain, outside the timed
-     region (BGP convergence is setup, not dataplane). *)
+     region (BGP convergence is setup, not dataplane). Per-lane sizing:
+     trackers for owned flows only, rings for 4 generations of the peak
+     offered load — at 10^6 flows the old
+     global-flow-count-times-lane-count sizing would be quadratic. *)
+  let ring_cap = (4 * Load.max_gen_sends plan) + 8 in
+  let cache_expected =
+    match cache_capacity with Some c -> c | None -> flows
+  in
   let envs =
-    Array.init domains (fun _ -> build_lane_env ~seed ~flows)
+    Array.init domains (fun l ->
+        let local = Array.make flows (-1) in
+        Array.iteri (fun i f -> local.(f) <- i) lane_flow_idx.(l);
+        build_lane_env ~seed ~first_hop_ms ~cache_expected ~cache_capacity
+          ~tracker_ceiling ~ring_cap ~own_flows:lane_flows.(l) ~local)
   in
   (* Freeze the process-wide registry while lanes run: the direct path
      never touches it, and freezing turns any accidental use into a
@@ -419,6 +537,8 @@ let run ?(domains = 1) ?(batch = Batch.capacity) ?(flows = 512)
   let fp_sum = ref 0 in
   let fp_xor = ref 0 in
   let merged = ref 0 in
+  let path_delivered = Array.make paths 0 in
+  let path_owd_sum = Array.make paths 0.0 in
   let gc = Gc.get () in
   Gc.set { gc with Gc.minor_heap_size = 1 lsl 22 };
   (* Start the timed phase from a settled heap: setup garbage (BGP
@@ -428,15 +548,19 @@ let run ?(domains = 1) ?(batch = Batch.capacity) ?(flows = 512)
   (* tango-lint: allow determinism-wallclock — wall time feeds the pps gauge only; fingerprints and merged outputs never include it *)
   let started = Unix.gettimeofday () in
   Shard.run ~lanes:domains
-    ~capacity_of:(fun ~lane -> max 1 (lane_flows.(lane) * generations))
+    ~capacity_of:(fun ~lane -> max 1 lane_sends.(lane))
     ~lane:(fun ~lane ring ->
       lane_main envs.(lane) ring ~flows:flow_slots
-        ~my_flows:lane_flow_idx.(lane) ~generations ~batch_limit:batch)
+        ~my_flows:lane_flow_idx.(lane) ~plan ~uniform ~generations
+        ~batch_limit:batch)
     ~consume:(fun ~lane:_ r ->
       incr merged;
       let h = record_hash r in
       fp_sum := (!fp_sum + h) land max_int;
-      fp_xor := !fp_xor lxor h);
+      fp_xor := !fp_xor lxor h;
+      let p = r.Shard.c in
+      path_delivered.(p) <- path_delivered.(p) + 1;
+      path_owd_sum.(p) <- path_owd_sum.(p) +. r.Shard.v);
   (* tango-lint: allow determinism-wallclock — wall time feeds the pps gauge only; fingerprints and merged outputs never include it *)
   let wall_s = Unix.gettimeofday () -. started in
   Gc.set gc;
@@ -450,6 +574,11 @@ let run ?(domains = 1) ?(batch = Batch.capacity) ?(flows = 512)
   let duplicates = ref 0 in
   let hits = ref 0 in
   let misses = ref 0 in
+  let evictions = ref 0 in
+  let cache_resident = ref 0 in
+  let tracker_active = ref 0 in
+  let tracker_resident = ref 0 in
+  let tracker_peak = ref 0 in
   let major_words = ref 0.0 in
   Array.iter
     (fun env ->
@@ -462,19 +591,31 @@ let run ?(domains = 1) ?(batch = Batch.capacity) ?(flows = 512)
       synthetic := !synthetic + env.l_synthetic;
       hits := !hits + Flow_cache.hits env.l_cache;
       misses := !misses + Flow_cache.misses env.l_cache;
+      evictions := !evictions + Flow_cache.evictions env.l_cache;
+      cache_resident := !cache_resident + Flow_cache.resident env.l_cache;
+      tracker_active := !tracker_active + Seq_tracker.Table.active_keys env.l_track;
+      tracker_resident := !tracker_resident + Seq_tracker.Table.resident env.l_track;
+      tracker_peak := !tracker_peak + Seq_tracker.Table.resident_peak env.l_track;
       major_words := !major_words +. env.l_major_words;
-      Array.iter
-        (fun tr ->
-          lost := !lost + Seq_tracker.lost tr;
-          reordered := !reordered + Seq_tracker.reordered tr;
-          duplicates := !duplicates + Seq_tracker.duplicates tr)
-        env.l_trackers)
+      lost := !lost + Seq_tracker.Table.lost_total env.l_track;
+      reordered := !reordered + Seq_tracker.Table.reordered_total env.l_track;
+      duplicates := !duplicates + Seq_tracker.Table.duplicates_total env.l_track)
     envs;
   Metric.add m_offered !offered;
   Metric.add m_synthetic !synthetic;
   Metric.add m_lost !lost;
   Metric.add m_reordered !reordered;
+  Metric.add m_evicted !evictions;
   Metric.set g_lanes (float_of_int domains);
+  Metric.set_ratio g_hit_rate ~num:!hits ~den:(!hits + !misses);
+  Metric.set g_cache_resident (float_of_int !cache_resident);
+  Metric.set g_tracker_resident (float_of_int !tracker_resident);
+  Metric.set g_tracker_active (float_of_int !tracker_active);
+  let path_owd_ms =
+    Array.init paths (fun p ->
+        if path_delivered.(p) = 0 then 0.0
+        else path_owd_sum.(p) /. float_of_int path_delivered.(p))
+  in
   {
     domains;
     batch;
@@ -488,6 +629,15 @@ let run ?(domains = 1) ?(batch = Batch.capacity) ?(flows = 512)
     duplicates = !duplicates;
     cache_hits = !hits;
     cache_misses = !misses;
+    cache_capacity = (match cache_capacity with Some c -> c | None -> 0);
+    cache_evictions = !evictions;
+    cache_resident = !cache_resident;
+    tracker_active = !tracker_active;
+    tracker_resident = !tracker_resident;
+    tracker_resident_peak = !tracker_peak;
+    tracker_ceiling;
+    path_delivered;
+    path_owd_ms;
     merged = !merged;
     fingerprint_sum = !fp_sum;
     fingerprint_xor = !fp_xor;
@@ -506,6 +656,49 @@ let print_summary ?(timing = true) r =
     "  delivered %d synthetic-drops %d lost %d reordered %d duplicates %d\n"
     r.delivered r.synthetic_drops r.lost r.reordered r.duplicates;
   Printf.printf "  flow-cache hits %d misses %d\n" r.cache_hits r.cache_misses;
+  Printf.printf "  fingerprint %s merged %d\n" (fingerprint r) r.merged;
+  if timing then
+    Printf.printf
+      "  domains %d batch %d wall %.3f s -> %.3f Mpps (%.4f major words/pkt)\n"
+      r.domains r.batch r.wall_s (r.pps /. 1e6) r.major_words_per_packet
+
+(* The E2 policy-quality ratio under load: mean one-way delay on path 1
+   (the BGP-default route in the load topology) over path 0 (the best
+   cooperative route). ~1.3 by construction of the load delay ladder;
+   E16 gates that a million-flow mix still measures it. *)
+let default_over_best r =
+  if Array.length r.path_owd_ms < 2 || r.path_owd_ms.(0) <= 0.0 then 0.0
+  else r.path_owd_ms.(1) /. r.path_owd_ms.(0)
+
+let hit_rate r =
+  let total = r.cache_hits + r.cache_misses in
+  if total = 0 then 0.0 else float_of_int r.cache_hits /. float_of_int total
+
+(* Everything above the timing line is deterministic for a fixed
+   (plan, domains): totals and fingerprints are domain-count-invariant;
+   cache and tracker figures depend on the lane partition but not on
+   scheduling, so repeat runs are byte-identical (the CLI's
+   [load --fingerprint] mode). *)
+let print_load_summary ?(timing = true) plan r =
+  Printf.printf "load: %s\n" (Format.asprintf "%a" Load.pp_summary plan);
+  Printf.printf
+    "  offered %d delivered %d synthetic-drops %d lost %d reordered %d \
+     duplicates %d\n"
+    r.offered r.delivered r.synthetic_drops r.lost r.reordered r.duplicates;
+  Printf.printf
+    "  flow-cache capacity %d hits %d misses %d hit-rate %.4f evictions %d \
+     resident %d\n"
+    r.cache_capacity r.cache_hits r.cache_misses (hit_rate r) r.cache_evictions
+    r.cache_resident;
+  Printf.printf "  trackers active %d resident %d peak %d ceiling %d\n"
+    r.tracker_active r.tracker_resident r.tracker_resident_peak
+    r.tracker_ceiling;
+  Array.iteri
+    (fun p n ->
+      Printf.printf "  path %d delivered %d mean-owd %.4f ms\n" p n
+        r.path_owd_ms.(p))
+    r.path_delivered;
+  Printf.printf "  policy default/best owd ratio %.4f\n" (default_over_best r);
   Printf.printf "  fingerprint %s merged %d\n" (fingerprint r) r.merged;
   if timing then
     Printf.printf

@@ -14,7 +14,7 @@ type result = {
   batch : int;  (** Flush threshold used, in [1, Batch.capacity]. *)
   flows : int;
   generations : int;
-  offered : int;  (** flows x generations. *)
+  offered : int;  (** Packets put on the wire (scheduled sends). *)
   delivered : int;
   synthetic_drops : int;  (** Deterministic pre-fabric loss. *)
   lost : int;  (** Summed per-flow tracker losses. *)
@@ -22,6 +22,17 @@ type result = {
   duplicates : int;
   cache_hits : int;
   cache_misses : int;
+  cache_capacity : int;  (** Per-lane flow-cache bound; 0 = unbounded. *)
+  cache_evictions : int;  (** Clock-hand victims, summed over lanes. *)
+  cache_resident : int;  (** Cached entries at quiesce, summed over lanes. *)
+  tracker_active : int;  (** Trackers that saw traffic, summed over lanes. *)
+  tracker_resident : int;  (** Provisional-missing entries at quiesce. *)
+  tracker_resident_peak : int;
+      (** Sum of per-lane resident high-water marks — an upper bound on
+          the true process-wide peak. *)
+  tracker_ceiling : int;  (** Per-lane advisory bound; 0 = none. *)
+  path_delivered : int array;  (** Deliveries per path id. *)
+  path_owd_ms : float array;  (** Mean one-way delay per path id. *)
   merged : int;  (** Records the reducer consumed (= delivered). *)
   fingerprint_sum : int;
   fingerprint_xor : int;
@@ -41,6 +52,9 @@ val run :
   ?flows:int ->
   ?generations:int ->
   ?seed:int ->
+  ?plan:Tango_workload.Load.plan ->
+  ?cache_capacity:int ->
+  ?tracker_ceiling:int ->
   unit ->
   result
 (** Defaults: 1 domain, batch 64, 512 flows, 2000 generations, seed 42.
@@ -49,7 +63,15 @@ val run :
     parallel and reduces. Raises [Failure] if any packet left the
     batched direct path (the pipeline's zero-fallback invariant), and
     [Invalid_argument] for out-of-range parameters ([batch] must lie in
-    [1, 64]). *)
+    [1, 64]).
+
+    [plan] swaps the uniform full-mesh workload for a
+    {!Tango_workload.Load} schedule ([flows] and [generations] are then
+    taken from the plan) over a tighter path-delay ladder (1.0–1.9 ms)
+    whose default-over-best ratio reproduces E2's ~30% gap.
+    [cache_capacity] bounds each lane's flow cache (clock-hand
+    eviction); [tracker_ceiling] is the per-lane advisory bound on
+    resident tracker state. *)
 
 val fingerprint : result -> string
 (** Printable order-insensitive digest of every delivered packet record
@@ -61,3 +83,19 @@ val print_summary : ?timing:bool -> result -> unit
     seeded workload; [timing] (default true) appends the
     wall-clock/domains/pps line — pass [false] for byte-comparable
     output (the CLI's [--fingerprint] mode). *)
+
+val default_over_best : result -> float
+(** Mean one-way delay on path 1 (the BGP-default route of the load
+    topology) over path 0 (the best cooperative route) — the E2
+    policy-quality ratio as measured under load; [0.] when path 0 saw
+    no traffic. *)
+
+val hit_rate : result -> float
+(** Flow-cache [hits / (hits + misses)]; [0.] before any lookup. *)
+
+val print_load_summary : ?timing:bool -> Tango_workload.Load.plan -> result -> unit
+(** Load-engine report: workload composition, delivery/loss totals,
+    cache and tracker residency, per-path delivery + mean one-way
+    delay, the policy-quality ratio, and the fingerprint. Everything
+    above the [timing] line is deterministic for a fixed
+    (plan, domains). *)

@@ -4,7 +4,28 @@
    the flow hits an O(1) int-keyed lookup. Invalidation is O(1) too —
    bumping the generation strands every stored entry, and stale slots
    are overwritten in place on their next miss, so flipping the
-   preferred path never walks the table. *)
+   preferred path never walks the table.
+
+   Two residency modes share the packed-entry format:
+
+   - Unbounded (the default, and the only mode before the million-flow
+     engine): the table maps flow hash -> packed entry and grows with
+     the flow population.
+   - Bounded ([capacity] given): the table maps flow hash -> slot in
+     flat arrays of [capacity] entries and a clock hand evicts when the
+     slots fill. The hand is generation-aware: a slot stamped with an
+     older generation is already worthless (a lookup would miss anyway),
+     so it is reclaimed on sight, while fresh entries get the classic
+     one-bit second chance. A hit stays zero-allocation: one Hashtbl
+     probe, one array load, one ref-bit store. *)
+
+module Metric = Tango_obs.Metric
+
+(* Process-wide eviction pressure, aggregated across caches (one cache
+   per dataplane lane; see DESIGN.md §14). *)
+let m_evictions =
+  Metric.counter ~help:"Bounded flow-cache entries evicted by the clock hand"
+    "flow_cache_evictions_total"
 
 (* Entries pack (generation, path) into one int so a hit allocates
    nothing: generation lsl path_bits lor path. *)
@@ -28,42 +49,145 @@ let max_generation = gen_mask
 
 type t = {
   table : (int, int) Hashtbl.t;
+      (* unbounded: flow hash -> packed entry; bounded: flow hash -> slot *)
+  capacity : int;  (* 0 = unbounded *)
+  slot_key : int array;  (* bounded only; length = capacity *)
+  slot_packed : int array;
+  slot_ref : Bytes.t;  (* clock-hand second-chance bits *)
+  mutable hand : int;
+  mutable filled : int;  (* slots in use; resets only on generation wrap *)
+  mutable evictions : int;
   mutable generation : int;
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
 }
 
-let create ?(expected_flows = 1024) () =
-  {
-    table = Hashtbl.create expected_flows;
-    generation = 0;
-    hits = 0;
-    misses = 0;
-    invalidations = 0;
-  }
+let no_slots = [||]
+
+let no_bits = Bytes.create 0
+
+let create ?(expected_flows = 1024) ?capacity () =
+  match capacity with
+  | None ->
+      {
+        table = Hashtbl.create expected_flows;
+        capacity = 0;
+        slot_key = no_slots;
+        slot_packed = no_slots;
+        slot_ref = no_bits;
+        hand = 0;
+        filled = 0;
+        evictions = 0;
+        generation = 0;
+        hits = 0;
+        misses = 0;
+        invalidations = 0;
+      }
+  | Some c ->
+      if c <= 0 then
+        Err.invalid "Flow_cache.create: capacity %d must be positive" c;
+      {
+        table = Hashtbl.create c;
+        capacity = c;
+        slot_key = Array.make c 0;
+        slot_packed = Array.make c 0;
+        slot_ref = Bytes.make c '\000';
+        hand = 0;
+        filled = 0;
+        evictions = 0;
+        generation = 0;
+        hits = 0;
+        misses = 0;
+        invalidations = 0;
+      }
 
 let[@hot] find t ~flow_hash =
-  match Hashtbl.find_opt t.table flow_hash with
-  | Some packed when packed lsr path_bits = t.generation ->
-      t.hits <- t.hits + 1;
-      Some (packed land max_path)
-  | Some _ | None ->
-      t.misses <- t.misses + 1;
-      None
+  if t.capacity = 0 then
+    match Hashtbl.find_opt t.table flow_hash with
+    | Some packed when packed lsr path_bits = t.generation ->
+        t.hits <- t.hits + 1;
+        Some (packed land max_path)
+    | Some _ | None ->
+        t.misses <- t.misses + 1;
+        None
+  else
+    match Hashtbl.find_opt t.table flow_hash with
+    | Some slot ->
+        let packed = Array.unsafe_get t.slot_packed slot in
+        if packed lsr path_bits = t.generation then begin
+          t.hits <- t.hits + 1;
+          Bytes.unsafe_set t.slot_ref slot '\001';
+          Some (packed land max_path)
+        end
+        else begin
+          t.misses <- t.misses + 1;
+          None
+        end
+    | None ->
+        t.misses <- t.misses + 1;
+        None
+
+(* Advance the clock hand to the next reclaimable slot. Stale-generation
+   slots are reclaimed on sight (their entry can never hit again until
+   overwritten); fresh slots spend their second-chance bit first. Worst
+   case one full sweep clears every ref bit and the next visit evicts,
+   so the [steps] guard is belt-and-braces termination, never the common
+   exit. *)
+let rec clock_sweep t steps =
+  let s = t.hand in
+  t.hand <- (if s + 1 = t.capacity then 0 else s + 1);
+  if Array.unsafe_get t.slot_packed s lsr path_bits <> t.generation then s
+  else if Bytes.unsafe_get t.slot_ref s <> '\000' && steps < 2 * t.capacity
+  then begin
+    Bytes.unsafe_set t.slot_ref s '\000';
+    clock_sweep t (steps + 1)
+  end
+  else s
 
 let[@hot] store t ~flow_hash path =
   if path < 0 || path > max_path then
     Err.invalid "Flow_cache.store: path %d outside [0, %d]" path max_path;
-  Hashtbl.replace t.table flow_hash ((t.generation lsl path_bits) lor path)
+  let packed = (t.generation lsl path_bits) lor path in
+  if t.capacity = 0 then Hashtbl.replace t.table flow_hash packed
+  else
+    match Hashtbl.find_opt t.table flow_hash with
+    | Some slot ->
+        Array.unsafe_set t.slot_packed slot packed;
+        Bytes.unsafe_set t.slot_ref slot '\001'
+    | None ->
+        let slot =
+          if t.filled < t.capacity then begin
+            let s = t.filled in
+            t.filled <- s + 1;
+            s
+          end
+          else begin
+            let s = clock_sweep t 0 in
+            Hashtbl.remove t.table (Array.unsafe_get t.slot_key s);
+            t.evictions <- t.evictions + 1;
+            Metric.incr m_evictions;
+            s
+          end
+        in
+        Array.unsafe_set t.slot_key slot flow_hash;
+        Array.unsafe_set t.slot_packed slot packed;
+        Bytes.unsafe_set t.slot_ref slot '\001';
+        Hashtbl.add t.table flow_hash slot
 
 let invalidate t =
   let next = (t.generation + 1) land gen_mask in
   (* Wraparound: the new stamp value collides with stamps from the
      previous trip around, so drop the stored entries outright — a
      once-per-2^54-invalidations O(n) cost that buys an exact "a stale
-     generation is never served" guarantee. *)
-  if next = 0 then Hashtbl.reset t.table;
+     generation is never served" guarantee. In bounded mode the slot
+     arrays are implicitly cleared too: no table entry means no slot is
+     ever read, and the fill pointer restarts from zero. *)
+  if next = 0 then begin
+    Hashtbl.reset t.table;
+    t.filled <- 0;
+    t.hand <- 0
+  end;
   t.generation <- next;
   t.invalidations <- t.invalidations + 1
 
@@ -81,3 +205,13 @@ let misses t = t.misses
 let invalidations t = t.invalidations
 
 let flows t = Hashtbl.length t.table
+
+let capacity t = t.capacity
+
+let resident t = Hashtbl.length t.table
+
+let evictions t = t.evictions
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total

@@ -31,6 +31,9 @@ let k_duplicate = Trace.kind "seq.duplicate"
 type t = {
   mutable next_expected : int;
   mutable missing : Int_set.t;
+  mutable provisional : int;
+      (* Int_set.cardinal missing, maintained incrementally so resident
+         accounting over 10^6 trackers costs one load per tracker *)
   mutable confirmed_lost : int;  (* pruned from [missing] by confirm_below *)
   mutable received : int;
   mutable reordered : int;
@@ -44,6 +47,7 @@ let create () =
   {
     next_expected = 0;
     missing = Int_set.empty;
+    provisional = 0;
     confirmed_lost = 0;
     received = 0;
     reordered = 0;
@@ -64,6 +68,7 @@ let[@hot] observe ?(now_s = 0.0) t seq64 =
     (* Every number skipped over becomes provisionally missing. *)
     for skipped = t.next_expected to seq - 1 do
       t.missing <- Int_set.add skipped t.missing;
+      t.provisional <- t.provisional + 1;
       Metric.incr m_loss;
       Trace.record Trace.default ~now:now_s ~kind:k_loss skipped 0;
       bump_recent t 1.0
@@ -74,6 +79,7 @@ let[@hot] observe ?(now_s = 0.0) t seq64 =
   end
   else if Int_set.mem seq t.missing then begin
     t.missing <- Int_set.remove seq t.missing;
+    t.provisional <- t.provisional - 1;
     t.received <- t.received + 1;
     t.reordered <- t.reordered + 1;
     Metric.incr m_reorder;
@@ -108,14 +114,17 @@ let confirm_below t bound64 =
     (* [split] removes [bound] itself from both halves; it is not below
        the bound, so it stays provisional. *)
     let fresh = if present then Int_set.add bound fresh else fresh in
-    if not (Int_set.is_empty stale) then begin
-      t.confirmed_lost <- t.confirmed_lost + Int_set.cardinal stale;
-      t.missing <- fresh
-    end
-    else t.missing <- fresh
+    let n_stale = Int_set.cardinal stale in
+    if n_stale > 0 then begin
+      t.confirmed_lost <- t.confirmed_lost + n_stale;
+      t.provisional <- t.provisional - n_stale
+    end;
+    t.missing <- fresh
   end
 
-let lost t = t.confirmed_lost + Int_set.cardinal t.missing
+let provisional t = t.provisional
+
+let lost t = t.confirmed_lost + t.provisional
 
 let reordered t = t.reordered
 
@@ -130,3 +139,85 @@ let loss_rate t =
 let pp ppf t =
   Format.fprintf ppf "rx=%d lost=%d reordered=%d dup=%d" t.received (lost t)
     t.reordered t.duplicates
+
+(* A dense keyed population of trackers with memory accounting — the
+   10^6-key regime of the million-flow engine, where "how much per-flow
+   state is resident right now" is itself an operational signal. The
+   table maintains the aggregate provisional-entry count incrementally
+   (O(1) per observe thanks to [provisional]) so the load engine can
+   gate a run's resident-state peak against a configured ceiling
+   without ever walking a million trackers. *)
+module Table = struct
+  type tracker = t
+
+  type nonrec t = {
+    trackers : tracker array;
+    ceiling : int;  (* advisory bound on resident provisional entries *)
+    mutable resident : int;  (* Σ provisional over all trackers *)
+    mutable resident_peak : int;
+    mutable active : int;  (* trackers that have observed ≥ 1 packet *)
+  }
+
+  let create ?(ceiling = 0) ~keys () =
+    if keys < 0 then Err.invalid "Seq_tracker.Table.create: keys %d negative" keys;
+    if ceiling < 0 then
+      Err.invalid "Seq_tracker.Table.create: ceiling %d negative" ceiling;
+    {
+      trackers = Array.init keys (fun _ -> create ());
+      ceiling;
+      resident = 0;
+      resident_peak = 0;
+      active = 0;
+    }
+
+  let keys tbl = Array.length tbl.trackers
+
+  let tracker tbl key = tbl.trackers.(key)
+
+  (* [received = 0] characterizes an untouched tracker: the very first
+     observe always lands in the in-order branch (next_expected is 0 and
+     sequences are non-negative), so it cannot register only a duplicate
+     or only provisional losses. *)
+  let[@hot] observe ?now_s tbl ~key seq64 =
+    let tr = Array.unsafe_get tbl.trackers key in
+    let untouched = tr.received = 0 in
+    let before = tr.provisional in
+    observe ?now_s tr seq64;
+    if untouched then tbl.active <- tbl.active + 1;
+    let d = tr.provisional - before in
+    if d <> 0 then begin
+      tbl.resident <- tbl.resident + d;
+      if tbl.resident > tbl.resident_peak then tbl.resident_peak <- tbl.resident
+    end
+
+  let[@hot] confirm_below tbl ~key bound64 =
+    let tr = Array.unsafe_get tbl.trackers key in
+    let before = tr.provisional in
+    confirm_below tr bound64;
+    tbl.resident <- tbl.resident + (tr.provisional - before)
+
+  let prune tbl ~bound_of =
+    for key = 0 to Array.length tbl.trackers - 1 do
+      confirm_below tbl ~key (bound_of key)
+    done
+
+  let active_keys tbl = tbl.active
+
+  let resident tbl = tbl.resident
+
+  let resident_peak tbl = tbl.resident_peak
+
+  let ceiling tbl = tbl.ceiling
+
+  let within_ceiling tbl = tbl.ceiling = 0 || tbl.resident_peak <= tbl.ceiling
+
+  let total f tbl = Array.fold_left (fun acc tr -> acc + f tr) 0 tbl.trackers
+
+  let received_total tbl = total received tbl
+
+  let lost_total tbl = total lost tbl
+
+  let reordered_total tbl = total reordered tbl
+
+  let duplicates_total tbl = total duplicates tbl
+end

@@ -31,6 +31,11 @@ val confirm_below : t -> int64 -> unit
 val reordered : t -> int
 val duplicates : t -> int
 
+val provisional : t -> int
+(** Sequences currently held in the provisional-missing set — the
+    tracker's resident state. Maintained incrementally, so reading it is
+    one load even at 10^6 trackers. *)
+
 val loss_rate : t -> float
 (** [lost / (received + lost)]; [0.] before any traffic. *)
 
@@ -41,3 +46,59 @@ val recent_loss_rate : t -> float
     policies. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** A dense keyed population of trackers with O(1) aggregate accounting
+    of active keys and resident provisional state — the structure the
+    million-flow load engine keeps per dataplane lane (DESIGN.md §14).
+    The [ceiling] is an advisory bound checked against the resident
+    peak: callers keep under it by pruning with {!confirm_below} as
+    flows advance, and {!within_ceiling} reports whether they
+    succeeded. *)
+module Table : sig
+  type tracker = t
+
+  type t
+
+  val create : ?ceiling:int -> keys:int -> unit -> t
+  (** A table of [keys] fresh trackers. [ceiling] bounds (advisorily)
+      the total provisional entries; [0] (default) means unbounded.
+      Raises {!Err.Invalid} when either is negative. *)
+
+  val keys : t -> int
+
+  val tracker : t -> int -> tracker
+  (** Direct access to one tracker (reads only — feeding it sequences
+      directly would bypass the table's accounting). *)
+
+  val observe : ?now_s:float -> t -> key:int -> int64 -> unit
+  (** {!Seq_tracker.observe} on the keyed tracker, updating the active
+      and resident aggregates. *)
+
+  val confirm_below : t -> key:int -> int64 -> unit
+  (** {!Seq_tracker.confirm_below} on the keyed tracker, crediting the
+      pruned entries back to the resident aggregate. *)
+
+  val prune : t -> bound_of:(int -> int64) -> unit
+  (** {!confirm_below} every key at its own bound — the full-table sweep
+      a memory-pressure response would run. *)
+
+  val active_keys : t -> int
+  (** Trackers that have observed at least one packet. *)
+
+  val resident : t -> int
+  (** Total provisional-missing entries across all trackers now. *)
+
+  val resident_peak : t -> int
+  (** High-water mark of {!resident} over the table's lifetime. *)
+
+  val ceiling : t -> int
+
+  val within_ceiling : t -> bool
+  (** [true] iff no ceiling is set or the resident peak stayed at or
+      under it. *)
+
+  val received_total : t -> int
+  val lost_total : t -> int
+  val reordered_total : t -> int
+  val duplicates_total : t -> int
+end

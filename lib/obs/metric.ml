@@ -172,6 +172,13 @@ let[@hot] add c n = if state.on then state.counters.(c) <- state.counters.(c) + 
 
 let[@hot] set g v = if state.on then Float.Array.set state.gauges g v
 
+(* Ratio gauges (hit rates, occupancy fractions) share a guard so every
+   publisher doesn't reinvent the zero-denominator case. *)
+let[@hot] set_ratio g ~num ~den =
+  if state.on then
+    Float.Array.set state.gauges g
+      (if den = 0 then 0.0 else float_of_int num /. float_of_int den)
+
 (* ceil(log2 v) straight from the IEEE-754 exponent field: O(1), no
    lookup over the bucket bounds, and the Int64 intermediates stay
    unboxed in native code. Subnormals and non-positive values clamp to

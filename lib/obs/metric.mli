@@ -52,6 +52,10 @@ val add : counter -> int -> unit
 
 val set : gauge -> float -> unit
 
+val set_ratio : gauge -> num:int -> den:int -> unit
+(** [set] the gauge to [num /. den], or [0.] when [den] is zero — the
+    shared guard for hit-rate and occupancy-fraction gauges. *)
+
 val observe : histogram -> float -> unit
 
 (** {1 Reading (cold path: tests and exporters)} *)

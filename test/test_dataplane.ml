@@ -451,13 +451,18 @@ let test_flow_cache_generation_wraparound () =
 
 (* Property: whatever generation the cache sits at (including the wrap
    edge), a decision stored before [invalidate] is never served after
-   it. *)
+   it. PR 9 extends the property over bounded caches: capacity 0 means
+   unbounded, anything else turns the clock-hand evictor on — the
+   stale-generation guarantee must not depend on the mode. *)
 let flow_cache_qcheck_stale_never_served =
   QCheck.Test.make ~name:"stale generation never serves a cached decision"
     ~count:500
-    QCheck.(pair (int_bound 1_000_000) (int_bound 200))
-    (fun (gen_offset, flow_hash) ->
-      let c = Flow_cache.create () in
+    QCheck.(triple (int_bound 1_000_000) (int_bound 200) (int_bound 8))
+    (fun (gen_offset, flow_hash, cap) ->
+      let c =
+        if cap = 0 then Flow_cache.create ()
+        else Flow_cache.create ~capacity:cap ()
+      in
       (* Land anywhere in the stamp space, biased onto the wrap edge
          half the time. *)
       let g =
@@ -468,6 +473,140 @@ let flow_cache_qcheck_stale_never_served =
       Flow_cache.store c ~flow_hash (flow_hash land Flow_cache.max_path);
       Flow_cache.invalidate c;
       Flow_cache.find c ~flow_hash = None)
+
+(* ------------------------------------------------------------------ *)
+(* Flow cache: bounded mode (clock-hand eviction)                      *)
+
+let test_flow_cache_capacity_enforced () =
+  let cap = 4 in
+  let c = Flow_cache.create ~capacity:cap () in
+  Alcotest.(check int) "capacity visible" cap (Flow_cache.capacity c);
+  for k = 0 to 9 do
+    Flow_cache.store c ~flow_hash:k (k land Flow_cache.max_path)
+  done;
+  Alcotest.(check bool) "resident bounded" true (Flow_cache.resident c <= cap);
+  Alcotest.(check int) "evictions account for the overflow" 6
+    (Flow_cache.evictions c);
+  (* The most recent insert is always resident. *)
+  Alcotest.(check (option int)) "latest key served" (Some 9)
+    (Flow_cache.find c ~flow_hash:9);
+  (* Unbounded caches never evict. *)
+  let u = Flow_cache.create () in
+  for k = 0 to 9 do
+    Flow_cache.store u ~flow_hash:k 1
+  done;
+  Alcotest.(check int) "unbounded capacity is 0" 0 (Flow_cache.capacity u);
+  Alcotest.(check int) "unbounded never evicts" 0 (Flow_cache.evictions u)
+
+(* Second chance: inserts set the ref bit, so the first overflow sweeps
+   one full round (clearing every bit) and evicts the oldest slot,
+   leaving the survivors' bits clear. From that state a hit re-arms one
+   key's bit and the next overflow must skip it and take the cold
+   neighbour instead — run the same trace without the hit as a control
+   to pin the counterfactual victim. *)
+let test_flow_cache_second_chance () =
+  let replay ~hit =
+    let c = Flow_cache.create ~capacity:3 () in
+    Flow_cache.store c ~flow_hash:100 1;
+    Flow_cache.store c ~flow_hash:200 2;
+    Flow_cache.store c ~flow_hash:300 3;
+    (* Overflow #1 evicts the oldest (100) and clears 200/300's bits. *)
+    Flow_cache.store c ~flow_hash:400 4;
+    if hit then
+      Alcotest.(check (option int)) "re-armed key hit" (Some 2)
+        (Flow_cache.find c ~flow_hash:200);
+    Flow_cache.store c ~flow_hash:500 5;
+    c
+  in
+  let c = replay ~hit:true in
+  Alcotest.(check (option int)) "hot key survives the sweep" (Some 2)
+    (Flow_cache.find c ~flow_hash:200);
+  Alcotest.(check (option int)) "cold neighbour evicted instead" None
+    (Flow_cache.find c ~flow_hash:300);
+  Alcotest.(check int) "two evictions" 2 (Flow_cache.evictions c);
+  (* Control: without the hit the hand takes 200 first. *)
+  let c0 = replay ~hit:false in
+  Alcotest.(check (option int)) "unhit key is the victim" None
+    (Flow_cache.find c0 ~flow_hash:200);
+  Alcotest.(check (option int)) "neighbour survives" (Some 3)
+    (Flow_cache.find c0 ~flow_hash:300)
+
+(* Differential property: with capacity >= the number of distinct keys a
+   trace can touch, the bounded cache never evicts and is observationally
+   identical to the unbounded one — same find results, same hit/miss
+   counters — across arbitrary store/find/invalidate interleavings. *)
+let flow_cache_qcheck_bounded_matches_unbounded =
+  QCheck.Test.make
+    ~name:"capacity >= distinct keys is observationally unbounded" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 120) (pair (int_bound 31) (int_bound 20)))
+    (fun ops ->
+      let b = Flow_cache.create ~capacity:32 () in
+      let u = Flow_cache.create () in
+      let agree = ref true in
+      List.iter
+        (fun (key, op) ->
+          if op < 8 then begin
+            (* store *)
+            let path = (key * 7) land Flow_cache.max_path in
+            Flow_cache.store b ~flow_hash:key path;
+            Flow_cache.store u ~flow_hash:key path
+          end
+          else if op < 20 then begin
+            if Flow_cache.find b ~flow_hash:key <> Flow_cache.find u ~flow_hash:key
+            then agree := false
+          end
+          else begin
+            Flow_cache.invalidate b;
+            Flow_cache.invalidate u
+          end)
+        ops;
+      !agree
+      && Flow_cache.evictions b = 0
+      && Flow_cache.hits b = Flow_cache.hits u
+      && Flow_cache.misses b = Flow_cache.misses u
+      && Flow_cache.resident b = Flow_cache.resident u)
+
+(* Hit-rate is monotone in capacity over a fixed skewed trace: more room
+   can only turn misses into hits. (True for this deterministic replay;
+   clock caches admit Belady anomalies on adversarial traces, which is
+   why the trace is pinned.) *)
+let test_flow_cache_hit_rate_monotone () =
+  let trace =
+    (* Skewed LCG trace over 64 keys: low keys dominate, like the
+       heavy-tailed flow mix. *)
+    let state = ref 12345 in
+    Array.init 4_000 (fun _ ->
+        state := ((!state * 1103515245) + 12) land 0x3FFFFFFF;
+        let u = !state mod 64 and v = (!state lsr 10) mod 64 in
+        min u v)
+  in
+  let hits_at capacity =
+    let c = Flow_cache.create ~capacity () in
+    Array.iter
+      (fun key ->
+        match Flow_cache.find c ~flow_hash:key with
+        | Some _ -> ()
+        | None -> Flow_cache.store c ~flow_hash:key 1)
+      trace;
+    Flow_cache.hits c
+  in
+  let caps = [ 1; 2; 4; 8; 16; 32; 64; 128 ] in
+  let series = List.map hits_at caps in
+  List.iteri
+    (fun i h ->
+      if i > 0 && h < List.nth series (i - 1) then
+        Alcotest.failf "hit count fell from %d to %d at capacity %d"
+          (List.nth series (i - 1)) h (List.nth caps i))
+    series;
+  (* Capacity >= keyspace replays with only compulsory misses. *)
+  let distinct =
+    let seen = Hashtbl.create 64 in
+    Array.iter (fun k -> Hashtbl.replace seen k ()) trace;
+    Hashtbl.length seen
+  in
+  Alcotest.(check int) "full capacity only compulsory misses"
+    (Array.length trace - distinct)
+    (List.nth series (List.length series - 1))
 
 let () =
   let tc = Alcotest.test_case in
@@ -519,5 +658,10 @@ let () =
           tc "path bounds" `Quick test_flow_cache_path_bounds;
           tc "generation wraparound" `Quick test_flow_cache_generation_wraparound;
           qc flow_cache_qcheck_stale_never_served;
+          tc "bounded capacity enforced" `Quick test_flow_cache_capacity_enforced;
+          tc "second chance" `Quick test_flow_cache_second_chance;
+          qc flow_cache_qcheck_bounded_matches_unbounded;
+          tc "hit-rate monotone in capacity" `Quick
+            test_flow_cache_hit_rate_monotone;
         ] );
     ]

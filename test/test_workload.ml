@@ -234,6 +234,177 @@ let inorder_qcheck_all_released =
         arr;
       !released = List.init (n + 1) Fun.id && Inorder.pending io = 0)
 
+(* ------------------------------------------------------------------ *)
+(* Load: the million-flow workload engine (DESIGN.md §14)              *)
+
+(* Truncated-Pareto maximum-likelihood tail estimate, solved by
+   bisection on the score function: for pdf
+   f(x) = a lo^a x^-(a+1) / (1 - (lo/hi)^a) the derivative of the
+   log-likelihood in [a] is
+   n/a - sum ln(x/lo) + n b^a ln b / (1 - b^a),  b = lo/hi. *)
+let pareto_mle ~lo ~hi samples =
+  let n = float_of_int (Array.length samples) in
+  let sum_ln = Array.fold_left (fun s x -> s +. log (x /. lo)) 0.0 samples in
+  let b = lo /. hi in
+  let score a =
+    let ba = b ** a in
+    (n /. a) -. sum_ln +. (n *. ba *. log b /. (1.0 -. ba))
+  in
+  let rec bisect a0 a1 i =
+    let m = (a0 +. a1) /. 2.0 in
+    if i = 0 then m else if score m > 0.0 then bisect m a1 (i - 1) else bisect a0 m (i - 1)
+  in
+  bisect 0.2 5.0 60
+
+let test_pareto_tail_exponent_ci () =
+  let alpha = 1.3 and lo = 8.0 and hi = 2000.0 in
+  let rng = Rng.create ~seed:42 in
+  let n = 20_000 in
+  let samples = Array.init n (fun _ -> Load.bounded_pareto rng ~alpha ~lo ~hi) in
+  Array.iter
+    (fun x ->
+      if x < lo || x > hi then Alcotest.failf "sample %f outside [%g, %g]" x lo hi)
+    samples;
+  (* The MLE's asymptotic standard error is ~alpha/sqrt(n) ~ 0.009 here;
+     +-0.05 is a generous >4-sigma band. *)
+  let a_hat = pareto_mle ~lo ~hi samples in
+  if Float.abs (a_hat -. alpha) > 0.05 then
+    Alcotest.failf "tail exponent MLE %.4f outside %.2f +- 0.05" a_hat alpha
+
+let pareto_qcheck_bounds_and_median =
+  QCheck.Test.make ~name:"bounded-Pareto draws respect bounds and median"
+    ~count:60
+    QCheck.(pair (int_bound 10_000) (int_range 9 22))
+    (fun (seed, alpha10) ->
+      let alpha = float_of_int alpha10 /. 10.0 in
+      let lo = 8.0 and hi = 2000.0 in
+      let rng = Rng.create ~seed in
+      let n = 2_000 in
+      let samples = Array.init n (fun _ -> Load.bounded_pareto rng ~alpha ~lo ~hi) in
+      let in_bounds = Array.for_all (fun x -> x >= lo && x <= hi) samples in
+      (* Inverse CDF at 1/2: the empirical mass below it is binomial
+         (n, 1/2); 4 sigma = 4 * sqrt(1/4n). *)
+      let b = (lo /. hi) ** alpha in
+      let median = lo *. ((1.0 -. (0.5 *. (1.0 -. b))) ** (-1.0 /. alpha)) in
+      let below =
+        Array.fold_left (fun c x -> if x <= median then c + 1 else c) 0 samples
+      in
+      let dev = Float.abs ((float_of_int below /. float_of_int n) -. 0.5) in
+      in_bounds && dev <= 4.0 *. sqrt (0.25 /. float_of_int n))
+
+let diurnal_qcheck_mass_conserved =
+  QCheck.Test.make ~name:"diurnal weights conserve total arrival mass"
+    ~count:100
+    QCheck.(triple (int_range 16 2048) (int_range 1 6) (int_bound 89))
+    (fun (gens, waves, depth100) ->
+      let waves = float_of_int waves in
+      let depth = float_of_int depth100 /. 100.0 in
+      let sum = ref 0.0 in
+      let positive = ref true in
+      for g = 0 to gens - 1 do
+        let w = Load.diurnal_weight ~generations:gens ~waves ~depth g in
+        if w <= 0.0 then positive := false;
+        sum := !sum +. w
+      done;
+      let cum = Load.diurnal_cumulative ~generations:gens ~waves ~depth in
+      let monotone = ref true in
+      Array.iteri
+        (fun i c -> if i > 0 && c < cum.(i - 1) then monotone := false)
+        cum;
+      !positive && !monotone
+      && Array.length cum = gens
+      && Float.abs (!sum -. float_of_int gens) < 1e-6 *. float_of_int gens
+      && Float.abs (cum.(gens - 1) -. !sum) < 1e-6 *. float_of_int gens)
+
+let load_qcheck_same_seed_identical =
+  QCheck.Test.make ~name:"same seed builds a byte-identical schedule"
+    ~count:40
+    QCheck.(pair (int_range 100 2_000) (int_bound 10_000))
+    (fun (flows, seed) ->
+      let cfg = Load.default_config ~flows ~generations:64 ~seed () in
+      let p1 = Load.plan cfg and p2 = Load.plan cfg in
+      (* The digest plus a direct sample of the schedule itself. *)
+      let spot = ref true in
+      for f = 0 to min 40 flows - 1 do
+        for g = 0 to 63 do
+          if
+            Load.sends_at p1 ~flow:f ~gen:g <> Load.sends_at p2 ~flow:f ~gen:g
+          then spot := false
+        done
+      done;
+      String.equal (Load.fingerprint p1) (Load.fingerprint p2)
+      && Load.total_packets p1 = Load.total_packets p2
+      && !spot)
+
+let test_load_seed_changes_schedule () =
+  let p seed =
+    Load.plan (Load.default_config ~flows:2_000 ~generations:64 ~seed ())
+  in
+  Alcotest.(check bool) "seeds 1 and 2 differ" false
+    (String.equal (Load.fingerprint (p 1)) (Load.fingerprint (p 2)))
+
+let load_qcheck_class_mix =
+  QCheck.Test.make ~name:"class mix lands within a 4-sigma binomial CI"
+    ~count:20
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let flows = 20_000 in
+      let p = Load.plan (Load.default_config ~flows ~generations:32 ~seed ()) in
+      let rpc, bulk, video = Load.class_counts p in
+      let within share count =
+        let n = float_of_int flows in
+        let sigma = sqrt (share *. (1.0 -. share) /. n) in
+        Float.abs ((float_of_int count /. n) -. share) <= 4.0 *. sigma
+      in
+      rpc + bulk + video = flows
+      && within 0.5 rpc && within 0.3 bulk && within 0.2 video)
+
+let load_qcheck_schedule_accounting =
+  QCheck.Test.make
+    ~name:"gen_sends/total_packets/max_gen_sends/seq_index agree with sends_at"
+    ~count:30
+    QCheck.(pair (int_range 50 500) (int_bound 10_000))
+    (fun (flows, seed) ->
+      let gens = 96 in
+      let p = Load.plan (Load.default_config ~flows ~generations:gens ~seed ()) in
+      let ok = ref true in
+      let total = ref 0 and peak = ref 0 in
+      for g = 0 to gens - 1 do
+        let c = ref 0 in
+        for f = 0 to flows - 1 do
+          if Load.sends_at p ~flow:f ~gen:g then incr c
+        done;
+        if Load.gen_sends p g <> !c then ok := false;
+        total := !total + !c;
+        if !c > !peak then peak := !c
+      done;
+      (* Tunnel sequences: each flow numbers its sends 0, 1, 2, ... in
+         generation order, with no gaps — the invariant Seq_tracker's
+         loss accounting rests on. *)
+      for f = 0 to flows - 1 do
+        let k = ref 0 in
+        for g = 0 to gens - 1 do
+          if Load.sends_at p ~flow:f ~gen:g then begin
+            if Load.seq_index p ~flow:f ~gen:g <> !k then ok := false;
+            incr k
+          end
+        done;
+        if !k > Load.flow_pkts p f then ok := false
+      done;
+      !ok && !total = Load.total_packets p && !peak = Load.max_gen_sends p)
+
+let test_load_uniform_matches_e14_blast () =
+  let p = Load.uniform ~flows:16 ~generations:10 in
+  Alcotest.(check int) "every flow every generation" 160 (Load.total_packets p);
+  Alcotest.(check int) "peak generation" 16 (Load.max_gen_sends p);
+  for f = 0 to 15 do
+    for g = 0 to 9 do
+      Alcotest.(check bool) "sends" true (Load.sends_at p ~flow:f ~gen:g);
+      Alcotest.(check int) "seq is the generation" g
+        (Load.seq_index p ~flow:f ~gen:g)
+    done
+  done
+
 let () =
   let tc = Alcotest.test_case in
   let qc = QCheck_alcotest.to_alcotest in
@@ -270,5 +441,16 @@ let () =
           tc "head of line" `Quick test_inorder_head_of_line;
           tc "duplicates" `Quick test_inorder_duplicates_ignored;
           qc inorder_qcheck_all_released;
+        ] );
+      ( "load",
+        [
+          tc "pareto tail exponent MLE" `Slow test_pareto_tail_exponent_ci;
+          qc pareto_qcheck_bounds_and_median;
+          qc diurnal_qcheck_mass_conserved;
+          qc load_qcheck_same_seed_identical;
+          tc "seed changes schedule" `Quick test_load_seed_changes_schedule;
+          qc load_qcheck_class_mix;
+          qc load_qcheck_schedule_accounting;
+          tc "uniform is the E14 blast" `Quick test_load_uniform_matches_e14_blast;
         ] );
     ]
