@@ -2,7 +2,7 @@
 # formatting, the full test suite, then a fast end-to-end smoke of the
 # experiment harness (fig3 takes well under a second).
 
-.PHONY: all build fmt test lint lint-fast lint-json lint-sarif lint-timed smoke obs-smoke faults-smoke reconcile-smoke throughput-smoke mesh-smoke load-smoke bench bench-json bench-compare check clean
+.PHONY: all build fmt test lint lint-fast lint-json lint-sarif lint-timed smoke obs-smoke faults-smoke reconcile-smoke throughput-smoke mesh-smoke load-smoke attest-smoke bench bench-json bench-compare check clean
 
 all: build
 
@@ -98,7 +98,17 @@ load-smoke:
 	! grep -q "GATE: FAIL" _build/load_smoke.out
 	dune exec bin/tango_cli.exe -- load --domains 2 --flows 20000 --cache 1024 --ceiling 65536 --fingerprint > /dev/null
 
-check: build fmt test lint smoke obs-smoke faults-smoke reconcile-smoke throughput-smoke mesh-smoke load-smoke
+# Verifiable-forwarding smoke: the E17 gates (detection within one
+# confirm cadence, intended-verdict purity, clean-sweep zero false
+# quarantines, fingerprint determinism) at the 16-PoP point, plus an
+# attested Byzantine run through the CLI (lib/mesh/attest end to end).
+attest-smoke:
+	dune exec bench/main.exe -- --experiment verifiable-forwarding --pops 16 --no-micro > _build/attest_smoke.out
+	grep -c "GATE: PASS" _build/attest_smoke.out | grep -qx 4
+	! grep -q "GATE: FAIL" _build/attest_smoke.out
+	dune exec bin/tango_cli.exe -- mesh --pops 16 --attest --scenario relay-tamper --fingerprint > /dev/null
+
+check: build fmt test lint smoke obs-smoke faults-smoke reconcile-smoke throughput-smoke mesh-smoke load-smoke attest-smoke
 
 clean:
 	dune clean

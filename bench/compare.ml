@@ -153,6 +153,32 @@ let () =
       if not (List.mem_assoc name baseline) then
         Printf.printf "  ~ %-45s new benchmark (not gated)\n" name)
     current;
+  (* Relational gates, evaluated within the CURRENT file so machine
+     speed cancels out: attestation verification must stay within its
+     budget relative to the plain codec it rides on (E17's
+     bounded-verify-cost gate). Rows missing from the current file are
+     skipped, like absent benchmarks above. *)
+  List.iter
+    (fun (num_name, den_name, limit) ->
+      match (List.assoc_opt num_name current, List.assoc_opt den_name current) with
+      | Some { ns = Some n; _ }, Some { ns = Some d; _ } ->
+          incr compared;
+          let n = Float.max n ns_floor and d = Float.max d ns_floor in
+          let ratio = n /. d in
+          if ratio > limit then begin
+            incr failures;
+            Printf.printf "  ! %-45s %.2fx of %s (limit %.1fx)\n" num_name ratio
+              den_name limit
+          end
+          else
+            Printf.printf "  . %-45s %.2fx of %s (limit %.1fx)\n" num_name ratio
+              den_name limit
+      | _ -> ())
+    [
+      ( "tango/mesh.attest.verify (4 hops)",
+        "tango/mesh.segment decode_into (4 hops)",
+        2.0 );
+    ];
   if !failures > 0 then begin
     Printf.printf "FAIL: %d regression(s) across %d compared benchmarks\n"
       !failures !compared;

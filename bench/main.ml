@@ -35,6 +35,7 @@ let experiments =
     ("throughput-scaling", Experiments.throughput_scaling);
     ("mesh-scaling", Experiments.mesh_scaling);
     ("load-engine", Experiments.load_engine);
+    ("verifiable-forwarding", Experiments.verifiable_forwarding);
   ]
 
 (* E14 prints wall-clock rows, which are inherently nondeterministic, so
@@ -43,11 +44,13 @@ let experiments =
    E15 is fully deterministic but sweeps six mesh sizes, so it too runs
    only on request (the seed sweep pins it separately). E16 sweeps up to
    10^6 flows and prints Mpps rows, so it is likewise opt-in (`make
-   load-smoke` pins a narrowed point). *)
+   load-smoke` pins a narrowed point). E17 runs 4 scenarios x 3 seeds of
+   the attested mesh, so it is opt-in too (`make attest-smoke` pins it). *)
 let default_ids =
   List.filter
     (fun id ->
-      id <> "throughput-scaling" && id <> "mesh-scaling" && id <> "load-engine")
+      id <> "throughput-scaling" && id <> "mesh-scaling" && id <> "load-engine"
+      && id <> "verifiable-forwarding")
     (List.map fst experiments)
 
 let () =

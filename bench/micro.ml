@@ -406,6 +406,48 @@ let test_arbor_next =
     (Staged.stage (fun () ->
          ignore (M_arbor.next_hop mesh_arbor ~dst:52 ~tree:1 ~pop:10)))
 
+(* Attestation fast path (E17): the per-forward digest fold and the
+   per-delivery chain recompute ([Attest.check], the dominant verify
+   cost on the match path). Both must stay at zero major words/op, and
+   the 4-hop verify must stay within 2x of a plain 4-hop segment
+   decode (relational gate in compare.ml). *)
+
+module M_attest = Tango_mesh.Attest
+
+let attest_verifier =
+  let a = M_attest.create ~pops:64 ~flows:16 () in
+  (* Stitched entries: intermediates 10, 11, 12 then the destination —
+     with the source that commits a 4-fold chain. *)
+  M_attest.commit a ~flow:7 ~src:3 ~hops:[| 10; 11; 12; 52 |] ~count:4;
+  a
+
+let attest_stack =
+  let st = M_segment.create_stack () in
+  st.M_segment.flags <- M_segment.flag_attest;
+  st.M_segment.tree <- 1;
+  st.M_segment.top <- 4;
+  st.M_segment.src <- 3;
+  st.M_segment.dst <- 52;
+  st.M_segment.flow <- 7;
+  st.M_segment.seq <- 1234;
+  st.M_segment.count <- 4;
+  st.M_segment.hop_budget <- 251 (* 4 physical hops taken *);
+  let d = ref (M_attest.chain_seed ~flow:7 ~seq:1234 ~src:3 ~dst:52) in
+  List.iteri
+    (fun i hop -> d := M_attest.fold_hop !d ~hop ~tree:1 ~ttl:(254 - i))
+    [ 3; 10; 11; 12 ];
+  st.M_segment.digest <- !d;
+  st
+
+let test_attest_fold =
+  Test.make ~name:"mesh.segment.fold_hop"
+    (Staged.stage (fun () ->
+         ignore (M_attest.fold_hop 0x1234567 ~hop:10 ~tree:1 ~ttl:253)))
+
+let test_attest_verify =
+  Test.make ~name:"mesh.attest.verify (4 hops)"
+    (Staged.stage (fun () -> ignore (M_attest.check attest_verifier attest_stack)))
+
 let all_tests =
   Test.make_grouped ~name:"tango"
     [
@@ -439,6 +481,8 @@ let all_tests =
       test_segment_encode;
       test_segment_decode;
       test_arbor_next;
+      test_attest_fold;
+      test_attest_verify;
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -381,7 +381,8 @@ let reconciler_repairs (spec : F_spec.t) =
   | F_spec.Bgp_withdraw | F_spec.Bgp_flap _ | F_spec.Community_drop -> true
   | F_spec.Blackhole | F_spec.Flap _ | F_spec.Brownout _
   | F_spec.Probe_starvation | F_spec.Clock_step _ | F_spec.Relay_kill
-  | F_spec.Mesh_partition _ ->
+  | F_spec.Mesh_partition _ | F_spec.Relay_detour | F_spec.Relay_tamper _
+  | F_spec.Relay_replay ->
       false
 
 let faults_list () =
@@ -746,7 +747,7 @@ let throughput_cmd =
 module Wload = Tango_workload.Load
 
 let load_one ~domains ~batch ~flows ~generations ~seed ~cache ~ceiling
-    ~fingerprint_only =
+    ~idle_gens ~fingerprint_only =
   let plan = Wload.plan (Wload.default_config ~flows ~generations ~seed ()) in
   (* --cache 0 sizes the per-lane cache to an eighth of the flow count
      (so elephants and the active edge of the wave fit while the long
@@ -758,25 +759,25 @@ let load_one ~domains ~batch ~flows ~generations ~seed ~cache ~ceiling
   in
   let r =
     Throughput.run ~domains ~batch ~seed ~plan ?cache_capacity
-      ~tracker_ceiling:ceiling ()
+      ~tracker_ceiling:ceiling ~tracker_idle_gens:idle_gens ()
   in
   Throughput.print_load_summary ~timing:(not fingerprint_only) plan r
 
-let load domains batch flows generations seed cache ceiling sweep
+let load domains batch flows generations seed cache ceiling idle_gens sweep
     fingerprint_only metrics prom =
   with_obs ~experiment:"load" ~seed
     ~config:
       (Printf.sprintf
          "load domains=%d batch=%d flows=%d generations=%d seed=%d cache=%d \
-          ceiling=%d sweep=%b"
-         domains batch flows generations seed cache ceiling sweep)
+          ceiling=%d idle_gens=%d sweep=%b"
+         domains batch flows generations seed cache ceiling idle_gens sweep)
     metrics prom
   @@ fun () ->
   let points = if sweep then [ 1_000; 10_000; 100_000; 1_000_000 ] else [ flows ] in
   List.iter
     (fun flows ->
       load_one ~domains ~batch ~flows ~generations ~seed ~cache ~ceiling
-        ~fingerprint_only)
+        ~idle_gens ~fingerprint_only)
     points
 
 let load_cmd =
@@ -819,6 +820,15 @@ let load_cmd =
             "Per-lane advisory ceiling on resident tracker state (0 = none); \
              the report shows the measured peak either way.")
   in
+  let idle_gens =
+    Arg.(
+      value & opt int 0
+      & info [ "idle-gens" ] ~docv:"N"
+          ~doc:
+            "Expire a flow's sequence tracker after it has been idle for \
+             more than N virtual generations, freeing its \
+             provisional-loss state (0 = aging off).")
+  in
   let sweep =
     Arg.(
       value & flag
@@ -841,20 +851,25 @@ let load_cmd =
           dataplane")
     Term.(
       const load $ domains $ batch $ flows $ generations $ seed_arg $ cache
-      $ ceiling $ sweep $ fingerprint_flag $ metrics_arg $ prom_arg)
+      $ ceiling $ idle_gens $ sweep $ fingerprint_flag $ metrics_arg
+      $ prom_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mesh                                                                *)
 
 module Nmesh = Tango_mesh.Mesh
 
-let mesh_n ~pops ~trees ~seed ~scenario ~fingerprint_only ~duration =
+let mesh_n ~pops ~trees ~seed ~scenario ~fingerprint_only ~duration ~attest
+    ~quarantine_s ~suspect_threshold =
   let specs =
     match scenario with
     | None -> []
     | Some name -> (Tango_faults.Scenario.get name).Tango_faults.Scenario.specs
   in
-  let r = Nmesh.run ~pops ~trees ~seed ~duration_s:duration ~specs () in
+  let r =
+    Nmesh.run ~pops ~trees ~seed ~duration_s:duration ~specs ~attest
+      ~quarantine_s ~suspect_threshold ()
+  in
   if fingerprint_only then
     Printf.printf "mesh pops=%d trees=%d seed=%d delivered=%d fp=%s\n"
       r.Nmesh.pops r.Nmesh.trees seed r.Nmesh.delivered r.Nmesh.fingerprint
@@ -871,6 +886,11 @@ let mesh_n ~pops ~trees ~seed ~scenario ~fingerprint_only ~duration =
          ms, %d unrecovered, %d discoveries after fault\n"
         r.Nmesh.killed r.Nmesh.affected_flows r.Nmesh.detect_ms
         r.Nmesh.recovery_ms r.Nmesh.unrecovered r.Nmesh.discovery_after_fault
+    else if r.Nmesh.misbehaving >= 0 then
+      Printf.printf
+        "misbehavior: %d flows transiting PoP %d, %d discoveries after onset\n"
+        r.Nmesh.affected_flows r.Nmesh.misbehaving
+        r.Nmesh.discovery_after_fault
     else if r.Nmesh.affected_flows > 0 then
       Printf.printf
         "partition: %d flows affected, recovery %.1f ms, %d unrecovered, %d \
@@ -882,17 +902,36 @@ let mesh_n ~pops ~trees ~seed ~scenario ~fingerprint_only ~duration =
        digests\n"
       r.Nmesh.gossip_msgs r.Nmesh.hello_msgs r.Nmesh.convergence_ms
       r.Nmesh.distinct_digests;
+    if r.Nmesh.attest then begin
+      Printf.printf
+        "attest: rejected %d (wrong-path %d truncated %d replayed %d forged \
+         %d), excused %d\n"
+        r.Nmesh.rejected r.Nmesh.wrong_path r.Nmesh.truncated r.Nmesh.replayed
+        r.Nmesh.forged r.Nmesh.excused;
+      if r.Nmesh.misbehaving >= 0 then
+        Printf.printf
+          "byzantine: PoP %d, first verdict %.1f ms after onset, target \
+           quarantined %b\n"
+          r.Nmesh.misbehaving r.Nmesh.first_verdict_ms
+          r.Nmesh.quarantined_target;
+      Printf.printf
+        "quarantine: %d applied, %d readmitted, %d false (non-target)\n"
+        r.Nmesh.quarantines r.Nmesh.readmissions r.Nmesh.false_quarantines
+    end;
     Printf.printf "fingerprint: %s\n" r.Nmesh.fingerprint
   end
 
-let mesh seed duration pops trees scenario fingerprint_only metrics prom =
+let mesh seed duration pops trees scenario fingerprint_only attest quarantine_s
+    suspect_threshold metrics prom =
   if pops > 0 then
     with_obs ~experiment:"mesh" ~seed
       ~config:
         (Printf.sprintf "mesh pops=%d trees=%d seed=%d duration=%g" pops trees
            seed duration)
       metrics prom
-    @@ fun () -> mesh_n ~pops ~trees ~seed ~scenario ~fingerprint_only ~duration
+    @@ fun () ->
+    mesh_n ~pops ~trees ~seed ~scenario ~fingerprint_only ~duration ~attest
+      ~quarantine_s ~suspect_threshold
   else
   with_obs ~experiment:"mesh" ~seed
     ~config:(Printf.sprintf "mesh seed=%d duration=%g" seed duration)
@@ -959,11 +998,37 @@ let mesh_cmd =
       & info [ "fingerprint" ]
           ~doc:"Print only the one-line deterministic delivery fingerprint.")
   in
+  let attest_flag =
+    Arg.(
+      value & flag
+      & info [ "attest" ]
+          ~doc:
+            "Verifiable forwarding: stamp per-hop digest chains, judge every \
+             delivery against the committed route, and quarantine convicted \
+             relays. Only meaningful with --pops.")
+  in
+  let quarantine_s =
+    Arg.(
+      value & opt float 2.0
+      & info [ "quarantine-s" ] ~docv:"SECONDS"
+          ~doc:
+            "First quarantine duration for a convicted relay (doubles per \
+             episode, capped at 60 s).")
+  in
+  let suspect_threshold =
+    Arg.(
+      value & opt int 4
+      & info [ "suspect-threshold" ] ~docv:"N"
+          ~doc:
+            "Unlocalized bad verdicts a route intermediate accumulates before \
+             it is quarantined on suspicion.")
+  in
   Cmd.v
     (Cmd.info "mesh" ~doc:"Run the Tango-of-N overlay (triangle or N-PoP mesh)")
     Term.(
       const mesh $ seed_arg $ duration_arg 20.0 $ pops $ trees $ scenario
-      $ fingerprint_flag $ metrics_arg $ prom_arg)
+      $ fingerprint_flag $ attest_flag $ quarantine_s $ suspect_threshold
+      $ metrics_arg $ prom_arg)
 
 let () =
   let info =

@@ -296,6 +296,10 @@ let degraded_episodes t = t.degraded_episodes
 let[@hot] readmit_banned t ~path ~now_s =
   path >= 0 && path < t.capacity && now_s < t.banned_until.(path)
 
+let ban_remaining t ~path ~now_s =
+  if path < 0 || path >= t.capacity then 0.0
+  else Float.max 0.0 (t.banned_until.(path) -. now_s)
+
 let[@hot] ban t ~path ~now_s ~for_s =
   if path < 0 then invalid_arg "Policy.ban: negative path id";
   if for_s <= 0.0 then invalid_arg "Policy.ban: non-positive duration";

@@ -107,6 +107,11 @@ val readmit_banned : t -> path:int -> now_s:float -> bool
 (** Whether [path] is currently serving a ban (re-admission or
     external). *)
 
+val ban_remaining : t -> path:int -> now_s:float -> float
+(** Seconds of ban left on [path] at [now_s] (0 when unbanned or out of
+    range). Lets a caller that scheduled a readmission check at the
+    original expiry detect that a later {!ban} extended the sentence. *)
+
 val ban : t -> path:int -> now_s:float -> for_s:float -> unit
 (** Externally ban [path] as a switch target for [for_s] seconds from
     [now_s] — the reconciler's drain of a path that churn removed from

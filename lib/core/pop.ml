@@ -226,7 +226,7 @@ let[@hot] record_measurement t ~now (reception : Tunnel.reception) =
     Series.add t.owd_series.(path) ~time:now reception.Tunnel.owd_ms;
     Ewma.add t.owd_ewma.(path) reception.Tunnel.owd_ms;
     Jitter.add t.jitter.(path) ~time:now reception.Tunnel.owd_ms;
-    ignore (Detect.add t.detectors.(path) ~time:now reception.Tunnel.owd_ms);
+    Detect.add t.detectors.(path) ~time:now reception.Tunnel.owd_ms;
     Seq_tracker.observe ~now_s:now t.trackers.(path) reception.Tunnel.seq;
     t.inbound_samples.(path) <- t.inbound_samples.(path) + 1;
     t.last_arrival.(path) <- now

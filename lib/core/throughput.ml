@@ -185,7 +185,7 @@ type lane_env = {
    [cache_capacity] (per lane; [None] keeps the pre-existing unbounded
    behavior). *)
 let build_lane_env ~seed ~first_hop_ms ~cache_expected ~cache_capacity
-    ~tracker_ceiling ~ring_cap ~own_flows ~local =
+    ~tracker_ceiling ~tracker_idle_gens ~ring_cap ~own_flows ~local =
   let topo = build_topology ~first_hop_ms () in
   let engine = Engine.create ~seed () in
   let net = Network.create topo engine in
@@ -219,7 +219,9 @@ let build_lane_env ~seed ~first_hop_ms ~cache_expected ~cache_capacity
     l_cache =
       Flow_cache.create ~expected_flows:cache_expected ?capacity:cache_capacity
         ();
-    l_track = Seq_tracker.Table.create ~ceiling:tracker_ceiling ~keys:own_flows ();
+    l_track =
+      Seq_tracker.Table.create ~ceiling:tracker_ceiling
+        ~idle_generations:tracker_idle_gens ~keys:own_flows ();
     l_local = local;
     l_path_rings =
       (* In-flight bound: arrivals are drained every generation and the
@@ -362,6 +364,10 @@ let lane_main env out_ring ~flows ~my_flows ~plan ~uniform ~generations
   for gen = 0 to generations - 1 do
     let ts = env.l_t0 +. (float_of_int gen *. gen_interval_s) in
     drain ts;
+    (* Generation tick for tracker aging: with aging off this only
+       advances a counter; with [idle_generations > 0] it expires
+       trackers whose flows went quiet past the horizon. *)
+    ignore (Seq_tracker.Table.advance_generation env.l_track);
     let epoch = gen / epoch_gens in
     if epoch <> env.l_epoch then begin
       env.l_epoch <- epoch;
@@ -418,6 +424,8 @@ type result = {
   tracker_resident : int;  (* provisional entries at quiesce *)
   tracker_resident_peak : int;  (* sum of per-lane high-water marks *)
   tracker_ceiling : int;  (* per-lane advisory bound; 0 = none *)
+  tracker_idle_gens : int;  (* aging horizon; 0 = off *)
+  tracker_evictions : int;  (* idle trackers expired, summed over lanes *)
   path_delivered : int array;  (* deliveries per path id *)
   path_owd_ms : float array;  (* mean one-way delay per path id *)
   merged : int;
@@ -439,7 +447,7 @@ let record_hash (r : Shard.record) =
 
 let run ?(domains = 1) ?(batch = Batch.capacity) ?(flows = 512)
     ?(generations = 2000) ?(seed = 42) ?plan ?cache_capacity
-    ?(tracker_ceiling = 0) () =
+    ?(tracker_ceiling = 0) ?(tracker_idle_gens = 0) () =
   if domains <= 0 then invalid_arg "Throughput.run: non-positive domains";
   if batch <= 0 || batch > Batch.capacity then
     invalid_arg "Throughput.run: batch outside [1, 64]";
@@ -452,6 +460,8 @@ let run ?(domains = 1) ?(batch = Batch.capacity) ?(flows = 512)
   | _ -> ());
   if tracker_ceiling < 0 then
     invalid_arg "Throughput.run: negative tracker ceiling";
+  if tracker_idle_gens < 0 then
+    invalid_arg "Throughput.run: negative tracker idle generations";
   (* A [plan] replaces the uniform full-mesh workload (and its [flows] /
      [generations] arguments) with the million-flow engine's schedule;
      the tighter 0.3 ms path-delay spread puts the default-over-best
@@ -527,7 +537,8 @@ let run ?(domains = 1) ?(batch = Batch.capacity) ?(flows = 512)
         let local = Array.make flows (-1) in
         Array.iteri (fun i f -> local.(f) <- i) lane_flow_idx.(l);
         build_lane_env ~seed ~first_hop_ms ~cache_expected ~cache_capacity
-          ~tracker_ceiling ~ring_cap ~own_flows:lane_flows.(l) ~local)
+          ~tracker_ceiling ~tracker_idle_gens ~ring_cap
+          ~own_flows:lane_flows.(l) ~local)
   in
   (* Freeze the process-wide registry while lanes run: the direct path
      never touches it, and freezing turns any accidental use into a
@@ -579,6 +590,7 @@ let run ?(domains = 1) ?(batch = Batch.capacity) ?(flows = 512)
   let tracker_active = ref 0 in
   let tracker_resident = ref 0 in
   let tracker_peak = ref 0 in
+  let tracker_evictions = ref 0 in
   let major_words = ref 0.0 in
   Array.iter
     (fun env ->
@@ -596,6 +608,8 @@ let run ?(domains = 1) ?(batch = Batch.capacity) ?(flows = 512)
       tracker_active := !tracker_active + Seq_tracker.Table.active_keys env.l_track;
       tracker_resident := !tracker_resident + Seq_tracker.Table.resident env.l_track;
       tracker_peak := !tracker_peak + Seq_tracker.Table.resident_peak env.l_track;
+      tracker_evictions :=
+        !tracker_evictions + Seq_tracker.Table.evictions env.l_track;
       major_words := !major_words +. env.l_major_words;
       lost := !lost + Seq_tracker.Table.lost_total env.l_track;
       reordered := !reordered + Seq_tracker.Table.reordered_total env.l_track;
@@ -636,6 +650,8 @@ let run ?(domains = 1) ?(batch = Batch.capacity) ?(flows = 512)
     tracker_resident = !tracker_resident;
     tracker_resident_peak = !tracker_peak;
     tracker_ceiling;
+    tracker_idle_gens;
+    tracker_evictions = !tracker_evictions;
     path_delivered;
     path_owd_ms;
     merged = !merged;
@@ -693,6 +709,11 @@ let print_load_summary ?(timing = true) plan r =
   Printf.printf "  trackers active %d resident %d peak %d ceiling %d\n"
     r.tracker_active r.tracker_resident r.tracker_resident_peak
     r.tracker_ceiling;
+  (* Printed only when aging is armed, so default-off runs stay
+     byte-identical to the pre-aging output. *)
+  if r.tracker_idle_gens > 0 then
+    Printf.printf "  tracker-aging idle-gens %d evictions %d\n"
+      r.tracker_idle_gens r.tracker_evictions;
   Array.iteri
     (fun p n ->
       Printf.printf "  path %d delivered %d mean-owd %.4f ms\n" p n

@@ -31,6 +31,10 @@ type result = {
       (** Sum of per-lane resident high-water marks — an upper bound on
           the true process-wide peak. *)
   tracker_ceiling : int;  (** Per-lane advisory bound; 0 = none. *)
+  tracker_idle_gens : int;  (** Tracker aging horizon; 0 = off. *)
+  tracker_evictions : int;
+      (** Idle trackers expired by generation sweeps, summed over
+          lanes. *)
   path_delivered : int array;  (** Deliveries per path id. *)
   path_owd_ms : float array;  (** Mean one-way delay per path id. *)
   merged : int;  (** Records the reducer consumed (= delivered). *)
@@ -55,6 +59,7 @@ val run :
   ?plan:Tango_workload.Load.plan ->
   ?cache_capacity:int ->
   ?tracker_ceiling:int ->
+  ?tracker_idle_gens:int ->
   unit ->
   result
 (** Defaults: 1 domain, batch 64, 512 flows, 2000 generations, seed 42.
@@ -71,7 +76,10 @@ val run :
     whose default-over-best ratio reproduces E2's ~30% gap.
     [cache_capacity] bounds each lane's flow cache (clock-hand
     eviction); [tracker_ceiling] is the per-lane advisory bound on
-    resident tracker state. *)
+    resident tracker state; [tracker_idle_gens] (default 0 = off)
+    expires trackers whose flow has been idle for more than that many
+    generations, freeing their provisional state
+    ({!Tango_dataplane.Seq_tracker.Table.advance_generation}). *)
 
 val fingerprint : result -> string
 (** Printable order-insensitive digest of every delivered packet record

@@ -30,6 +30,10 @@ let k_duplicate = Trace.kind "seq.duplicate"
 
 type t = {
   mutable next_expected : int;
+  mutable resync : bool;
+      (* Set when table-level expiry dropped this tracker's state: the
+         next observation re-anchors [next_expected] at the arriving
+         sequence instead of counting the idle gap as loss. *)
   mutable missing : Int_set.t;
   mutable provisional : int;
       (* Int_set.cardinal missing, maintained incrementally so resident
@@ -46,6 +50,7 @@ let recent_alpha = 0.05
 let create () =
   {
     next_expected = 0;
+    resync = false;
     missing = Int_set.empty;
     provisional = 0;
     confirmed_lost = 0;
@@ -64,6 +69,10 @@ let[@hot] observe ?(now_s = 0.0) t seq64 =
   if Int64.compare seq64 (Int64.of_int max_int) > 0 || Int64.compare seq64 0L < 0
   then Err.invalid "Seq_tracker.observe: sequence outside [0, max_int]";
   let seq = Int64.to_int seq64 in
+  if t.resync then begin
+    t.resync <- false;
+    t.next_expected <- seq
+  end;
   if seq >= t.next_expected then begin
     (* Every number skipped over becomes provisionally missing. *)
     for skipped = t.next_expected to seq - 1 do
@@ -153,21 +162,32 @@ module Table = struct
   type nonrec t = {
     trackers : tracker array;
     ceiling : int;  (* advisory bound on resident provisional entries *)
+    idle_generations : int;  (* expiry horizon; 0 = aging off *)
+    last_gen : int array;  (* generation of each key's last observation *)
+    mutable generation : int;
     mutable resident : int;  (* Σ provisional over all trackers *)
     mutable resident_peak : int;
     mutable active : int;  (* trackers that have observed ≥ 1 packet *)
+    mutable evictions : int;  (* trackers expired by generation sweeps *)
   }
 
-  let create ?(ceiling = 0) ~keys () =
+  let create ?(ceiling = 0) ?(idle_generations = 0) ~keys () =
     if keys < 0 then Err.invalid "Seq_tracker.Table.create: keys %d negative" keys;
     if ceiling < 0 then
       Err.invalid "Seq_tracker.Table.create: ceiling %d negative" ceiling;
+    if idle_generations < 0 then
+      Err.invalid "Seq_tracker.Table.create: idle_generations %d negative"
+        idle_generations;
     {
       trackers = Array.init keys (fun _ -> create ());
       ceiling;
+      idle_generations;
+      last_gen = Array.make (max keys 1) 0;
+      generation = 0;
       resident = 0;
       resident_peak = 0;
       active = 0;
+      evictions = 0;
     }
 
   let keys tbl = Array.length tbl.trackers
@@ -183,6 +203,7 @@ module Table = struct
     let untouched = tr.received = 0 in
     let before = tr.provisional in
     observe ?now_s tr seq64;
+    Array.unsafe_set tbl.last_gen key tbl.generation;
     if untouched then tbl.active <- tbl.active + 1;
     let d = tr.provisional - before in
     if d <> 0 then begin
@@ -200,6 +221,40 @@ module Table = struct
     for key = 0 to Array.length tbl.trackers - 1 do
       confirm_below tbl ~key (bound_of key)
     done
+
+  (* Expire one idle tracker: its provisional set is freed (credited
+     back to the resident aggregate, entries counting as confirmed
+     losses — they can no longer heal), and the tracker re-anchors on
+     its next observation instead of treating the idle gap as loss. *)
+  let evict tbl ~key =
+    let tr = tbl.trackers.(key) in
+    let freed = tr.provisional in
+    if freed > 0 then begin
+      tr.confirmed_lost <- tr.confirmed_lost + freed;
+      tr.provisional <- 0;
+      tr.missing <- Int_set.empty;
+      tbl.resident <- tbl.resident - freed
+    end;
+    tr.resync <- true;
+    tbl.evictions <- tbl.evictions + 1
+
+  let advance_generation tbl =
+    tbl.generation <- tbl.generation + 1;
+    if tbl.idle_generations > 0 then begin
+      let horizon = tbl.generation - tbl.idle_generations in
+      for key = 0 to Array.length tbl.trackers - 1 do
+        let tr = Array.unsafe_get tbl.trackers key in
+        if tr.received > 0 && (not tr.resync) && tbl.last_gen.(key) < horizon
+        then evict tbl ~key
+      done
+    end;
+    tbl.generation
+
+  let generation tbl = tbl.generation
+
+  let idle_generations tbl = tbl.idle_generations
+
+  let evictions tbl = tbl.evictions
 
   let active_keys tbl = tbl.active
 

@@ -59,10 +59,13 @@ module Table : sig
 
   type t
 
-  val create : ?ceiling:int -> keys:int -> unit -> t
+  val create : ?ceiling:int -> ?idle_generations:int -> keys:int -> unit -> t
   (** A table of [keys] fresh trackers. [ceiling] bounds (advisorily)
       the total provisional entries; [0] (default) means unbounded.
-      Raises {!Err.Invalid} when either is negative. *)
+      [idle_generations] (default [0] = aging off) is the expiry
+      horizon for {!advance_generation}: a tracker not observed for
+      more than that many whole generations is evicted. Raises
+      {!Err.Invalid} when any is negative. *)
 
   val keys : t -> int
 
@@ -81,6 +84,26 @@ module Table : sig
   val prune : t -> bound_of:(int -> int64) -> unit
   (** {!confirm_below} every key at its own bound — the full-table sweep
       a memory-pressure response would run. *)
+
+  val advance_generation : t -> int
+  (** Close the current generation and open the next, returning its
+      number. With [idle_generations > 0] this also sweeps the table:
+      every tracker whose last observation is more than
+      [idle_generations] generations old is {e evicted} — its
+      provisional-missing set is freed (the entries count as confirmed
+      losses; they can no longer heal into reorderings) and credited
+      back to {!resident}, and its next observation re-anchors on the
+      arriving sequence instead of counting the idle gap as loss. The
+      sweep is O(keys); call it at generation cadence, not per packet.
+      With [idle_generations = 0] only the generation number advances. *)
+
+  val generation : t -> int
+  (** Current generation number (starts at 0). *)
+
+  val idle_generations : t -> int
+
+  val evictions : t -> int
+  (** Trackers expired by {!advance_generation} sweeps so far. *)
 
   val active_keys : t -> int
   (** Trackers that have observed at least one packet. *)

@@ -186,7 +186,8 @@ let activate t (a : armed) ~end_s engine =
     | Spec.Bgp_flap { period_s } ->
         toggle t a ~period_s ~end_s (apply_withdraw t a) engine
     | Spec.Community_drop -> a.undo <- apply_community_drop t a ()
-    | Spec.Relay_kill | Spec.Mesh_partition _ ->
+    | Spec.Relay_kill | Spec.Mesh_partition _ | Spec.Relay_detour
+    | Spec.Relay_tamper _ | Spec.Relay_replay ->
         Err.invalid
           "Inject: %s targets a mesh world; arm it through Tango_mesh.Mesh.run, \
            not a pair"
@@ -220,7 +221,8 @@ let path_targeted = function
   | Spec.Bgp_flap _ | Spec.Community_drop ->
       true
   | Spec.Probe_starvation | Spec.Clock_step _ | Spec.Relay_kill
-  | Spec.Mesh_partition _ ->
+  | Spec.Mesh_partition _ | Spec.Relay_detour | Spec.Relay_tamper _
+  | Spec.Relay_replay ->
       false
 
 let arm ~pair ?(seed = 42) spec_list =

@@ -108,6 +108,51 @@ let all =
             (Spec.Mesh_partition { region = 1 });
         ];
     };
+    (* The Byzantine-relay scenarios (E17): same mesh-only arming as
+       relay-kill, path 0 = auto-pick the busiest transit relay. Each
+       one exercises exactly one attestation verdict. *)
+    {
+      name = "relay-detour";
+      description =
+        "A relay silently detours every transit frame through an \
+         off-route neighbor for 4 s: the digest chain stops matching \
+         the committed route and the destination convicts it of \
+         Wrong_path.";
+      specs = [ Spec.v ~path:0 ~start_s:5.0 ~duration_s:4.0 Spec.Relay_detour ];
+    };
+    {
+      name = "relay-tamper";
+      description =
+        "A relay garbles the evidence chain on every transit frame for \
+         4 s: same-length route, inexplicable digest — the Forged \
+         verdict, localized only by accumulated suspicion.";
+      specs =
+        [
+          Spec.v ~path:0 ~start_s:5.0 ~duration_s:4.0
+            (Spec.Relay_tamper { truncate = false });
+        ];
+    };
+    {
+      name = "relay-truncate";
+      description =
+        "A relay short-cuts the rest of the overlay route through the \
+         underlay for 4 s: the chain matches a proper prefix of the \
+         commitment and the Truncated verdict names the last honest \
+         folder.";
+      specs =
+        [
+          Spec.v ~path:0 ~start_s:5.0 ~duration_s:4.0
+            (Spec.Relay_tamper { truncate = true });
+        ];
+    };
+    {
+      name = "relay-replay";
+      description =
+        "A relay captures one transit frame and re-injects byte copies \
+         every 100 ms for 4 s: pristine chains over spent (flow, seq) \
+         pairs — the Replayed verdict.";
+      specs = [ Spec.v ~path:0 ~start_s:5.0 ~duration_s:4.0 Spec.Relay_replay ];
+    };
     {
       name = "meltdown";
       description =

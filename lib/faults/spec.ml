@@ -13,6 +13,9 @@ type kind =
   | Community_drop
   | Relay_kill
   | Mesh_partition of { region : int }
+  | Relay_detour
+  | Relay_tamper of { truncate : bool }
+  | Relay_replay
 
 type t = {
   kind : kind;
@@ -34,6 +37,10 @@ let[@hot] kind_code kind =
   | Community_drop -> 7
   | Relay_kill -> 8
   | Mesh_partition _ -> 9
+  | Relay_detour -> 10
+  | Relay_tamper { truncate = false } -> 11
+  | Relay_tamper { truncate = true } -> 12
+  | Relay_replay -> 13
 
 let kind_to_string = function
   | Blackhole -> "blackhole"
@@ -47,6 +54,10 @@ let kind_to_string = function
   | Community_drop -> "community-drop"
   | Relay_kill -> "relay-kill"
   | Mesh_partition { region } -> Printf.sprintf "mesh-partition(region=%d)" region
+  | Relay_detour -> "relay-detour"
+  | Relay_tamper { truncate = false } -> "relay-tamper"
+  | Relay_tamper { truncate = true } -> "relay-truncate"
+  | Relay_replay -> "relay-replay"
 
 let dir_to_string = function To_la -> "to-la" | To_ny -> "to-ny"
 
@@ -78,6 +89,7 @@ let validate t =
   | Relay_kill -> ()
   | Mesh_partition { region } ->
       if region < 0 then Err.invalid "Spec: negative partition region %d" region
+  | Relay_detour | Relay_tamper _ | Relay_replay -> ()
 
 let v ?(dir = To_ny) ?(path = 0) ~start_s ~duration_s kind =
   let t = { kind; dir; path; start_s; duration_s } in

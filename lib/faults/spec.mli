@@ -52,6 +52,22 @@ type kind =
       (** Cut every inter-region link touching topology [region] — a
           geographic partition. The [path] field is ignored. Mesh-only,
           like {!Relay_kill}. *)
+  | Relay_detour
+      (** Byzantine relay: forward every transit frame through an
+          off-route neighbor (extra physical hop, off-route evidence
+          fold) — the attestation layer's [Wrong_path] verdict. The
+          [path] field carries the target PoP id, [0] = busiest transit
+          relay. Mesh-only. *)
+  | Relay_tamper of { truncate : bool }
+      (** Byzantine relay: with [truncate = false], garble the evidence
+          chain after folding ([Forged] verdict); with [truncate =
+          true], short-cut the rest of the overlay route through the
+          underlay ([Truncated] verdict). Targeting as {!Relay_detour}.
+          Mesh-only. *)
+  | Relay_replay
+      (** Byzantine relay: capture one transit frame and re-inject byte
+          copies every 100 ms for the fault window ([Replayed]
+          verdict). Targeting as {!Relay_detour}. Mesh-only. *)
 
 type t = {
   kind : kind;

@@ -43,6 +43,7 @@ let default =
         "mesh/arbor.ml";
         "mesh/relay.ml";
         "mesh/mtopo.ml";
+        "mesh/attest.ml";
       ];
     domsafe_modules =
       [

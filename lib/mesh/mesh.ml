@@ -29,6 +29,19 @@ type result = {
   hello_msgs : int;
   convergence_ms : float; (* last live PoP learned of the death, -1 n/a *)
   distinct_digests : int; (* 1 = membership views converged at end *)
+  attest : bool; (* attestation on for this run *)
+  misbehaving : int; (* armed Byzantine relay, -1 when none *)
+  rejected : int; (* bad-verdict rejections at destinations *)
+  wrong_path : int; (* judged deliveries/rejections per verdict *)
+  truncated : int;
+  replayed : int;
+  forged : int;
+  excused : int; (* attested frames delivered unjudged (arbor failover) *)
+  first_verdict_ms : float; (* onset -> first bad verdict, -1 n/a *)
+  quarantines : int;
+  readmissions : int;
+  quarantined_target : bool; (* armed relay served a quarantine *)
+  false_quarantines : int; (* ever-quarantined pops besides the target *)
   fingerprint : string;
 }
 
@@ -64,14 +77,17 @@ let stitch topo arbor ~src ~dst ~flow ~hops ~seg_paths =
   !count
 
 let kind_supported = function
-  | Spec.Relay_kill | Spec.Mesh_partition _ -> true
+  | Spec.Relay_kill | Spec.Mesh_partition _ | Spec.Relay_detour
+  | Spec.Relay_tamper _ | Spec.Relay_replay ->
+      true
   | Spec.Blackhole | Spec.Flap _ | Spec.Brownout _ | Spec.Probe_starvation
   | Spec.Clock_step _ | Spec.Bgp_withdraw | Spec.Bgp_flap _ | Spec.Community_drop
     ->
       false
 
 let run ?(pops = 16) ?(degree = 4) ?(trees = 3) ?(seed = 42) ?flows
-    ?(duration_s = 12.0) ?(pkt_interval_s = 0.02) ?(specs = []) () =
+    ?(duration_s = 12.0) ?(pkt_interval_s = 0.02) ?(specs = [])
+    ?(attest = false) ?(quarantine_s = 2.0) ?(suspect_threshold = 4) () =
   let nflows = match flows with Some f -> f | None -> min (2 * pops) 128 in
   if nflows < 1 then Err.invalid "Mesh.run: need at least one flow";
   if duration_s <= 0.0 then Err.invalid "Mesh.run: non-positive duration";
@@ -90,7 +106,7 @@ let run ?(pops = 16) ?(degree = 4) ?(trees = 3) ?(seed = 42) ?flows
   let topo = Mtopo.generate ~degree ~pops ~seed () in
   let arbor = Arbor.build ~k:trees topo in
   let gossip = Gossip.create ~topo ~engine () in
-  let relay = Relay.create ~topo ~arbor ~engine ~gossip () in
+  let relay = Relay.create ~topo ~arbor ~engine ~gossip ~quarantine_s () in
   (* Seeded flow endpoints, then stitched routes (each stitch is one
      "discovery" unit of work — the counter the O(1) gate watches). *)
   let rng = Engine.rng engine in
@@ -111,6 +127,27 @@ let run ?(pops = 16) ?(degree = 4) ?(trees = 3) ?(seed = 42) ?flows
         ~seg_paths:flow_paths.(f);
     Relay.note_discovery relay
   done;
+  (* Attestation: the destination-side verifier learns each flow's
+     committed route at stitch time. Only fully-stitched routes commit
+     — a stitch that overflowed the stack (or emitted a bare dst for an
+     unreachable pair) has a non-adjacent entry somewhere, and its
+     frames arrive excused via arborescence steering. *)
+  if attest then begin
+    let att = Attest.create ~suspect_threshold ~pops ~flows:nflows () in
+    for f = 0 to nflows - 1 do
+      let contiguous = ref true in
+      let prev = ref flow_src.(f) in
+      for i = 0 to flow_count.(f) - 1 do
+        if Mtopo.slot topo ~src:!prev ~dst:flow_hops.(f).(i) < 0 then
+          contiguous := false;
+        prev := flow_hops.(f).(i)
+      done;
+      if !contiguous then
+        Attest.commit att ~flow:f ~src:flow_src.(f) ~hops:flow_hops.(f)
+          ~count:flow_count.(f)
+    done;
+    Relay.set_attest relay att
+  end;
   let mark_s = ref infinity in
   Relay.set_on_deliver relay (fun ~flow ~seq:_ ~tree:_ ~now ->
       if now >= !mark_s && Float.is_nan recovered_at.(flow) then
@@ -132,6 +169,8 @@ let run ?(pops = 16) ?(degree = 4) ?(trees = 3) ?(seed = 42) ?flows
     !best
   in
   let killed = ref (-1) in
+  let misbehaving = ref (-1) in
+  let mis_start = ref nan in
   let affected = ref [] in
   let discovery_at_mark = ref 0 in
   let note_mark now =
@@ -182,6 +221,30 @@ let run ?(pops = 16) ?(degree = 4) ?(trees = 3) ?(seed = 42) ?flows
           Engine.schedule_at engine
             ~time:(s.Spec.start_s +. s.Spec.duration_s)
             (fun _ -> Relay.heal_region relay ~region)
+      | Spec.Relay_detour | Spec.Relay_tamper _ | Spec.Relay_replay ->
+          let target = if s.Spec.path > 0 then s.Spec.path else auto_target () in
+          if target >= pops then
+            Err.invalid "Mesh.run: misbehaving-relay target %d outside %d pops"
+              target pops;
+          let m =
+            match s.Spec.kind with
+            | Spec.Relay_detour -> Relay.Detour
+            | Spec.Relay_tamper { truncate = true } -> Relay.Truncate
+            | Spec.Relay_tamper { truncate = false } -> Relay.Forge
+            | _ -> Relay.Replay
+          in
+          let stop = s.Spec.start_s +. s.Spec.duration_s in
+          Engine.schedule_at engine ~time:s.Spec.start_s (fun engine ->
+              let now = Engine.now engine in
+              note_mark now;
+              misbehaving := target;
+              if Float.is_nan !mis_start then mis_start := now;
+              for f = 0 to nflows - 1 do
+                if flow_transits f target then affected := f :: !affected
+              done;
+              Relay.set_misbehavior relay ~pop:target ~until:stop m);
+          Engine.schedule_at engine ~time:stop (fun _ ->
+              Relay.set_misbehavior relay ~pop:target Relay.Honest)
       | _ -> assert false)
     specs;
   (* Control plane and flows. Flow starts stagger by a millisecond so a
@@ -241,5 +304,27 @@ let run ?(pops = 16) ?(degree = 4) ?(trees = 3) ?(seed = 42) ?flows
     hello_msgs = Relay.hello_msgs relay;
     convergence_ms;
     distinct_digests = Gossip.distinct_digests gossip ~pop_alive:(Relay.pop_alive relay);
+    attest;
+    misbehaving = !misbehaving;
+    rejected = Relay.attest_rejected relay;
+    wrong_path = Relay.verdict_count relay Attest.Wrong_path;
+    truncated = Relay.verdict_count relay Attest.Truncated;
+    replayed = Relay.verdict_count relay Attest.Replayed;
+    forged = Relay.verdict_count relay Attest.Forged;
+    excused = Relay.attest_excused relay;
+    first_verdict_ms =
+      (let fv = Relay.first_verdict_s relay in
+       if Float.is_nan fv || Float.is_nan !mis_start then -1.0
+       else (fv -. !mis_start) *. 1000.0);
+    quarantines = Relay.quarantines relay;
+    readmissions = Relay.readmissions relay;
+    quarantined_target =
+      !misbehaving >= 0 && Relay.ever_quarantined relay ~pop:!misbehaving;
+    false_quarantines =
+      (let n = ref 0 in
+       for p = 0 to pops - 1 do
+         if p <> !misbehaving && Relay.ever_quarantined relay ~pop:p then incr n
+       done;
+       !n);
     fingerprint = Relay.fingerprint relay;
   }

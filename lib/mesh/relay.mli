@@ -21,6 +21,7 @@ val create :
   ?hello_interval_s:float ->
   ?dead_after_s:float ->
   ?ban_s:float ->
+  ?quarantine_s:float ->
   topo:Mtopo.t ->
   arbor:Arbor.t ->
   engine:Tango_sim.Engine.t ->
@@ -28,8 +29,10 @@ val create :
   unit ->
   t
 (** Defaults: hellos every 25 ms, a neighbor is dead after 100 ms of
-    silence, dead trees are banned for 1 s. Raises {!Err.Invalid} when
-    [dead_after_s <= hello_interval_s] or a duration is non-positive. *)
+    silence, dead trees are banned for 1 s, a first quarantine lasts
+    2 s (doubling per episode, capped at 60 s). Raises {!Err.Invalid}
+    when [dead_after_s <= hello_interval_s] or a duration is
+    non-positive. *)
 
 val start_hellos : t -> until:float -> unit
 (** One hello timer per PoP. Hellos are stamped directly into the
@@ -83,5 +86,64 @@ val hello_msgs : t -> int
 
 val fingerprint : t -> string
 (** FNV-1a fold of the delivery stream (flow, seq, tree, residual hop
-    budget, microsecond delivery time) — byte-identical across repeats
-    of a seeded run. *)
+    budget, microsecond delivery time, and — only when attestation is
+    on — the verdict code) — byte-identical across repeats of a seeded
+    run, and with attestation off byte-identical to the pre-attest
+    fingerprint. *)
+
+(** {1 Verifiable forwarding (attestation)} *)
+
+val set_attest : t -> Attest.t -> unit
+(** Turn attestation on: every {!send} stamps {!Segment.flag_attest}
+    and seeds the per-hop digest chain, every forwarding relay folds
+    into it, and the destination judges each non-excused delivery
+    against the routes committed in the verifier. *)
+
+val attest : t -> Attest.t option
+
+val attest_rejected : t -> int
+(** Frames refused at the destination on a bad verdict — counted here,
+    in neither {!delivered} nor {!dropped}. *)
+
+val attest_excused : t -> int
+(** Attested frames delivered unjudged because arborescence failover
+    re-steered them off their committed route (DESIGN.md §15 caveat). *)
+
+val verdict_count : t -> Attest.verdict -> int
+(** Judged deliveries per verdict (includes [Verified]). *)
+
+val first_verdict_s : t -> float
+(** Virtual time of the first bad verdict; [nan] while none. *)
+
+(** {2 Quarantine} *)
+
+val quarantines : t -> int
+(** Quarantine episodes applied so far. *)
+
+val readmissions : t -> int
+(** Quarantined relays readmitted after serving their backoff. *)
+
+val quarantined : t -> pop:int -> bool
+(** Whether [pop] is quarantined {e right now}: no relay will choose it
+    as a next hop ({!Tango.Policy.ban} bookkeeping plus the same
+    local-viability check that covers dead neighbors), so traffic flips
+    to arborescence steering around it. *)
+
+val quarantined_count : t -> int
+
+val ever_quarantined : t -> pop:int -> bool
+(** Whether [pop] has served any quarantine episode this run. *)
+
+(** {2 Fault injection: relay misbehavior} *)
+
+type misbehavior =
+  | Honest
+  | Detour  (** Fold a neighbor off the route; burn an extra hop. *)
+  | Forge  (** Garble the evidence chain after folding. *)
+  | Truncate  (** Short-cut the route tail through the underlay. *)
+  | Replay  (** Re-inject a captured transit frame every 100 ms. *)
+
+val set_misbehavior : ?until:float -> t -> pop:int -> misbehavior -> unit
+(** Arm (or clear, with [Honest]) misbehavior on [pop]. [until] bounds
+    the [Replay] re-injection timer (pass the fault's end time; default
+    unbounded). Raises {!Err.Invalid} on a bad pop id. *)

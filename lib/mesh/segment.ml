@@ -21,14 +21,23 @@ module Wire = Tango_net.Wire
    off+16  count          (1B)  stack entries
    off+17  hop budget     (1B)  TTL against routing loops
    off+18  count entries, 4B each: PoP (2B), segment path (1B), 0 (1B)
-   v} *)
+   v}
+
+   When [flag_attest] is set an 8-byte attestation field follows the
+   entries: the running per-hop digest chain of {!Attest}, stored as a
+   31-bit high half and a 32-bit low half (an OCaml 63-bit int survives
+   the round trip exactly). Attestation-off frames carry no extra bytes
+   — the wire format is byte-identical to the pre-attest layout. *)
 
 let version = 1
 let flag_arbor = 0x01
+let flag_attest = 0x02
 let max_segments = 15
 let fixed_bytes = 18
+let attest_bytes = 8
 let header_bytes ~count = fixed_bytes + (4 * count)
-let max_header_bytes = fixed_bytes + (4 * max_segments)
+let attest_off ~count = header_bytes ~count
+let max_header_bytes = fixed_bytes + (4 * max_segments) + attest_bytes
 
 type stack = {
   mutable flags : int;
@@ -40,6 +49,7 @@ type stack = {
   mutable seq : int;
   mutable count : int;
   mutable hop_budget : int;
+  mutable digest : int; (* attest chain; meaningful iff flag_attest set *)
   hops : int array; (* length max_segments: relay PoPs, dst last *)
   seg_path : int array; (* per entry: which discovered per-pair path *)
 }
@@ -55,12 +65,28 @@ let create_stack () =
     seq = 0;
     count = 0;
     hop_budget = 0;
+    digest = 0;
     hops = Array.make max_segments 0;
     seg_path = Array.make max_segments 0;
   }
 
+let[@hot] frame_bytes st =
+  fixed_bytes + (4 * st.count)
+  + if st.flags land flag_attest <> 0 then attest_bytes else 0
+
+(* The 63-bit digest travels as a 31-bit high half and a 32-bit low
+   half through the existing u32 cursor primitives. *)
+let[@hot] put_digest ~buf ~off st =
+  let base = attest_off ~count:st.count + off in
+  Wire.set_u32 buf base ((st.digest lsr 32) land 0x7FFFFFFF);
+  Wire.set_u32 buf (base + 4) (st.digest land 0xFFFFFFFF)
+
+let[@hot] get_digest ~buf ~off st =
+  let base = attest_off ~count:st.count + off in
+  st.digest <- (Wire.get_u32 buf base lsl 32) lor Wire.get_u32 buf (base + 4)
+
 let[@hot] encode_into ~buf ~off st =
-  let len = fixed_bytes + (4 * st.count) in
+  let len = frame_bytes st in
   if off < 0 || off + len > Bytes.length buf then
     Err.invalid "Segment.encode_into: %d-byte buffer, need %d at %d"
       (Bytes.length buf) len off;
@@ -83,6 +109,7 @@ let[@hot] encode_into ~buf ~off st =
     Bytes.set_uint8 buf (base + 2) st.seg_path.(i);
     Bytes.set_uint8 buf (base + 3) 0
   done;
+  if st.flags land flag_attest <> 0 then put_digest ~buf ~off st;
   len
 
 (* Returns false on a malformed header instead of raising: relays drop
@@ -94,10 +121,14 @@ let[@hot] decode_into ~buf ~off ~len st =
   else begin
     let count = Bytes.get_uint8 buf (off + 16) in
     let top = Bytes.get_uint8 buf (off + 3) in
-    if count > max_segments || len < fixed_bytes + (4 * count) || top > count
-    then false
+    let flags = Bytes.get_uint8 buf (off + 1) in
+    let need =
+      fixed_bytes + (4 * count)
+      + if flags land flag_attest <> 0 then attest_bytes else 0
+    in
+    if count > max_segments || len < need || top > count then false
     else begin
-      st.flags <- Bytes.get_uint8 buf (off + 1);
+      st.flags <- flags;
       st.tree <- Bytes.get_uint8 buf (off + 2);
       st.top <- top;
       st.src <- Wire.get_u16 buf (off + 4);
@@ -111,6 +142,8 @@ let[@hot] decode_into ~buf ~off ~len st =
         st.hops.(i) <- Wire.get_u16 buf base;
         st.seg_path.(i) <- Bytes.get_uint8 buf (base + 2)
       done;
+      if flags land flag_attest <> 0 then get_digest ~buf ~off st
+      else st.digest <- 0;
       true
     end
   end
@@ -122,4 +155,5 @@ let[@hot] patch_cursor ~buf ~off st =
   Bytes.set_uint8 buf (off + 1) (st.flags land 0xFF);
   Bytes.set_uint8 buf (off + 2) (st.tree land 0xFF);
   Bytes.set_uint8 buf (off + 3) (st.top land 0xFF);
-  Bytes.set_uint8 buf (off + 17) (st.hop_budget land 0xFF)
+  Bytes.set_uint8 buf (off + 17) (st.hop_budget land 0xFF);
+  if st.flags land flag_attest <> 0 then put_digest ~buf ~off st

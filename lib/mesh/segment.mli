@@ -22,6 +22,9 @@ type stack = {
   mutable seq : int;
   mutable count : int;
   mutable hop_budget : int;  (** TTL against routing loops. *)
+  mutable digest : int;
+      (** Attestation chain ({!Attest}); meaningful iff {!flag_attest}
+          is set in [flags]. *)
   hops : int array;  (** [max_segments] slots; entries [0..count-1] live. *)
   seg_path : int array;
 }
@@ -29,14 +32,31 @@ type stack = {
 val version : int
 val flag_arbor : int
 
+val flag_attest : int
+(** When set, an {!attest_bytes}-wide per-hop digest chain follows the
+    stack entries. Attestation-off frames are byte-identical to the
+    pre-attest wire format. *)
+
 val max_segments : int
 (** 15 stack entries — routes beyond that fall back to pure
     arborescence steering from the source. *)
 
 val fixed_bytes : int
 
+val attest_bytes : int
+(** Width of the optional attestation field: 8 bytes. *)
+
 val header_bytes : count:int -> int
-(** Encoded size for a [count]-entry stack: [18 + 4*count]. *)
+(** Encoded size for a [count]-entry stack {e without} the attest
+    field: [18 + 4*count]. *)
+
+val attest_off : count:int -> int
+(** Offset of the attest field relative to the header start (it sits
+    right after the stack entries). *)
+
+val frame_bytes : stack -> int
+(** Full encoded size of [st]: {!header_bytes} plus {!attest_bytes}
+    when {!flag_attest} is set. *)
 
 val max_header_bytes : int
 
@@ -55,4 +75,7 @@ val decode_into : buf:Bytes.t -> off:int -> len:int -> stack -> bool
 
 val patch_cursor : buf:Bytes.t -> off:int -> stack -> unit
 (** Write back only the per-hop mutable fields (flags, tree, top, hop
-    budget) of an already-encoded header — the relay fast path. *)
+    budget, and the attest digest when {!flag_attest} is set) of an
+    already-encoded header — the relay fast path. The attest flag must
+    not be {e set} by a patch on a frame encoded without it: the buffer
+    has no room for the field. *)

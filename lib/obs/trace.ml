@@ -35,38 +35,45 @@ let create ?(capacity = 65536) () =
 (* ------------------------------------------------------------------ *)
 (* Kind registry (cold path)                                           *)
 
-let kind_names : string list ref = ref []
+(* Flat tag-indexed name table, doubled on demand: [kind] is cold
+   (module-init) but the lookup side stays O(1) either way. *)
+let kind_names = ref (Array.make 8 "")
 
 let kind_count = ref 0
 
 let kind name =
   if String.length name = 0 then invalid_arg "Trace.kind: empty kind name";
-  let rec find i = function
-    | [] -> None
-    | n :: rest -> if String.equal n name then Some (i - 1) else find (i - 1) rest
-  in
-  (* [kind_names] is newest-first: index of the head is [count - 1]. *)
-  match find !kind_count !kind_names with
-  | Some tag -> tag
-  | None ->
-      let tag = !kind_count in
-      kind_names := name :: !kind_names;
-      kind_count := tag + 1;
-      tag
+  let names = !kind_names in
+  let tag = ref (-1) in
+  for i = 0 to !kind_count - 1 do
+    if String.equal names.(i) name then tag := i
+  done;
+  if !tag >= 0 then !tag
+  else begin
+    if !kind_count >= Array.length !kind_names then begin
+      let grown = Array.make (2 * Array.length !kind_names) "" in
+      Array.blit !kind_names 0 grown 0 !kind_count;
+      kind_names := grown
+    end;
+    let t = !kind_count in
+    !kind_names.(t) <- name;
+    kind_count := t + 1;
+    t
+  end
 
 let kind_name tag =
   if tag < 0 || tag >= !kind_count then
     invalid_arg (Printf.sprintf "Trace.kind_name: unknown kind tag %d" tag)
-  else List.nth !kind_names (!kind_count - 1 - tag)
+  else !kind_names.(tag)
 
 (* ------------------------------------------------------------------ *)
 (* Recording (hot path)                                                *)
 
-let[@hot] record t ~now ~kind a b =
+let[@hot] record t ~now ~kind:k a b =
   if Metric.enabled () then begin
     let slot = t.next in
     Float.Array.set t.times slot now;
-    t.kinds.(slot) <- kind;
+    t.kinds.(slot) <- k;
     t.payload_a.(slot) <- a;
     t.payload_b.(slot) <- b;
     t.next <- (if slot + 1 >= t.capacity then 0 else slot + 1);

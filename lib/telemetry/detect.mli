@@ -27,8 +27,12 @@ val create :
     spike. [cooldown_s] (default 30 for shifts, spikes use [window_s])
     suppresses duplicate reports of one incident. *)
 
-val add : t -> time:float -> float -> event option
-(** Feed one sample; returns a freshly detected event, if any. *)
+val add : t -> time:float -> float -> unit
+(** Feed one sample; allocation-free. Any freshly detected event is
+    appended to the history read back by {!events}. *)
+
+val event_count : t -> int
+(** Events detected so far, without materializing them. *)
 
 val events : t -> event list
-(** All events so far, oldest first. *)
+(** All events so far, oldest first. Allocates; cold read side. *)

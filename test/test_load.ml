@@ -316,6 +316,59 @@ let test_load_unbounded_cache_never_evicts () =
   Alcotest.(check int) "same hit count" r.Throughput.cache_hits
     r_roomy.Throughput.cache_hits
 
+(* ------------------------------------------------------------------ *)
+(* Idle-generation aging                                               *)
+
+let test_table_idle_aging () =
+  let tbl = Table.create ~idle_generations:2 ~keys:4 () in
+  (* Keys 0 and 1 open with a gap (seq 1 provisionally missing); key 0
+     then keeps talking every generation, key 1 goes idle. *)
+  let touch key =
+    Table.observe tbl ~key 0L;
+    Table.observe tbl ~key 2L
+  in
+  touch 0;
+  touch 1;
+  ignore (Table.advance_generation tbl);
+  Table.observe tbl ~key:0 3L;
+  ignore (Table.advance_generation tbl);
+  Table.observe tbl ~key:0 4L;
+  Alcotest.(check int) "nothing evicted yet" 0 (Table.evictions tbl);
+  (* Generation 3: key 1 last observed at generation 0, horizon 3 - 2
+     = 1 > 0 — it ages out; key 0 was stamped this generation. *)
+  ignore (Table.advance_generation tbl);
+  Alcotest.(check int) "idle key evicted" 1 (Table.evictions tbl);
+  (* Key 1's provisional gap became a confirmed loss; key 0's own open
+     gap still counts as (provisional) loss, hence 2 in total. *)
+  Alcotest.(check int) "evicted gap confirmed as lost" 2
+    (Table.lost_total tbl);
+  Alcotest.(check int) "only the live key stays resident" 1
+    (Table.resident tbl);
+  (* The evicted key re-anchors on its next packet instead of reading
+     the resumed seq as a giant gap. *)
+  Table.observe tbl ~key:1 50L;
+  Alcotest.(check int) "re-anchored, no phantom gap" 2 (Table.lost_total tbl);
+  Alcotest.(check int) "re-anchor leaves nothing new resident" 1
+    (Table.resident tbl)
+
+let test_load_aging_fingerprint_invariant () =
+  let plan =
+    Load.plan (Load.default_config ~flows:2_000 ~generations:64 ~seed:7 ())
+  in
+  let plain = Throughput.run ~domains:2 ~plan ()
+  and aged = Throughput.run ~domains:2 ~plan ~tracker_idle_gens:8 () in
+  (* Aging touches tracker accounting only, never the delivery stream:
+     heavy-tailed schedules leave most short flows idle long before the
+     run ends, so trackers actually age out, yet the digest is
+     untouched. *)
+  Alcotest.(check bool) "idle trackers aged out" true
+    (aged.Throughput.tracker_evictions > 0);
+  Alcotest.(check string) "fingerprint invariant under aging"
+    (Throughput.fingerprint plain)
+    (Throughput.fingerprint aged);
+  Alcotest.(check bool) "aging frees resident state" true
+    (aged.Throughput.tracker_resident <= plain.Throughput.tracker_resident)
+
 let () =
   let tc = Alcotest.test_case in
   let qc = QCheck_alcotest.to_alcotest in
@@ -328,6 +381,7 @@ let () =
           tc "differential vs Hashtbl reference (10^5 keys)" `Slow
             test_table_matches_reference;
           qc table_qcheck_matches_reference;
+          tc "idle-generation aging" `Quick test_table_idle_aging;
         ] );
       ( "pipeline",
         [
@@ -337,5 +391,7 @@ let () =
           tc "fingerprint determinism" `Quick test_load_fingerprint_deterministic;
           tc "unbounded cache never evicts" `Quick
             test_load_unbounded_cache_never_evicts;
+          tc "aging is fingerprint-invariant" `Quick
+            test_load_aging_fingerprint_invariant;
         ] );
     ]

@@ -303,7 +303,8 @@ let test_jitter_offset_invariant () =
 (* Detect                                                              *)
 
 let feed_detector d samples =
-  List.filter_map (fun (t, v) -> Detect.add d ~time:t v) samples
+  List.iter (fun (t, v) -> Detect.add d ~time:t v) samples;
+  Detect.events d
 
 let flat_then t0 n dt v = List.init n (fun i -> (t0 +. (float_of_int i *. dt), v))
 

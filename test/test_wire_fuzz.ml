@@ -127,6 +127,124 @@ let test_corpus_roundtrip () =
       | Error _ -> Alcotest.(check bool) "key requires protection" true plain)
     corpus
 
+(* ------------------------------------------------------------------ *)
+(* Segment + attest headers                                            *)
+
+(* Same discipline for the relay-side shim: mutated segment headers
+   must decode to true/false — never raise — and whatever decodes must
+   come out of the attestation verifier with a drop verdict, never an
+   exception, even when the mutation lands on the flow id, the seq, or
+   the digest field itself. *)
+
+module Segment = Tango_mesh.Segment
+module Attest = Tango_mesh.Attest
+
+let seg_corpus =
+  List.concat_map
+    (fun count ->
+      let frame attested =
+        let st = Segment.create_stack () in
+        st.Segment.flags <- (if attested then Segment.flag_attest else 0);
+        st.Segment.tree <- 1;
+        st.Segment.top <- count / 2;
+        st.Segment.src <- 3;
+        st.Segment.dst <- 60;
+        st.Segment.flow <- count;
+        st.Segment.seq <- 100 + count;
+        st.Segment.count <- count;
+        st.Segment.hop_budget <- 255 - count;
+        for i = 0 to count - 1 do
+          st.Segment.hops.(i) <- 10 + i;
+          st.Segment.seg_path.(i) <- i land 3
+        done;
+        if attested then
+          st.Segment.digest <-
+            Attest.chain_seed ~flow:count ~seq:(100 + count) ~src:3 ~dst:60;
+        let buf = Bytes.create Segment.max_header_bytes in
+        let len = Segment.encode_into ~buf ~off:0 st in
+        Bytes.sub buf 0 len
+      in
+      [ frame false; frame true ])
+    [ 1; 4; Segment.max_segments ]
+
+let seg_corpus_arr = Array.of_list seg_corpus
+
+let mutate_segment rng =
+  let base = seg_corpus_arr.(Rng.int rng (Array.length seg_corpus_arr)) in
+  let frame = Bytes.copy base in
+  let len = Bytes.length frame in
+  match Rng.int rng 5 with
+  | 0 -> Bytes.sub frame 0 (Rng.int rng (len + 1))
+  | 1 ->
+      let i = Rng.int rng len in
+      Bytes.set frame i
+        (Char.chr (Char.code (Bytes.get frame i) lxor (1 + Rng.int rng 255)));
+      frame
+  | 2 ->
+      let start = Rng.int rng len in
+      let n = min (1 + Rng.int rng 8) (len - start) in
+      for i = start to start + n - 1 do
+        Bytes.set frame i (Char.chr (Rng.int rng 256))
+      done;
+      frame
+  | 3 ->
+      let extra = 1 + Rng.int rng 32 in
+      let grown = Bytes.extend frame 0 extra in
+      for i = len to len + extra - 1 do
+        Bytes.set grown i (Char.chr (Rng.int rng 256))
+      done;
+      grown
+  | _ -> Bytes.init (Rng.int rng 96) (fun _ -> Char.chr (Rng.int rng 256))
+
+let test_segment_attest_never_crashes () =
+  let rng = Rng.create ~seed:0xa77e57 in
+  let verifier = Attest.create ~pops:64 ~flows:32 () in
+  (* Some decoded flows are committed, so the verifier walks real
+     routes; the rest hit the uncommitted/out-of-range paths. *)
+  List.iter
+    (fun flow ->
+      Attest.commit verifier ~flow ~src:3 ~hops:[| 10; 11; 12; 60 |] ~count:4)
+    [ 1; 4; Segment.max_segments ];
+  let scratch = Segment.create_stack () in
+  let decoded = ref 0
+  and dropped = ref 0
+  and verdicts = Array.make 5 0 in
+  for i = 1 to iterations do
+    let frame = mutate_segment rng in
+    let ok =
+      match
+        Segment.decode_into ~buf:frame ~off:0 ~len:(Bytes.length frame) scratch
+      with
+      | ok -> ok
+      | exception e ->
+          Alcotest.failf "iteration %d: segment decoder escaped with %s" i
+            (Printexc.to_string e)
+    in
+    if not ok then incr dropped
+    else begin
+      incr decoded;
+      match Attest.judge verifier scratch with
+      | v -> verdicts.(Attest.verdict_code v) <- verdicts.(Attest.verdict_code v) + 1
+      | exception e ->
+          Alcotest.failf "iteration %d: attest verifier escaped with %s" i
+            (Printexc.to_string e)
+    end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "mutants exercise both decoder verdicts (ok=%d dropped=%d)"
+       !decoded !dropped)
+    true
+    (!decoded > 0 && !dropped > 0);
+  (* The mutation classes must reach the interesting verifier verdicts:
+     garbled evidence (forged) and double deliveries of surviving
+     frames (replayed). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "forged and replayed both reached (codes [%s])"
+       (String.concat ";" (Array.to_list (Array.map string_of_int verdicts))))
+    true
+    (verdicts.(Attest.verdict_code Attest.Forged) > 0
+    && verdicts.(Attest.verdict_code Attest.Replayed) > 0)
+
 let () =
   Alcotest.run "tango_wire_fuzz"
     [
@@ -135,5 +253,8 @@ let () =
           Alcotest.test_case "corpus round-trips" `Quick test_corpus_roundtrip;
           Alcotest.test_case "10k mutants never crash the decoder" `Quick
             test_decode_never_crashes;
+          Alcotest.test_case
+            "10k segment mutants never crash decode or verify" `Quick
+            test_segment_attest_never_crashes;
         ] );
     ]
